@@ -1,0 +1,251 @@
+// Command rqp runs the robust-query-processing experiment suite: each
+// subcommand regenerates one table or figure of the paper (see
+// DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	rqp [flags] <experiment>
+//
+// Experiments:
+//
+//	ocs      Fig. 3   optimal cost surface (EQ)
+//	trace    Fig. 7   2D-SpillBound execution trace (Q91)
+//	fig8     Fig. 8   MSO guarantees, PB vs SB
+//	fig9     Fig. 9   MSOg vs dimensionality (Q91 family)
+//	fig10    Fig. 10  empirical MSO, PB vs SB
+//	fig11    Fig. 11  ASO, PB vs SB
+//	fig12    Fig. 12  sub-optimality histogram (4D_Q91)
+//	fig13    Fig. 13  empirical MSO, SB vs AB
+//	table2   Table 2  contour alignment penalties
+//	table3   Table 3  wall-clock drill-down (real executions)
+//	table4   Table 4  AlignedBound maximum penalties
+//	job      §6.5     JOB benchmark query 1a
+//	summary            combined guarantees + MSOe overview
+//	ablations          design-choice ablation studies
+//	discover           single discovery trace (-query, -alg, -qa)
+//	explain            optimal plan + pipelines at -qa (-query)
+//	list               available workload queries
+//	all                everything above except ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/core/discovery"
+	"repro/internal/ess"
+	"repro/internal/experiments"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rqp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rqp", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1.0, "catalog scale factor")
+	res := fs.Int("res", 0, "grid resolution override (0 = per-query default)")
+	stride := fs.Int("stride", 3, "5D/6D MSO sweep stride")
+	lambda := fs.Float64("lambda", 0.2, "PlanBouquet anorexic reduction threshold")
+	queryName := fs.String("query", "4D_Q91", "query for the discover command")
+	alg := fs.String("alg", "spillbound", "algorithm for discover: planbouquet|spillbound|alignedbound")
+	qaFlag := fs.String("qa", "", "true selectivities for discover, comma-separated (e.g. 0.04,0.1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return fmt.Errorf("missing experiment name")
+	}
+	cmd := fs.Arg(0)
+	// Accept flags after the subcommand too (flag stops at the first
+	// positional argument).
+	if fs.NArg() > 1 {
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return err
+		}
+	}
+
+	h := experiments.New(experiments.Options{
+		Scale: *scale, Res: *res, Lambda: *lambda, StrideHighD: *stride,
+	})
+
+	type exp struct {
+		name string
+		run  func() (*experiments.Report, error)
+	}
+	table := []exp{
+		{"ocs", h.Fig3OCS},
+		{"trace", h.Fig7Trace},
+		{"fig8", h.Fig8MSOg},
+		{"fig9", h.Fig9Dimensionality},
+		{"fig10", h.Fig10MSOe},
+		{"fig11", h.Fig11ASO},
+		{"fig12", h.Fig12Histogram},
+		{"fig13", h.Fig13MSOeAB},
+		{"table2", h.Table2Alignment},
+		{"table3", h.Table3WallClock},
+		{"table4", h.Table4Penalty},
+		{"job", h.JOB},
+		{"summary", h.SuiteSummary},
+	}
+	ablations := []exp{
+		{"cost-ratio", h.AblationCostRatio},
+		{"lambda", h.AblationAnorexicLambda},
+		{"grid", h.AblationGridResolution},
+		{"probes", h.AblationOptimizerProbes},
+		{"1d-endgame", h.AblationOneDEndgame},
+		{"cost-model-error", h.AblationCostModelError},
+	}
+
+	switch cmd {
+	case "list":
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return nil
+	case "discover":
+		return discover(h, *queryName, *alg, *qaFlag, *scale, *res)
+	case "explain":
+		return explain(*queryName, *qaFlag, *scale, *res)
+	case "all":
+		for _, e := range table {
+			if err := render(e.run); err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+		}
+		return nil
+	case "ablations":
+		for _, e := range ablations {
+			if err := render(e.run); err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+		}
+		return nil
+	}
+	for _, e := range table {
+		if e.name == cmd {
+			return render(e.run)
+		}
+	}
+	return fmt.Errorf("unknown experiment %q (try: rqp list|all|ablations)", cmd)
+}
+
+func render(f func() (*experiments.Report, error)) error {
+	rep, err := f()
+	if err != nil {
+		return err
+	}
+	rep.Render(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+// explain prints the optimal plan and its pipeline decomposition at the
+// given selectivities.
+func explain(name, qaFlag string, scale float64, res int) error {
+	spec, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	space, err := spec.Space(scale, res)
+	if err != nil {
+		return err
+	}
+	qaIdx, err := parseQA(space, qaFlag)
+	if err != nil {
+		return err
+	}
+	qa := space.Grid.Linear(qaIdx)
+	pid := space.PointPlan[qa]
+	root := space.Plans[pid].Root
+	sel := space.Grid.Sel(qa, nil)
+	fmt.Printf("%s: optimal plan P%d at selectivities %v (cost %.4g)\n\n",
+		name, pid, sel, space.PointCost[qa])
+	fmt.Print(plan.Format(root, space.Q))
+	fmt.Println("\npipelines (execution order):")
+	fmt.Print(plan.FormatPipelines(root, space.Q))
+	remaining := map[int]bool{}
+	for _, id := range space.Q.EPPs {
+		remaining[id] = true
+	}
+	if j := plan.SpillJoin(root, remaining); j >= 0 {
+		fmt.Printf("\nspill-node identification: join %d (ESS dimension %d)\n",
+			j, space.Q.EPPDim(j))
+	}
+	return nil
+}
+
+// parseQA resolves a comma-separated selectivity list (or the grid
+// midpoint when empty) to grid indexes.
+func parseQA(space *ess.Space, qaFlag string) ([]int, error) {
+	var qaIdx []int
+	if qaFlag == "" {
+		for d := 0; d < space.Grid.D; d++ {
+			qaIdx = append(qaIdx, space.Grid.Res/2)
+		}
+		return qaIdx, nil
+	}
+	parts := strings.Split(qaFlag, ",")
+	if len(parts) != space.Grid.D {
+		return nil, fmt.Errorf("query needs %d selectivities, got %d", space.Grid.D, len(parts))
+	}
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		qaIdx = append(qaIdx, space.Grid.NearestIndex(v))
+	}
+	return qaIdx, nil
+}
+
+// discover runs one discovery and prints its trace.
+func discover(h *experiments.Harness, name, algName, qaFlag string, scale float64, res int) error {
+	spec, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	space, err := spec.Space(scale, res)
+	if err != nil {
+		return err
+	}
+	qaIdx, err := parseQA(space, qaFlag)
+	if err != nil {
+		return err
+	}
+	qa := int32(space.Grid.Linear(qaIdx))
+
+	sess := core.NewSession(space)
+	out, err := sess.Discover(core.Algorithm(algName), qa)
+	if err != nil {
+		return err
+	}
+	sel := space.Grid.Sel(int(qa), nil)
+	fmt.Printf("%s via %s at qa=%v (grid point %d)\n", name, algName, sel, qa)
+	for i, st := range out.Steps {
+		mode := "full "
+		if st.Phase == discovery.PhaseSpill {
+			mode = "spill"
+		}
+		status := "killed"
+		if st.Completed {
+			status = "done"
+		}
+		fmt.Printf("  %2d. IC%-2d %s P%-3d dim=%-2d budget=%.4g cost=%.4g %s\n",
+			i+1, st.Contour, mode, st.PlanID, st.Dim, st.Budget, st.Cost, status)
+	}
+	g, _ := sess.Guarantee(core.Algorithm(algName))
+	fmt.Printf("total cost %.4g, optimal %.4g, sub-optimality %.2f (guarantee %.1f)\n",
+		out.TotalCost, space.PointCost[qa], out.SubOpt(space.PointCost[qa]), g)
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout while f runs.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), ferr
+}
+
+func TestRunList(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"4D_Q91", "JOB_Q1a", "EQ", "6D_Q18"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %s", want)
+		}
+	}
+}
+
+func TestRunMissingCommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing command should error")
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run([]string{"zzz"}); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nosuch", "list"}); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+func TestRunDiscover(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-res", "6", "discover", "-query", "2D_Q91", "-alg", "spillbound", "-qa", "0.01,0.1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"2D_Q91 via spillbound", "sub-optimality", "guarantee 10.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("discover output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDiscoverDefaultsToMidpoint(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-res", "5", "discover", "-query", "EQ", "-alg", "alignedbound"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "EQ via alignedbound") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunDiscoverErrors(t *testing.T) {
+	if err := run([]string{"discover", "-query", "nosuch"}); err == nil {
+		t.Fatal("unknown query should error")
+	}
+	if err := run([]string{"-res", "5", "discover", "-query", "EQ", "-qa", "0.1"}); err == nil {
+		t.Fatal("wrong qa arity should error")
+	}
+	if err := run([]string{"-res", "5", "discover", "-query", "EQ", "-qa", "a,b"}); err == nil {
+		t.Fatal("non-numeric qa should error")
+	}
+	if err := run([]string{"-res", "5", "discover", "-query", "EQ", "-alg", "nosuch"}); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-res", "6", "explain", "-query", "2D_Q91", "-qa", "0.01,0.1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"optimal plan", "pipelines (execution order)", "spill-node identification"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-res", "5", "fig9"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Fig. 9") || !strings.Contains(out, "6D_Q91") {
+		t.Errorf("fig9 output wrong:\n%s", out)
+	}
+}

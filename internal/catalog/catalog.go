@@ -1,0 +1,225 @@
+// Package catalog defines schema metadata for the relational substrate:
+// tables, columns, cardinalities, and key relationships. The catalog is
+// the single source of truth consulted by the data generator, the
+// statistics module, the optimizer, and the executor.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ColType enumerates the column types supported by the engine.
+type ColType int
+
+const (
+	// Int64 is a 64-bit signed integer column.
+	Int64 ColType = iota
+	// Float64 is a 64-bit floating point column.
+	Float64
+	// String is a variable-length string column.
+	String
+)
+
+// String returns the SQL-ish name of the type.
+func (t ColType) String() string {
+	switch t {
+	case Int64:
+		return "BIGINT"
+	case Float64:
+		return "DOUBLE"
+	case String:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// Distribution describes how synthetic values for a column are drawn.
+type Distribution int
+
+const (
+	// Serial assigns consecutive integers starting at 1 (primary keys).
+	Serial Distribution = iota
+	// Uniform draws uniformly from [Min, Max].
+	Uniform
+	// Zipf draws integers in [Min, Max] with a zipfian skew, so that a
+	// few values are very frequent — the shape that makes selectivity
+	// estimation hard in practice.
+	Zipf
+	// FKUniform draws a uniformly random key of the referenced table.
+	FKUniform
+	// FKZipf draws a zipf-skewed key of the referenced table.
+	FKZipf
+)
+
+// Column describes one column of a table.
+type Column struct {
+	// Name is the column name, unique within its table.
+	Name string
+	// Type is the value type.
+	Type ColType
+	// Dist selects the generator distribution for synthetic data.
+	Dist Distribution
+	// Min and Max bound Uniform/Zipf integer draws (inclusive).
+	Min, Max int64
+	// Ref names the table referenced by a foreign key column; empty for
+	// non-FK columns. FK columns always reference the primary key of Ref.
+	Ref string
+	// ZipfS is the zipf skew parameter (>1); 0 means the default 1.3.
+	ZipfS float64
+}
+
+// Table describes one relation.
+type Table struct {
+	// Name is the table name, unique within the schema.
+	Name string
+	// Columns in declaration order; Columns[0] is the primary key and is
+	// always a Serial Int64 column by convention of this engine.
+	Columns []Column
+	// BaseRows is the cardinality at scale factor 1.0.
+	BaseRows int64
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i := range t.Columns {
+		if t.Columns[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the named column, or nil.
+func (t *Table) Column(name string) *Column {
+	if i := t.ColumnIndex(name); i >= 0 {
+		return &t.Columns[i]
+	}
+	return nil
+}
+
+// PrimaryKey returns the primary key column (Columns[0] by convention).
+func (t *Table) PrimaryKey() *Column { return &t.Columns[0] }
+
+// Rows returns the cardinality at the given scale factor, always ≥ 1.
+func (t *Table) Rows(scale float64) int64 {
+	n := int64(float64(t.BaseRows) * scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Catalog is a named collection of tables with a scale factor.
+type Catalog struct {
+	// Name identifies the schema (e.g. "tpcds", "imdb").
+	Name string
+	// Scale multiplies every table's BaseRows.
+	Scale float64
+
+	tables map[string]*Table
+	order  []string
+}
+
+// New creates an empty catalog with the given name and scale factor.
+func New(name string, scale float64) *Catalog {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Catalog{Name: name, Scale: scale, tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table. It panics on duplicate names or malformed
+// definitions, since schemas are static program data.
+func (c *Catalog) AddTable(t *Table) {
+	if t.Name == "" {
+		panic("catalog: table with empty name")
+	}
+	if _, dup := c.tables[t.Name]; dup {
+		panic("catalog: duplicate table " + t.Name)
+	}
+	if len(t.Columns) == 0 {
+		panic("catalog: table " + t.Name + " has no columns")
+	}
+	if t.Columns[0].Dist != Serial || t.Columns[0].Type != Int64 {
+		panic("catalog: table " + t.Name + " must start with a serial int64 primary key")
+	}
+	seen := make(map[string]bool, len(t.Columns))
+	for _, col := range t.Columns {
+		if seen[col.Name] {
+			panic(fmt.Sprintf("catalog: duplicate column %s.%s", t.Name, col.Name))
+		}
+		seen[col.Name] = true
+	}
+	c.tables[t.Name] = t
+	c.order = append(c.order, t.Name)
+}
+
+// Table returns the named table, or nil if absent.
+func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+
+// MustTable returns the named table or panics; for static workloads.
+func (c *Catalog) MustTable(name string) *Table {
+	t := c.tables[name]
+	if t == nil {
+		panic("catalog: unknown table " + name)
+	}
+	return t
+}
+
+// Tables returns all tables in registration order.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.tables[n])
+	}
+	return out
+}
+
+// Rows returns the scaled cardinality of the named table.
+func (c *Catalog) Rows(table string) int64 {
+	return c.MustTable(table).Rows(c.Scale)
+}
+
+// Validate checks referential integrity of all FK declarations and
+// returns a descriptive error for the first violation found.
+func (c *Catalog) Validate() error {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := c.tables[n]
+		for i := range t.Columns {
+			col := &t.Columns[i]
+			isFK := col.Dist == FKUniform || col.Dist == FKZipf
+			if isFK && col.Ref == "" {
+				return fmt.Errorf("catalog: %s.%s is FK-distributed but has no Ref", n, col.Name)
+			}
+			if col.Ref != "" {
+				if !isFK {
+					return fmt.Errorf("catalog: %s.%s has Ref %q but a non-FK distribution", n, col.Name, col.Ref)
+				}
+				if c.tables[col.Ref] == nil {
+					return fmt.Errorf("catalog: %s.%s references unknown table %q", n, col.Name, col.Ref)
+				}
+			}
+			if (col.Dist == Uniform || col.Dist == Zipf) && col.Max < col.Min {
+				return fmt.Errorf("catalog: %s.%s has Max < Min", n, col.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// QualifiedColumn splits "table.column" into its parts.
+func QualifiedColumn(s string) (table, column string, err error) {
+	i := strings.IndexByte(s, '.')
+	if i <= 0 || i == len(s)-1 {
+		return "", "", fmt.Errorf("catalog: malformed qualified column %q", s)
+	}
+	return s[:i], s[i+1:], nil
+}

@@ -1,0 +1,208 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestColTypeString(t *testing.T) {
+	cases := []struct {
+		typ  ColType
+		want string
+	}{
+		{Int64, "BIGINT"},
+		{Float64, "DOUBLE"},
+		{String, "VARCHAR"},
+		{ColType(99), "ColType(99)"},
+	}
+	for _, c := range cases {
+		if got := c.typ.String(); got != c.want {
+			t.Errorf("ColType(%d).String() = %q, want %q", int(c.typ), got, c.want)
+		}
+	}
+}
+
+func testTable(name string, extra ...Column) *Table {
+	cols := append([]Column{{Name: name + "_id", Type: Int64, Dist: Serial}}, extra...)
+	return &Table{Name: name, Columns: cols, BaseRows: 100}
+}
+
+func TestAddAndLookupTable(t *testing.T) {
+	c := New("test", 1.0)
+	c.AddTable(testTable("a"))
+	c.AddTable(testTable("b"))
+
+	if c.Table("a") == nil || c.Table("b") == nil {
+		t.Fatal("registered tables not found")
+	}
+	if c.Table("zzz") != nil {
+		t.Fatal("unknown table should be nil")
+	}
+	ts := c.Tables()
+	if len(ts) != 2 || ts[0].Name != "a" || ts[1].Name != "b" {
+		t.Fatalf("Tables() = %v, want registration order a,b", ts)
+	}
+}
+
+func TestMustTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTable on unknown table should panic")
+		}
+	}()
+	New("test", 1).MustTable("nope")
+}
+
+func TestAddTablePanicsOnDuplicate(t *testing.T) {
+	c := New("test", 1)
+	c.AddTable(testTable("a"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddTable should panic")
+		}
+	}()
+	c.AddTable(testTable("a"))
+}
+
+func TestAddTablePanicsOnBadPK(t *testing.T) {
+	c := New("test", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-serial first column should panic")
+		}
+	}()
+	c.AddTable(&Table{Name: "bad", BaseRows: 1, Columns: []Column{
+		{Name: "x", Type: Int64, Dist: Uniform, Min: 1, Max: 10},
+	}})
+}
+
+func TestAddTablePanicsOnDuplicateColumn(t *testing.T) {
+	c := New("test", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate column should panic")
+		}
+	}()
+	c.AddTable(&Table{Name: "bad", BaseRows: 1, Columns: []Column{
+		{Name: "id", Type: Int64, Dist: Serial},
+		{Name: "v", Type: Int64, Dist: Uniform, Min: 0, Max: 1},
+		{Name: "v", Type: Int64, Dist: Uniform, Min: 0, Max: 1},
+	}})
+}
+
+func TestScaling(t *testing.T) {
+	c := New("test", 0.5)
+	c.AddTable(testTable("a"))
+	if got := c.Rows("a"); got != 50 {
+		t.Errorf("Rows at scale 0.5 = %d, want 50", got)
+	}
+	// Scale never drops a table to zero rows.
+	tiny := New("test", 1e-9)
+	tiny.AddTable(testTable("a"))
+	if got := tiny.Rows("a"); got != 1 {
+		t.Errorf("Rows at tiny scale = %d, want 1", got)
+	}
+	// Non-positive scale defaults to 1.
+	if New("x", -1).Scale != 1 {
+		t.Error("negative scale should default to 1")
+	}
+}
+
+func TestColumnLookup(t *testing.T) {
+	tab := testTable("a", Column{Name: "v", Type: Int64, Dist: Uniform, Min: 0, Max: 9})
+	if tab.ColumnIndex("v") != 1 {
+		t.Errorf("ColumnIndex(v) = %d, want 1", tab.ColumnIndex("v"))
+	}
+	if tab.ColumnIndex("nope") != -1 {
+		t.Error("ColumnIndex of missing column should be -1")
+	}
+	if tab.Column("v") == nil || tab.Column("nope") != nil {
+		t.Error("Column lookup mismatch")
+	}
+	if tab.PrimaryKey().Name != "a_id" {
+		t.Errorf("PrimaryKey = %s, want a_id", tab.PrimaryKey().Name)
+	}
+}
+
+func TestValidateCatchesBadFK(t *testing.T) {
+	c := New("test", 1)
+	c.AddTable(testTable("a", Column{Name: "fk", Type: Int64, Dist: FKUniform, Ref: "missing"}))
+	err := c.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Fatalf("Validate = %v, want unknown-table error", err)
+	}
+}
+
+func TestValidateCatchesFKWithoutRef(t *testing.T) {
+	c := New("test", 1)
+	c.AddTable(testTable("a", Column{Name: "fk", Type: Int64, Dist: FKZipf}))
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate should reject FK dist without Ref")
+	}
+}
+
+func TestValidateCatchesRefWithoutFKDist(t *testing.T) {
+	c := New("test", 1)
+	c.AddTable(testTable("a", Column{Name: "x", Type: Int64, Dist: Uniform, Ref: "a"}))
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate should reject Ref on non-FK distribution")
+	}
+}
+
+func TestValidateCatchesInvertedRange(t *testing.T) {
+	c := New("test", 1)
+	c.AddTable(testTable("a", Column{Name: "x", Type: Int64, Dist: Uniform, Min: 10, Max: 5}))
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate should reject Max < Min")
+	}
+}
+
+func TestQualifiedColumn(t *testing.T) {
+	tab, col, err := QualifiedColumn("t.c")
+	if err != nil || tab != "t" || col != "c" {
+		t.Fatalf("QualifiedColumn(t.c) = %q,%q,%v", tab, col, err)
+	}
+	for _, bad := range []string{"noDot", ".x", "x.", ""} {
+		if _, _, err := QualifiedColumn(bad); err == nil {
+			t.Errorf("QualifiedColumn(%q) should fail", bad)
+		}
+	}
+}
+
+func TestTPCDSSchema(t *testing.T) {
+	c := TPCDS(1.0)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("TPCDS catalog invalid: %v", err)
+	}
+	// Every table the paper's query suite mentions must exist.
+	required := []string{
+		"date_dim", "time_dim", "item", "store", "call_center", "promotion",
+		"household_demographics", "customer_demographics", "customer_address",
+		"customer", "income_band", "store_sales", "store_returns",
+		"catalog_sales", "catalog_returns", "web_sales", "warehouse",
+	}
+	for _, name := range required {
+		if c.Table(name) == nil {
+			t.Errorf("TPCDS missing table %s", name)
+		}
+	}
+	// Fact tables must dominate dimensions in size.
+	if c.Rows("store_sales") <= c.Rows("customer") {
+		t.Error("store_sales should be larger than customer")
+	}
+	if c.Rows("catalog_sales") <= c.Rows("date_dim") {
+		t.Error("catalog_sales should be larger than date_dim")
+	}
+}
+
+func TestIMDBSchema(t *testing.T) {
+	c := IMDB(1.0)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("IMDB catalog invalid: %v", err)
+	}
+	for _, name := range []string{"company_type", "info_type", "title", "movie_companies", "movie_info_idx"} {
+		if c.Table(name) == nil {
+			t.Errorf("IMDB missing table %s", name)
+		}
+	}
+}

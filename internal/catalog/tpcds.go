@@ -1,0 +1,181 @@
+package catalog
+
+// TPCDS returns a TPC-DS-like schema at the given scale factor. The
+// table set covers every relation referenced by the paper's query suite
+// (TPC-DS queries 7, 15, 18, 19, 26, 27, 29, 84, 91, 96). Base
+// cardinalities follow the relative proportions of TPC-DS at scale
+// factor 1 (≈1 GB), divided into "fact" tables (sales/returns, which
+// scale) and small "dimension" tables. The absolute sizes are scaled
+// down ~100x from the benchmark spec so that real-execution experiments
+// run on a laptop; only relative sizes shape the plan space.
+func TPCDS(scale float64) *Catalog {
+	c := New("tpcds", scale)
+
+	dim := func(name string, rows int64, extra ...Column) {
+		cols := append([]Column{{Name: name + "_sk", Type: Int64, Dist: Serial}}, extra...)
+		c.AddTable(&Table{Name: name, Columns: cols, BaseRows: rows})
+	}
+
+	// Dimension tables.
+	dim("date_dim", 730,
+		Column{Name: "d_year", Type: Int64, Dist: Uniform, Min: 1998, Max: 2002},
+		Column{Name: "d_moy", Type: Int64, Dist: Uniform, Min: 1, Max: 12},
+		Column{Name: "d_dom", Type: Int64, Dist: Uniform, Min: 1, Max: 28},
+		Column{Name: "d_qoy", Type: Int64, Dist: Uniform, Min: 1, Max: 4},
+	)
+	dim("time_dim", 864,
+		Column{Name: "t_hour", Type: Int64, Dist: Uniform, Min: 0, Max: 23},
+		Column{Name: "t_minute", Type: Int64, Dist: Uniform, Min: 0, Max: 59},
+	)
+	dim("item", 1800,
+		Column{Name: "i_category_id", Type: Int64, Dist: Zipf, Min: 1, Max: 10},
+		Column{Name: "i_manufact_id", Type: Int64, Dist: Uniform, Min: 1, Max: 100},
+		Column{Name: "i_current_price", Type: Int64, Dist: Zipf, Min: 1, Max: 300},
+	)
+	dim("store", 12,
+		Column{Name: "s_number_employees", Type: Int64, Dist: Uniform, Min: 200, Max: 300},
+		Column{Name: "s_floor_space", Type: Int64, Dist: Uniform, Min: 5000000, Max: 10000000},
+	)
+	dim("call_center", 6,
+		Column{Name: "cc_employees", Type: Int64, Dist: Uniform, Min: 1, Max: 7},
+	)
+	dim("warehouse", 5,
+		Column{Name: "w_sq_ft", Type: Int64, Dist: Uniform, Min: 50000, Max: 1000000},
+	)
+	dim("promotion", 300,
+		Column{Name: "p_channel_id", Type: Int64, Dist: Uniform, Min: 1, Max: 5},
+	)
+	dim("household_demographics", 720,
+		Column{Name: "hd_income_band_sk", Type: Int64, Dist: FKUniform, Ref: "income_band"},
+		Column{Name: "hd_dep_count", Type: Int64, Dist: Uniform, Min: 0, Max: 9},
+		Column{Name: "hd_vehicle_count", Type: Int64, Dist: Uniform, Min: 0, Max: 4},
+	)
+	dim("customer_demographics", 19208,
+		Column{Name: "cd_dep_count", Type: Int64, Dist: Uniform, Min: 0, Max: 6},
+		Column{Name: "cd_purchase_estimate", Type: Int64, Dist: Zipf, Min: 500, Max: 10000},
+	)
+	dim("customer_address", 5000,
+		Column{Name: "ca_gmt_offset", Type: Int64, Dist: Zipf, Min: -10, Max: -5},
+		Column{Name: "ca_state_id", Type: Int64, Dist: Zipf, Min: 1, Max: 50},
+	)
+
+	// income_band must exist before household_demographics validates, but
+	// Validate is deferred, so ordering here is cosmetic.
+	dim("income_band", 20,
+		Column{Name: "ib_lower_bound", Type: Int64, Dist: Uniform, Min: 0, Max: 190000},
+	)
+
+	c.AddTable(&Table{Name: "customer", BaseRows: 10000, Columns: []Column{
+		{Name: "c_customer_sk", Type: Int64, Dist: Serial},
+		{Name: "c_current_addr_sk", Type: Int64, Dist: FKZipf, Ref: "customer_address"},
+		{Name: "c_current_cdemo_sk", Type: Int64, Dist: FKUniform, Ref: "customer_demographics"},
+		{Name: "c_current_hdemo_sk", Type: Int64, Dist: FKUniform, Ref: "household_demographics"},
+		{Name: "c_birth_year", Type: Int64, Dist: Uniform, Min: 1930, Max: 1995},
+	}})
+
+	fact := func(name, prefix string, rows int64, fks []Column, extra ...Column) {
+		cols := []Column{{Name: prefix + "_sk", Type: Int64, Dist: Serial}}
+		cols = append(cols, fks...)
+		cols = append(cols, extra...)
+		c.AddTable(&Table{Name: name, Columns: cols, BaseRows: rows})
+	}
+
+	// Fact tables. Relative sizes follow TPC-DS (store_sales largest).
+	fact("store_sales", "ss", 288000, []Column{
+		{Name: "ss_sold_date_sk", Type: Int64, Dist: FKZipf, Ref: "date_dim"},
+		{Name: "ss_sold_time_sk", Type: Int64, Dist: FKUniform, Ref: "time_dim"},
+		{Name: "ss_item_sk", Type: Int64, Dist: FKZipf, Ref: "item"},
+		{Name: "ss_customer_sk", Type: Int64, Dist: FKZipf, Ref: "customer"},
+		{Name: "ss_cdemo_sk", Type: Int64, Dist: FKUniform, Ref: "customer_demographics"},
+		{Name: "ss_hdemo_sk", Type: Int64, Dist: FKUniform, Ref: "household_demographics"},
+		{Name: "ss_addr_sk", Type: Int64, Dist: FKUniform, Ref: "customer_address"},
+		{Name: "ss_store_sk", Type: Int64, Dist: FKZipf, Ref: "store"},
+		{Name: "ss_promo_sk", Type: Int64, Dist: FKZipf, Ref: "promotion"},
+	},
+		Column{Name: "ss_quantity", Type: Int64, Dist: Uniform, Min: 1, Max: 100},
+		Column{Name: "ss_sales_price", Type: Int64, Dist: Zipf, Min: 1, Max: 200},
+	)
+	fact("store_returns", "sr", 28800, []Column{
+		{Name: "sr_returned_date_sk", Type: Int64, Dist: FKZipf, Ref: "date_dim"},
+		{Name: "sr_item_sk", Type: Int64, Dist: FKZipf, Ref: "item"},
+		{Name: "sr_customer_sk", Type: Int64, Dist: FKZipf, Ref: "customer"},
+		{Name: "sr_cdemo_sk", Type: Int64, Dist: FKUniform, Ref: "customer_demographics"},
+		{Name: "sr_store_sk", Type: Int64, Dist: FKZipf, Ref: "store"},
+	},
+		Column{Name: "sr_return_quantity", Type: Int64, Dist: Uniform, Min: 1, Max: 100},
+	)
+	fact("catalog_sales", "cs", 144000, []Column{
+		{Name: "cs_sold_date_sk", Type: Int64, Dist: FKZipf, Ref: "date_dim"},
+		{Name: "cs_ship_date_sk", Type: Int64, Dist: FKZipf, Ref: "date_dim"},
+		{Name: "cs_bill_customer_sk", Type: Int64, Dist: FKZipf, Ref: "customer"},
+		{Name: "cs_bill_cdemo_sk", Type: Int64, Dist: FKUniform, Ref: "customer_demographics"},
+		{Name: "cs_item_sk", Type: Int64, Dist: FKZipf, Ref: "item"},
+		{Name: "cs_promo_sk", Type: Int64, Dist: FKZipf, Ref: "promotion"},
+		{Name: "cs_call_center_sk", Type: Int64, Dist: FKUniform, Ref: "call_center"},
+		{Name: "cs_warehouse_sk", Type: Int64, Dist: FKUniform, Ref: "warehouse"},
+	},
+		Column{Name: "cs_quantity", Type: Int64, Dist: Uniform, Min: 1, Max: 100},
+		Column{Name: "cs_list_price", Type: Int64, Dist: Zipf, Min: 1, Max: 300},
+	)
+	fact("catalog_returns", "cr", 14400, []Column{
+		{Name: "cr_returned_date_sk", Type: Int64, Dist: FKZipf, Ref: "date_dim"},
+		{Name: "cr_returning_customer_sk", Type: Int64, Dist: FKZipf, Ref: "customer"},
+		{Name: "cr_item_sk", Type: Int64, Dist: FKZipf, Ref: "item"},
+		{Name: "cr_call_center_sk", Type: Int64, Dist: FKUniform, Ref: "call_center"},
+	},
+		Column{Name: "cr_return_quantity", Type: Int64, Dist: Uniform, Min: 1, Max: 100},
+	)
+	fact("web_sales", "ws", 72000, []Column{
+		{Name: "ws_sold_date_sk", Type: Int64, Dist: FKZipf, Ref: "date_dim"},
+		{Name: "ws_item_sk", Type: Int64, Dist: FKZipf, Ref: "item"},
+		{Name: "ws_bill_customer_sk", Type: Int64, Dist: FKZipf, Ref: "customer"},
+		{Name: "ws_warehouse_sk", Type: Int64, Dist: FKUniform, Ref: "warehouse"},
+		{Name: "ws_promo_sk", Type: Int64, Dist: FKZipf, Ref: "promotion"},
+	},
+		Column{Name: "ws_quantity", Type: Int64, Dist: Uniform, Min: 1, Max: 100},
+	)
+
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// IMDB returns a JOB-like (IMDB) schema sufficient for JOB query 1a,
+// which joins company_type ⋈ movie_companies ⋈ title ⋈ movie_info_idx ⋈
+// info_type. Cardinalities follow the real IMDB snapshot's relative
+// proportions, scaled down ~1000x.
+func IMDB(scale float64) *Catalog {
+	c := New("imdb", scale)
+
+	c.AddTable(&Table{Name: "company_type", BaseRows: 4, Columns: []Column{
+		{Name: "ct_id", Type: Int64, Dist: Serial},
+		{Name: "ct_kind", Type: Int64, Dist: Uniform, Min: 1, Max: 4},
+	}})
+	c.AddTable(&Table{Name: "info_type", BaseRows: 113, Columns: []Column{
+		{Name: "it_id", Type: Int64, Dist: Serial},
+		{Name: "it_info", Type: Int64, Dist: Uniform, Min: 1, Max: 113},
+	}})
+	c.AddTable(&Table{Name: "title", BaseRows: 2528, Columns: []Column{
+		{Name: "t_id", Type: Int64, Dist: Serial},
+		{Name: "t_production_year", Type: Int64, Dist: Zipf, Min: 1900, Max: 2013},
+		{Name: "t_kind_id", Type: Int64, Dist: Zipf, Min: 1, Max: 7},
+	}})
+	c.AddTable(&Table{Name: "movie_companies", BaseRows: 2609, Columns: []Column{
+		{Name: "mc_id", Type: Int64, Dist: Serial},
+		{Name: "mc_movie_id", Type: Int64, Dist: FKZipf, Ref: "title"},
+		{Name: "mc_company_type_id", Type: Int64, Dist: FKZipf, Ref: "company_type"},
+		{Name: "mc_note_kind", Type: Int64, Dist: Zipf, Min: 1, Max: 20},
+	}})
+	c.AddTable(&Table{Name: "movie_info_idx", BaseRows: 1380, Columns: []Column{
+		{Name: "mi_idx_id", Type: Int64, Dist: Serial},
+		{Name: "mi_idx_movie_id", Type: Int64, Dist: FKZipf, Ref: "title"},
+		{Name: "mi_idx_info_type_id", Type: Int64, Dist: FKZipf, Ref: "info_type"},
+		{Name: "mi_idx_info", Type: Int64, Dist: Zipf, Min: 1, Max: 100},
+	}})
+
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,46 @@
+// Package alignedbound implements the AlignedBound algorithm (§5 of the
+// paper): it exploits contour alignment natively where present, induces
+// it through minimum-penalty plan replacements where absent, and covers
+// the remaining epps with the cheapest predicate-set-alignment (PSA)
+// partition, delivering an MSO in the platform-independent range
+// [2D+2, D²+3D].
+package alignedbound
+
+// Partitions enumerates all set partitions of the given elements.
+// Each partition is a slice of parts; each part a slice of elements.
+// The element order inside parts and the part order follow the standard
+// restricted-growth-string enumeration, so output is deterministic.
+// Bell(6) = 203, so exhaustive enumeration is cheap at the paper's
+// dimensionalities.
+func Partitions(elems []int) [][][]int {
+	n := len(elems)
+	if n == 0 {
+		return [][][]int{{}}
+	}
+	var out [][][]int
+	// Restricted growth strings: rgs[0] = 0, rgs[i] ≤ max(rgs[:i]) + 1.
+	rgs := make([]int, n)
+	var rec func(i, maxSoFar int)
+	rec = func(i, maxSoFar int) {
+		if i == n {
+			numParts := maxSoFar + 1
+			parts := make([][]int, numParts)
+			for k, g := range rgs {
+				parts[g] = append(parts[g], elems[k])
+			}
+			out = append(out, parts)
+			return
+		}
+		for g := 0; g <= maxSoFar+1; g++ {
+			rgs[i] = g
+			next := maxSoFar
+			if g > maxSoFar {
+				next = g
+			}
+			rec(i+1, next)
+		}
+	}
+	rgs[0] = 0
+	rec(1, 0)
+	return out
+}

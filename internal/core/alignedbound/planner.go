@@ -1,0 +1,396 @@
+package alignedbound
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core/bouquet"
+	"repro/internal/core/discovery"
+	"repro/internal/ess"
+)
+
+// LeaderExec is one chosen leader execution on a contour: a spill-mode
+// run that covers a PSA part.
+type LeaderExec struct {
+	// Dim is the leader dimension the execution learns.
+	Dim int
+	// PlanID is the plan to run in spill-mode (an original POSP plan for
+	// native alignment, a replacement plan when induced).
+	PlanID int32
+	// Budget is the assigned cost limit: CC_i for native alignment,
+	// Cost(P, q) of the replacement pair when induced (§5.2.1).
+	Budget float64
+	// Penalty is the replacement penalty Δ (1 for native alignment).
+	Penalty float64
+	// Induced reports whether alignment was induced by plan replacement.
+	Induced bool
+}
+
+// Decision is the alignment plan for one (slice, contour): the chosen
+// minimum-penalty partition's leader executions.
+type Decision struct {
+	// Execs are the leader executions, ordered by dimension.
+	Execs []LeaderExec
+	// Penalty is π*, the partition's total penalty (vacuous parts
+	// contribute nothing).
+	Penalty float64
+	// Parts is the number of non-vacuous parts covered.
+	Parts int
+}
+
+// Planner computes and caches alignment decisions. Decisions depend only
+// on the contour and the learned-dimension slice, so they are shared
+// across discovery runs (and across goroutines in MSO sweeps).
+type Planner struct {
+	// S is the search space.
+	S *ess.Space
+	// UseOptimizer enables per-spill-class optimizer probes when the
+	// POSP pool lacks a plan spilling on the needed dimension cheaply —
+	// the engine hook of §6.1.
+	UseOptimizer bool
+
+	mu    sync.Mutex
+	cache map[decisionKey]*Decision
+	ev    *ess.Evaluator
+}
+
+type decisionKey struct {
+	slice   string
+	contour int
+}
+
+// NewPlanner creates a planner over the space with optimizer probes on.
+func NewPlanner(s *ess.Space) *Planner {
+	return &Planner{S: s, UseOptimizer: true, cache: make(map[decisionKey]*Decision), ev: s.NewEvaluator()}
+}
+
+// Decide returns the alignment decision for the contour of the slice
+// identified by learned (learned[d] ≥ 0 pins dimension d).
+func (p *Planner) Decide(learned []int, contourIdx int) *Decision {
+	key := decisionKey{slice: sliceKeyOf(learned), contour: contourIdx}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d, ok := p.cache[key]; ok {
+		return d
+	}
+	d := p.compute(learned, contourIdx)
+	p.cache[key] = d
+	return d
+}
+
+func sliceKeyOf(learned []int) string {
+	b := make([]byte, 0, len(learned)*2)
+	for _, v := range learned {
+		b = append(b, byte(v+1))
+	}
+	return string(b)
+}
+
+// compute builds the decision: per-dimension spill geometry, induced
+// alignment penalties, and the minimum-penalty partition cover.
+func (p *Planner) compute(learned []int, contourIdx int) *Decision {
+	s := p.S
+	contours := s.ContoursFor(learned)
+	ic := &contours[contourIdx]
+
+	var rem []int
+	var remMask uint16
+	for d, v := range learned {
+		if v < 0 {
+			rem = append(rem, d)
+			remMask |= 1 << uint(d)
+		}
+	}
+
+	geo := p.contourGeometry(ic, remMask)
+
+	// induceCache memoizes the minimum-cost replacement for (leader dim,
+	// target coordinate) pairs within this contour.
+	induceCache := map[[2]int]induceRes{}
+	induce := func(dim, coord int) induceRes {
+		k := [2]int{dim, coord}
+		if r, ok := induceCache[k]; ok {
+			return r
+		}
+		pid, budget, penalty := p.induceAlignment(ic, geo, remMask, dim, coord)
+		r := induceRes{planID: pid, budget: budget, penalty: penalty}
+		induceCache[k] = r
+		return r
+	}
+
+	best := &Decision{Penalty: math.Inf(1)}
+	for _, parts := range Partitions(rem) {
+		var execs []LeaderExec
+		total := 0.0
+		feasible := true
+		nonVacuous := 0
+		for _, part := range parts {
+			ex, pen, vacuous, ok := p.bestLeader(ic, geo, part, induce)
+			if !ok {
+				feasible = false
+				break
+			}
+			if vacuous {
+				continue
+			}
+			nonVacuous++
+			total += pen
+			execs = append(execs, ex)
+		}
+		if !feasible {
+			continue
+		}
+		if total < best.Penalty-1e-12 ||
+			(math.Abs(total-best.Penalty) <= 1e-12 && len(execs) < len(best.Execs)) {
+			ordered := append([]LeaderExec(nil), execs...)
+			sortExecs(ordered)
+			best = &Decision{Execs: ordered, Penalty: total, Parts: nonVacuous}
+		}
+	}
+	return best
+}
+
+// induceRes is a memoized minimum-cost replacement for inducing
+// alignment on a (dimension, coordinate) pair.
+type induceRes struct {
+	planID  int32
+	budget  float64
+	penalty float64
+}
+
+// geometry summarizes the contour's spill structure: for each pair of
+// dimensions (s, j), the maximum j-coordinate among contour points whose
+// optimal plan spills on s, and the corresponding argmax point for the
+// diagonal (q^j_max).
+type geometry struct {
+	// maxCoord[s][j]: max j coordinate over points spilling on s; -1 if
+	// no point spills on s.
+	maxCoord [][]int
+	// argmax[j]: the point realizing maxCoord[j][j] (q^j_max), -1 absent.
+	argmax []int32
+	// extreme[j]: the maximum j coordinate over all contour points.
+	extreme []int
+}
+
+func (p *Planner) contourGeometry(ic *ess.Contour, remMask uint16) *geometry {
+	s := p.S
+	D := s.Grid.D
+	g := &geometry{
+		maxCoord: make([][]int, D),
+		argmax:   make([]int32, D),
+		extreme:  make([]int, D),
+	}
+	for d := 0; d < D; d++ {
+		g.maxCoord[d] = make([]int, D)
+		for j := 0; j < D; j++ {
+			g.maxCoord[d][j] = -1
+		}
+		g.argmax[d] = -1
+		g.extreme[d] = -1
+	}
+	for _, pt := range ic.Points {
+		sd := s.SpillDim(s.PointPlan[pt], remMask)
+		for j := 0; j < D; j++ {
+			c := s.Grid.Coord(int(pt), j)
+			if c > g.extreme[j] {
+				g.extreme[j] = c
+			}
+			if sd >= 0 {
+				if c > g.maxCoord[sd][j] {
+					g.maxCoord[sd][j] = c
+					if sd == j {
+						g.argmax[j] = pt
+					}
+				} else if sd == j && c == g.maxCoord[sd][j] && g.argmax[j] >= 0 && pt > g.argmax[j] {
+					g.argmax[j] = pt
+				}
+			}
+		}
+	}
+	return g
+}
+
+// bestLeader evaluates a PSA part: it returns the cheapest leader
+// execution over the candidate leader dimensions of the part, the
+// penalty, whether the part is vacuous (no contour point spills on it),
+// and feasibility.
+func (p *Planner) bestLeader(ic *ess.Contour, geo *geometry, part []int,
+	induce func(dim, coord int) induceRes) (LeaderExec, float64, bool, bool) {
+
+	// Vacuous part: no contour plan spills on any of its dims.
+	vacuous := true
+	for _, d := range part {
+		if geo.maxCoord[d][d] >= 0 {
+			vacuous = false
+			break
+		}
+	}
+	if vacuous {
+		return LeaderExec{}, 0, true, true
+	}
+
+	best := LeaderExec{Penalty: math.Inf(1)}
+	found := false
+	for _, j := range part {
+		// q^j_T: the extreme j coordinate among points spilling in T.
+		coord := -1
+		for _, sdim := range part {
+			if geo.maxCoord[sdim][j] > coord {
+				coord = geo.maxCoord[sdim][j]
+			}
+		}
+		if coord < 0 {
+			continue
+		}
+		// Native PSA: q^j_max reaches the part's extreme along j.
+		if geo.argmax[j] >= 0 && geo.maxCoord[j][j] >= coord {
+			ex := LeaderExec{
+				Dim: j, PlanID: p.S.PointPlan[geo.argmax[j]],
+				Budget: ic.Cost, Penalty: 1, Induced: false,
+			}
+			if ex.Penalty < best.Penalty {
+				best, found = ex, true
+			}
+			continue
+		}
+		// Induced PSA via minimum-cost replacement.
+		r := induce(j, coord)
+		if math.IsInf(r.penalty, 1) {
+			continue
+		}
+		ex := LeaderExec{Dim: j, PlanID: r.planID, Budget: r.budget, Penalty: r.penalty, Induced: true}
+		if ex.Penalty < best.Penalty {
+			best, found = ex, true
+		}
+	}
+	if !found {
+		return LeaderExec{}, 0, false, false
+	}
+	return best, best.Penalty, false, true
+}
+
+// induceAlignment finds the minimum-cost (plan, location) replacement
+// pair that makes dimension dim aligned at the target coordinate: the
+// plan must spill on dim and sit at a contour location whose
+// dim-coordinate equals the target (§5.2.1). Returns penalty +Inf if no
+// candidate exists.
+func (p *Planner) induceAlignment(ic *ess.Contour, geo *geometry, remMask uint16, dim, coord int) (int32, float64, float64) {
+	s := p.S
+	bestPlan := int32(-1)
+	bestCost := math.Inf(1)
+	bestOpt := 1.0
+
+	// Location set S: contour points at the target coordinate.
+	var locs []int32
+	for _, pt := range ic.Points {
+		if s.Grid.Coord(int(pt), dim) == coord {
+			locs = append(locs, pt)
+		}
+	}
+
+	// Candidate pool plans spilling on dim.
+	var pool []int32
+	for pid := range s.Plans {
+		if s.SpillDim(int32(pid), remMask) == dim {
+			pool = append(pool, int32(pid))
+		}
+	}
+	for _, q := range locs {
+		for _, pid := range pool {
+			if c := p.ev.PlanCost(pid, q); c < bestCost {
+				bestCost, bestPlan, bestOpt = c, pid, s.PointCost[q]
+			}
+		}
+	}
+
+	// Optimizer probe: ask for the cheapest plan in the spill class at
+	// the most promising location (minimum optimal cost).
+	if p.UseOptimizer && len(locs) > 0 {
+		qBest := locs[0]
+		for _, q := range locs[1:] {
+			if s.PointCost[q] < s.PointCost[qBest] {
+				qBest = q
+			}
+		}
+		remaining := map[int]bool{}
+		for d, joinID := range s.Q.EPPs {
+			if remMask&(1<<uint(d)) != 0 {
+				remaining[joinID] = true
+			}
+		}
+		env := p.ev.Env(qBest)
+		perClass := s.Optimizer().BestPerSpillClass(env, remaining)
+		if pl, ok := perClass[s.Q.EPPs[dim]]; ok && pl.Cost < bestCost {
+			bestCost = pl.Cost
+			bestPlan = s.AddPlan(pl.Root)
+			bestOpt = s.PointCost[qBest]
+		}
+	}
+
+	if bestPlan < 0 {
+		return -1, 0, math.Inf(1)
+	}
+	return bestPlan, bestCost, bestCost / bestOpt
+}
+
+func sortExecs(execs []LeaderExec) {
+	for i := 1; i < len(execs); i++ {
+		for j := i; j > 0 && execs[j].Dim < execs[j-1].Dim; j-- {
+			execs[j], execs[j-1] = execs[j-1], execs[j]
+		}
+	}
+}
+
+// GuaranteeRange returns AlignedBound's MSO bound range [2D+2, D²+3D].
+func GuaranteeRange(d int) (lo, hi float64) {
+	return float64(2*d + 2), float64(d*d + 3*d)
+}
+
+// Run executes the AlignedBound discovery (Algorithm 2) for one query
+// instance. It returns the outcome and the maximum partition penalty π*
+// encountered (the quantity of Table 4).
+func Run(s *ess.Space, pl *Planner, eng discovery.Engine) (*discovery.Outcome, float64, error) {
+	out := &discovery.Outcome{}
+	st := discovery.NewState(s.Grid.D)
+	m := len(s.ContourCosts())
+	maxPenalty := 0.0
+
+	ci := 0
+	for ci < m {
+		if st.Remaining() == 1 {
+			if err := bouquet.RunOneD(s, st, eng, ci, out); err != nil {
+				return out, maxPenalty, err
+			}
+			return out, maxPenalty, nil
+		}
+		dec := pl.Decide(st.Learned, ci)
+		if len(dec.Execs) == 0 {
+			ci++ // nothing on this contour's slice: qa lies beyond
+			continue
+		}
+		if dec.Penalty > maxPenalty {
+			maxPenalty = dec.Penalty
+		}
+		progressed := false
+		for _, ex := range dec.Execs {
+			c, done, learned := eng.ExecSpill(ex.PlanID, ex.Dim, ex.Budget)
+			out.Add(discovery.Step{
+				Contour: ci + 1, PlanID: ex.PlanID, Dim: ex.Dim,
+				Budget: ex.Budget, Cost: c, Completed: done,
+				Phase: discovery.PhaseSpill, LearnedIdx: learned,
+			})
+			if done {
+				st.Learn(ex.Dim, learned)
+				progressed = true
+				break
+			}
+			st.Raise(ex.Dim, learned)
+		}
+		if !progressed {
+			ci++
+		}
+	}
+	return out, maxPenalty, fmt.Errorf("alignedbound: exhausted contours with %d epps unlearned (query %s)",
+		st.Remaining(), s.Q.Name)
+}

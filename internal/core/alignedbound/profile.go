@@ -1,0 +1,83 @@
+package alignedbound
+
+import "math"
+
+// ContourAlignment describes the (whole-contour) alignment status of one
+// iso-cost contour with the full epp set, the quantity profiled in
+// Table 2 of the paper.
+type ContourAlignment struct {
+	// Contour is the 1-based contour index.
+	Contour int
+	// Native reports whether the contour is natively aligned along at
+	// least one dimension: the extreme location of that dimension spills
+	// on it.
+	Native bool
+	// MinPenalty is the minimum replacement penalty Δ that induces
+	// alignment along some dimension (1 when Native; +Inf if alignment
+	// cannot be induced from the plan pool).
+	MinPenalty float64
+}
+
+// Profile computes the alignment status of every contour of the space
+// under the full epp set.
+func (p *Planner) Profile() []ContourAlignment {
+	s := p.S
+	D := s.Grid.D
+	remMask := uint16(1)<<uint(D) - 1
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	out := make([]ContourAlignment, len(s.Contours))
+	for ci := range s.Contours {
+		ic := &s.Contours[ci]
+		geo := p.contourGeometry(ic, remMask)
+		ca := ContourAlignment{Contour: ci + 1, MinPenalty: math.Inf(1)}
+		for j := 0; j < D; j++ {
+			if geo.extreme[j] < 0 {
+				continue
+			}
+			// Contour alignment along j: q^j_max is an extreme location.
+			if geo.maxCoord[j][j] == geo.extreme[j] {
+				ca.Native = true
+				ca.MinPenalty = 1
+				break
+			}
+			_, _, penalty := p.induceAlignment(ic, geo, remMask, j, geo.extreme[j])
+			if penalty < ca.MinPenalty {
+				ca.MinPenalty = penalty
+			}
+		}
+		out[ci] = ca
+	}
+	return out
+}
+
+// AlignedFraction summarizes a profile as the fraction of contours whose
+// alignment penalty is within the threshold (threshold 1 counts only
+// natively aligned contours, the paper's "Original" column).
+func AlignedFraction(profile []ContourAlignment, threshold float64) float64 {
+	if len(profile) == 0 {
+		return 0
+	}
+	n := 0
+	for _, ca := range profile {
+		if ca.MinPenalty <= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(profile))
+}
+
+// MaxProfilePenalty returns the largest finite penalty needed to align
+// every contour (the paper's "Max Δ" column), or +Inf if some contour
+// cannot be aligned from the plan pool.
+func MaxProfilePenalty(profile []ContourAlignment) float64 {
+	max := 1.0
+	for _, ca := range profile {
+		if ca.MinPenalty > max {
+			max = ca.MinPenalty
+		}
+	}
+	return max
+}

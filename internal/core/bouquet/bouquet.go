@@ -1,0 +1,92 @@
+// Package bouquet implements the PlanBouquet baseline (Dutt & Haritsa,
+// ACM TODS 2016): contour-sequential budgeted executions of the
+// (anorexically reduced) bouquet plans, with hypograph pruning on each
+// contour failure and an MSO guarantee of 4(1+λ)·ρ_red.
+package bouquet
+
+import (
+	"fmt"
+
+	"repro/internal/core/discovery"
+	"repro/internal/ess"
+)
+
+// Config controls the PlanBouquet run.
+type Config struct {
+	// Lambda is the anorexic reduction threshold used when building the
+	// reduction (affects budgets: executions get (1+λ)·CC_i).
+	Lambda float64
+}
+
+// Guarantee returns PlanBouquet's MSO bound 4(1+λ)·ρ_red for the given
+// reduction.
+func Guarantee(red *ess.Reduction) float64 {
+	return 4 * (1 + red.Lambda) * float64(red.Rho)
+}
+
+// Run executes the PlanBouquet discovery for one query instance through
+// the engine. The reduction must come from the same space.
+func Run(s *ess.Space, red *ess.Reduction, eng discovery.Engine) (*discovery.Outcome, error) {
+	out := &discovery.Outcome{}
+	budgetFactor := 1 + red.Lambda
+	for ci := range s.Contours {
+		budget := s.Contours[ci].Cost * budgetFactor
+		for _, pid := range red.ContourPlans[ci] {
+			c, done := eng.ExecFull(pid, budget)
+			out.Add(discovery.Step{
+				Contour: ci + 1, PlanID: pid, Dim: -1,
+				Budget: budget, Cost: c, Completed: done,
+				Phase: discovery.PhaseBouquet, LearnedIdx: -1,
+			})
+			if done {
+				out.Completed = true
+				return out, nil
+			}
+		}
+	}
+	return out, fmt.Errorf("bouquet: no plan completed on any contour (query %s)", s.Q.Name)
+}
+
+// RunOneD is the terminal 1-D bouquet phase shared with SpillBound and
+// AlignedBound (§4.1): with a single unlearned dimension remaining, each
+// contour of the residual line holds one plan, executed in regular
+// (non-spill) mode until one completes. startContour is 0-based.
+func RunOneD(s *ess.Space, st *discovery.State, eng discovery.Engine, startContour int, out *discovery.Outcome) error {
+	dims := st.RemainingDims()
+	if len(dims) != 1 {
+		return fmt.Errorf("bouquet: 1-D phase with %d dims remaining", len(dims))
+	}
+	dim := dims[0]
+	contours := s.ContoursFor(st.Learned)
+	for ci := startContour; ci < len(contours); ci++ {
+		ic := &contours[ci]
+		// The residual line's contour is its max-selectivity in-budget
+		// point; pick the compatible one with the largest coordinate.
+		best := int32(-1)
+		bestCoord := -1
+		for _, pt := range ic.Points {
+			if !st.Compatible(s.Grid, pt) {
+				continue
+			}
+			if c := s.Grid.Coord(int(pt), dim); c > bestCoord {
+				best, bestCoord = pt, c
+			}
+		}
+		if best < 0 {
+			continue // line beyond this contour already
+		}
+		pid := s.PointPlan[best]
+		c, done := eng.ExecFull(pid, ic.Cost)
+		out.Add(discovery.Step{
+			Contour: ci + 1, PlanID: pid, Dim: -1,
+			Budget: ic.Cost, Cost: c, Completed: done,
+			Phase: discovery.PhaseOneD, LearnedIdx: -1,
+		})
+		if done {
+			out.Completed = true
+			return nil
+		}
+		st.Raise(dim, bestCoord)
+	}
+	return fmt.Errorf("bouquet: 1-D phase exhausted contours (query %s)", s.Q.Name)
+}

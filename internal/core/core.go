@@ -1,0 +1,173 @@
+// Package core is the public façade of the robust query processing
+// library: it wires the ESS search space to the three discovery
+// algorithms — PlanBouquet (baseline), SpillBound, and AlignedBound —
+// and to the MSO evaluation harness, behind a single Session type.
+//
+// Typical use:
+//
+//	spec, _ := workload.ByName("4D_Q91")
+//	space, _ := spec.Space(1.0, 0)
+//	sess := core.NewSession(space)
+//	out, _ := sess.Discover(core.SpillBound, qa)
+//	fmt.Println(out.SubOpt(space.PointCost[qa]))
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core/alignedbound"
+	"repro/internal/core/bouquet"
+	"repro/internal/core/discovery"
+	"repro/internal/core/spillbound"
+	"repro/internal/ess"
+	"repro/internal/mso"
+)
+
+// Algorithm selects a query processing strategy.
+type Algorithm string
+
+// The supported strategies.
+const (
+	// PlanBouquet is the baseline of Dutt & Haritsa with anorexic
+	// reduction at λ = 0.2 and MSO ≤ 4(1+λ)ρ_red.
+	PlanBouquet Algorithm = "planbouquet"
+	// SpillBound is the paper's main algorithm, MSO ≤ D²+3D.
+	SpillBound Algorithm = "spillbound"
+	// AlignedBound exploits contour alignment, MSO ∈ [2D+2, D²+3D].
+	AlignedBound Algorithm = "alignedbound"
+)
+
+// DefaultLambda is the anorexic-reduction threshold used throughout the
+// paper's experiments.
+const DefaultLambda = 0.2
+
+// Session bundles a built search space with the per-algorithm state
+// (anorexic reduction for PlanBouquet, alignment planner for
+// AlignedBound), constructed lazily and reused across discoveries.
+type Session struct {
+	// Space is the ESS search space the session operates on.
+	Space *ess.Space
+
+	lambda float64
+
+	mu        sync.Mutex
+	reduction *ess.Reduction
+	planner   *alignedbound.Planner
+	// maxPenalty tracks the largest AlignedBound partition penalty
+	// observed across this session's runs (Table 4).
+	maxPenalty float64
+}
+
+// NewSession creates a session over the space with the default λ.
+func NewSession(space *ess.Space) *Session {
+	return &Session{Space: space, lambda: DefaultLambda}
+}
+
+// SetLambda overrides the anorexic reduction threshold; it must be
+// called before the first PlanBouquet discovery.
+func (s *Session) SetLambda(lambda float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.reduction != nil {
+		panic("core: SetLambda after the reduction was built")
+	}
+	s.lambda = lambda
+}
+
+// Reduction returns the session's anorexic reduction, building it on
+// first use.
+func (s *Session) Reduction() *ess.Reduction {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.reduction == nil {
+		s.reduction = s.Space.Reduce(s.lambda)
+	}
+	return s.reduction
+}
+
+// Planner returns the session's AlignedBound planner, building it on
+// first use.
+func (s *Session) Planner() *alignedbound.Planner {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.planner == nil {
+		s.planner = alignedbound.NewPlanner(s.Space)
+	}
+	return s.planner
+}
+
+// Guarantee returns the MSO guarantee of the algorithm on this query:
+// the a-priori bound the paper proves. For AlignedBound the upper end
+// of its range is returned (use alignedbound.GuaranteeRange for both).
+func (s *Session) Guarantee(alg Algorithm) (float64, error) {
+	d := s.Space.Grid.D
+	switch alg {
+	case PlanBouquet:
+		return bouquet.Guarantee(s.Reduction()), nil
+	case SpillBound:
+		return spillbound.Guarantee(d), nil
+	case AlignedBound:
+		_, hi := alignedbound.GuaranteeRange(d)
+		return hi, nil
+	default:
+		return 0, fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+}
+
+// Discover runs the algorithm for the query instance whose true
+// location is the grid point qa, using cost-model simulated execution.
+func (s *Session) Discover(alg Algorithm, qa int32) (*discovery.Outcome, error) {
+	return s.DiscoverWith(alg, discovery.NewSimEngine(s.Space, qa))
+}
+
+// DiscoverWith runs the algorithm against an arbitrary execution engine
+// (e.g. the real row-level executor).
+func (s *Session) DiscoverWith(alg Algorithm, eng discovery.Engine) (*discovery.Outcome, error) {
+	switch alg {
+	case PlanBouquet:
+		return bouquet.Run(s.Space, s.Reduction(), eng)
+	case SpillBound:
+		return spillbound.Run(s.Space, eng)
+	case AlignedBound:
+		out, pen, err := alignedbound.Run(s.Space, s.Planner(), eng)
+		s.mu.Lock()
+		if pen > s.maxPenalty {
+			s.maxPenalty = pen
+		}
+		s.mu.Unlock()
+		return out, err
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+}
+
+// MaxPenalty returns the largest AlignedBound partition penalty π*
+// observed so far in this session (1 if only aligned contours were
+// used; 0 if AlignedBound never ran).
+func (s *Session) MaxPenalty() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxPenalty
+}
+
+// MSO exhaustively (or strided) evaluates the algorithm's empirical MSO
+// and ASO over the grid.
+func (s *Session) MSO(alg Algorithm, opts mso.Options) (*mso.Result, error) {
+	// Prime lazily-built shared state before the parallel sweep.
+	switch alg {
+	case PlanBouquet:
+		s.Reduction()
+	case AlignedBound:
+		s.Planner()
+	}
+	return mso.Sweep(s.Space, func(qa int32) (*discovery.Outcome, error) {
+		return s.Discover(alg, qa)
+	}, opts)
+}
+
+// NativeWorstCaseMSO evaluates the traditional optimizer's worst-case
+// MSO (Eq. 2) on this space.
+func (s *Session) NativeWorstCaseMSO(opts mso.Options) *mso.Result {
+	return mso.NativeWorstCase(s.Space, opts)
+}

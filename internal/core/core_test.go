@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mso"
+	"repro/internal/testutil"
+)
+
+func TestSessionGuarantees(t *testing.T) {
+	s := testutil.Space2D(t, 10)
+	sess := NewSession(s)
+	sb, err := sess.Guarantee(SpillBound)
+	if err != nil || sb != 10 {
+		t.Fatalf("SB guarantee = %v, %v", sb, err)
+	}
+	pb, err := sess.Guarantee(PlanBouquet)
+	if err != nil || pb <= 0 {
+		t.Fatalf("PB guarantee = %v, %v", pb, err)
+	}
+	ab, err := sess.Guarantee(AlignedBound)
+	if err != nil || ab != 10 {
+		t.Fatalf("AB guarantee (upper) = %v, %v", ab, err)
+	}
+	if _, err := sess.Guarantee("zzz"); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestSessionDiscoverAllAlgorithms(t *testing.T) {
+	s := testutil.Space2D(t, 10)
+	sess := NewSession(s)
+	qa := int32(s.Grid.Linear([]int{6, 5}))
+	for _, alg := range []Algorithm{PlanBouquet, SpillBound, AlignedBound} {
+		out, err := sess.Discover(alg, qa)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if !out.Completed {
+			t.Fatalf("%s: not completed", alg)
+		}
+		g, _ := sess.Guarantee(alg)
+		if so := out.SubOpt(s.PointCost[qa]); so > g*3 {
+			t.Errorf("%s: sub-opt %v far above guarantee %v", alg, so, g)
+		}
+	}
+	if _, err := sess.Discover("zzz", qa); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestSessionMSOOrdering(t *testing.T) {
+	s := testutil.Space2D(t, 10)
+	sess := NewSession(s)
+	pb, err := sess.MSO(PlanBouquet, mso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := sess.MSO(SpillBound, mso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := sess.MSO(AlignedBound, mso.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := sess.NativeWorstCaseMSO(mso.Options{})
+	if native.MSO < sb.MSO {
+		t.Errorf("native (%v) should dominate SB (%v)", native.MSO, sb.MSO)
+	}
+	if sb.MSO > pb.MSO*1.05 {
+		t.Errorf("SB MSOe (%v) should not exceed PB's (%v)", sb.MSO, pb.MSO)
+	}
+	if ab.MSO <= 0 {
+		t.Error("AB MSOe must be positive")
+	}
+	if sess.MaxPenalty() < 1 {
+		t.Errorf("MaxPenalty = %v after AB sweep", sess.MaxPenalty())
+	}
+}
+
+func TestSetLambda(t *testing.T) {
+	s := testutil.Space2D(t, 8)
+	sess := NewSession(s)
+	sess.SetLambda(0.5)
+	red := sess.Reduction()
+	if red.Lambda != 0.5 {
+		t.Fatalf("lambda = %v", red.Lambda)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetLambda after reduction should panic")
+		}
+	}()
+	sess.SetLambda(0.1)
+}
+
+func TestMaxPenaltyZeroBeforeABRuns(t *testing.T) {
+	s := testutil.Space2D(t, 8)
+	sess := NewSession(s)
+	if sess.MaxPenalty() != 0 {
+		t.Fatal("MaxPenalty should start at 0")
+	}
+}

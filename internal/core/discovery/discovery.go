@@ -1,0 +1,173 @@
+// Package discovery defines the shared machinery of the robust query
+// processing algorithms: the budgeted-execution oracle they drive, the
+// per-execution trace they produce, and the selectivity-knowledge state
+// they accumulate while walking the ESS contours.
+//
+// Algorithms never look at the true query location directly — they only
+// observe it through Engine, exactly as the paper's algorithms only
+// observe the database through budget-limited (spill) executions.
+package discovery
+
+import (
+	"fmt"
+
+	"repro/internal/ess"
+)
+
+// Engine is the execution oracle: it knows where the true query location
+// qa is (or runs real executions) and reports only what a budgeted
+// execution would reveal.
+type Engine interface {
+	// ExecFull runs the pool plan to completion or until the cost budget
+	// expires. It returns the cost actually incurred (the full budget on
+	// a kill) and whether the query completed.
+	ExecFull(planID int32, budget float64) (costIncurred float64, completed bool)
+
+	// ExecSpill runs the plan in spill-mode on the given ESS dimension
+	// with the budget (§3.1.2). On completion the dimension's exact
+	// selectivity is learned and learnedIdx is its grid index; otherwise
+	// learnedIdx is the largest grid index k guaranteed to satisfy
+	// qa.dim > Vals[k] (Lemma 3.1's half-space pruning).
+	ExecSpill(planID int32, dim int, budget float64) (costIncurred float64, completed bool, learnedIdx int)
+}
+
+// Phase labels the origin of a trace step.
+type Phase string
+
+// Trace step phases.
+const (
+	PhaseSpill   Phase = "spill"   // spill-mode contour execution
+	PhaseBouquet Phase = "bouquet" // PlanBouquet full execution
+	PhaseOneD    Phase = "1d"      // terminal 1-D bouquet phase
+)
+
+// Step records one budgeted execution.
+type Step struct {
+	// Contour is the 1-based contour index the execution ran on.
+	Contour int
+	// PlanID is the pool plan executed.
+	PlanID int32
+	// Dim is the spilled ESS dimension, or -1 for full executions.
+	Dim int
+	// Budget is the assigned cost limit.
+	Budget float64
+	// Cost is the cost actually incurred (= Budget unless completed).
+	Cost float64
+	// Completed reports whether the execution finished within budget.
+	Completed bool
+	// Phase labels which algorithm stage issued the execution.
+	Phase Phase
+	// LearnedIdx is the grid index learned for Dim (exact on
+	// completion, exclusive lower bound otherwise); -1 for full runs.
+	LearnedIdx int
+}
+
+// Outcome is the result of one discovery run.
+type Outcome struct {
+	// Steps is the full execution trace.
+	Steps []Step
+	// TotalCost is the summed cost of all executions.
+	TotalCost float64
+	// Completed reports whether the query finished (always true for a
+	// correct algorithm; false signals an internal error).
+	Completed bool
+}
+
+// SubOpt returns the sub-optimality of the run against the optimal cost
+// at the true location (Eq. 3).
+func (o *Outcome) SubOpt(optCost float64) float64 {
+	if optCost <= 0 {
+		return 0
+	}
+	return o.TotalCost / optCost
+}
+
+// Add appends a step and accumulates its cost.
+func (o *Outcome) Add(s Step) {
+	o.Steps = append(o.Steps, s)
+	o.TotalCost += s.Cost
+}
+
+// State is the selectivity knowledge accumulated by a discovery run.
+type State struct {
+	// Learned[d] is the exactly-learned grid index of dimension d, or -1.
+	Learned []int
+	// Lower[d] is the exclusive lower bound: qa.d is known to exceed
+	// grid value Lower[d] (-1 = no information).
+	Lower []int
+}
+
+// NewState returns the all-unknown state for d dimensions.
+func NewState(d int) *State {
+	st := &State{Learned: make([]int, d), Lower: make([]int, d)}
+	for i := 0; i < d; i++ {
+		st.Learned[i] = -1
+		st.Lower[i] = -1
+	}
+	return st
+}
+
+// RemMask returns the bitmask of still-unlearned dimensions.
+func (st *State) RemMask() uint16 {
+	var m uint16
+	for d, v := range st.Learned {
+		if v < 0 {
+			m |= 1 << uint(d)
+		}
+	}
+	return m
+}
+
+// Remaining returns the count of unlearned dimensions.
+func (st *State) Remaining() int {
+	n := 0
+	for _, v := range st.Learned {
+		if v < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// RemainingDims returns the unlearned dimensions in ascending order.
+func (st *State) RemainingDims() []int {
+	var out []int
+	for d, v := range st.Learned {
+		if v < 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Learn records the exact grid index of a dimension.
+func (st *State) Learn(dim, idx int) {
+	if st.Learned[dim] >= 0 {
+		panic(fmt.Sprintf("discovery: dimension %d learned twice", dim))
+	}
+	st.Learned[dim] = idx
+}
+
+// Raise lifts the exclusive lower bound of a dimension.
+func (st *State) Raise(dim, idx int) {
+	if idx > st.Lower[dim] {
+		st.Lower[dim] = idx
+	}
+}
+
+// Compatible reports whether a grid point is still a candidate location
+// for qa: learned dimensions must match exactly and unlearned ones must
+// exceed the known lower bounds.
+func (st *State) Compatible(g *ess.Grid, pt int32) bool {
+	for d := range st.Learned {
+		c := g.Coord(int(pt), d)
+		if st.Learned[d] >= 0 {
+			if c != st.Learned[d] {
+				return false
+			}
+		} else if c <= st.Lower[d] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package discovery
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func TestNoisyEngineDeltaValidation(t *testing.T) {
+	s := testutil.Space2D(t, 8)
+	for _, bad := range []float64{-0.1, 1.0, 2.0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("delta %v should panic", bad)
+				}
+			}()
+			NewNoisyEngine(s, 0, bad, 1)
+		}()
+	}
+}
+
+func TestNoisyFactorBounded(t *testing.T) {
+	s := testutil.Space2D(t, 8)
+	e := NewNoisyEngine(s, 0, 0.3, 42)
+	for pid := int32(0); pid < 100; pid++ {
+		f := e.factor(pid)
+		if f < 0.7-1e-12 || f > 1.3+1e-12 {
+			t.Fatalf("factor(%d) = %v outside [0.7, 1.3]", pid, f)
+		}
+	}
+	// Deterministic across instances with the same seed.
+	e2 := NewNoisyEngine(s, 0, 0.3, 42)
+	if e.factor(7) != e2.factor(7) {
+		t.Fatal("factor must be deterministic per seed")
+	}
+	// Different seeds perturb differently.
+	e3 := NewNoisyEngine(s, 0, 0.3, 43)
+	same := true
+	for pid := int32(0); pid < 20; pid++ {
+		if e.factor(pid) != e3.factor(pid) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should change factors")
+	}
+}
+
+func TestNoisyZeroDeltaMatchesSim(t *testing.T) {
+	s := testutil.Space2D(t, 10)
+	qa := int32(s.Grid.Linear([]int{5, 5}))
+	noisy := NewNoisyEngine(s, qa, 0, 1)
+	sim := NewSimEngine(s, qa)
+	pid := s.PointPlan[qa]
+	budget := s.PointCost[qa] * 1.5
+	nc, nd := noisy.ExecFull(pid, budget)
+	sc, sd := sim.ExecFull(pid, budget)
+	if nc != sc || nd != sd {
+		t.Fatalf("δ=0 ExecFull diverges: (%v,%v) vs (%v,%v)", nc, nd, sc, sd)
+	}
+	dim := s.SpillDim(pid, 0b11)
+	nc2, nd2, nl := noisy.ExecSpill(pid, dim, budget)
+	sc2, sd2, sl := sim.ExecSpill(pid, dim, budget)
+	if nc2 != sc2 || nd2 != sd2 || nl != sl {
+		t.Fatalf("δ=0 ExecSpill diverges")
+	}
+}
+
+func TestNoisyLearningBoundsSound(t *testing.T) {
+	s := testutil.Space2D(t, 12)
+	qa := int32(s.Grid.Terminus())
+	e := NewNoisyEngine(s, qa, 0.3, 9)
+	pid := s.PointPlan[s.Grid.Origin()]
+	dim := s.SpillDim(pid, 0b11)
+	cost, done, learned := e.ExecSpill(pid, dim, s.Cmin)
+	if done {
+		t.Skip("tiny budget happened to complete under noise")
+	}
+	if cost != s.Cmin*1.3 {
+		t.Errorf("killed noisy spill should cost the inflated limit, got %v", cost)
+	}
+	if learned >= s.Grid.Coord(int(qa), dim) {
+		t.Fatalf("noisy bound %d not strictly below truth %d", learned, s.Grid.Coord(int(qa), dim))
+	}
+}
+
+func TestTrueOptCostWithinDelta(t *testing.T) {
+	s := testutil.Space2D(t, 10)
+	qa := int32(s.Grid.Linear([]int{4, 7}))
+	e := NewNoisyEngine(s, qa, 0.25, 3)
+	opt := s.PointCost[qa]
+	got := e.TrueOptCost()
+	if got < opt*0.75-1e-9 || got > opt*1.25+1e-9 {
+		t.Fatalf("TrueOptCost %v outside (1±δ)·%v", got, opt)
+	}
+}

@@ -1,0 +1,48 @@
+package discovery
+
+import "repro/internal/ess"
+
+// SimEngine is the cost-model-driven execution oracle: the true query
+// location is a grid point, and budgeted executions succeed exactly when
+// the cost model says the work fits the budget. Because the executor
+// charges the same constants as the cost model, this is a faithful
+// simulation of the engine under the paper's perfect-cost-model
+// assumption (δ = 0 in §7).
+type SimEngine struct {
+	s  *ess.Space
+	qa int32
+	ev *ess.Evaluator
+}
+
+// NewSimEngine returns an engine for the true location qa (linear grid
+// index). Engines are not safe for concurrent use; create one per
+// goroutine.
+func NewSimEngine(s *ess.Space, qa int32) *SimEngine {
+	return &SimEngine{s: s, qa: qa, ev: s.NewEvaluator()}
+}
+
+// QA returns the true location the engine simulates.
+func (e *SimEngine) QA() int32 { return e.qa }
+
+// ExecFull implements Engine: the plan completes iff its cost at qa is
+// within budget.
+func (e *SimEngine) ExecFull(planID int32, budget float64) (float64, bool) {
+	c := e.ev.PlanCost(planID, e.qa)
+	if c <= budget {
+		return c, true
+	}
+	return budget, false
+}
+
+// ExecSpill implements Engine. The spill subtree's cost depends only on
+// the spilled dimension and already-learned upstream selectivities (the
+// spill-node identification invariant), so evaluating along the grid
+// line through qa is exact.
+func (e *SimEngine) ExecSpill(planID int32, dim int, budget float64) (float64, bool, int) {
+	sc := e.ev.SpillCost(planID, e.qa, dim)
+	if sc <= budget {
+		return sc, true, e.s.Grid.Coord(int(e.qa), dim)
+	}
+	learned := e.ev.MaxSelIndexWithin(planID, e.qa, dim, budget)
+	return budget, false, learned
+}

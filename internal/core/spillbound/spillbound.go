@@ -1,0 +1,111 @@
+// Package spillbound implements the SpillBound algorithm (§4 of the
+// paper): contour-wise selectivity discovery with half-space pruning via
+// spill-mode executions and contour-density-independent execution — at
+// most one spill execution per remaining epp per contour pass — giving
+// the platform-independent MSO guarantee D² + 3D.
+package spillbound
+
+import (
+	"fmt"
+
+	"repro/internal/core/bouquet"
+	"repro/internal/core/discovery"
+	"repro/internal/ess"
+)
+
+// Guarantee returns SpillBound's MSO bound D²+3D (Theorem 4.5; 10 for
+// the 2-D case of Theorem 4.2).
+func Guarantee(d int) float64 {
+	return float64(d*d + 3*d)
+}
+
+// Run executes the SpillBound discovery (Algorithm 1) for one query
+// instance through the engine.
+func Run(s *ess.Space, eng discovery.Engine) (*discovery.Outcome, error) {
+	out := &discovery.Outcome{}
+	st := discovery.NewState(s.Grid.D)
+	m := len(s.ContourCosts())
+
+	ci := 0
+	for ci < m {
+		if st.Remaining() == 1 {
+			// Terminal 1-D phase: hand over to PlanBouquet from the
+			// present contour (§4.1), in regular execution mode.
+			if err := bouquet.RunOneD(s, st, eng, ci, out); err != nil {
+				return out, err
+			}
+			return out, nil
+		}
+
+		contours := s.ContoursFor(st.Learned)
+		ic := &contours[ci]
+		execs := ChooseSpillPlans(s, st, ic)
+		progressed := false
+		for _, ex := range execs {
+			c, done, learned := eng.ExecSpill(ex.PlanID, ex.Dim, ic.Cost)
+			out.Add(discovery.Step{
+				Contour: ci + 1, PlanID: ex.PlanID, Dim: ex.Dim,
+				Budget: ic.Cost, Cost: c, Completed: done,
+				Phase: discovery.PhaseSpill, LearnedIdx: learned,
+			})
+			if done {
+				st.Learn(ex.Dim, learned)
+				progressed = true
+				break // re-plan on the same contour with the updated EPP set
+			}
+			st.Raise(ex.Dim, learned)
+		}
+		if !progressed {
+			ci++ // Lemma 4.3: qa lies beyond this contour
+		}
+	}
+	return out, fmt.Errorf("spillbound: exhausted contours with %d epps unlearned (query %s)",
+		st.Remaining(), s.Q.Name)
+}
+
+// SpillExec is one chosen spill-mode execution: the P^j_max plan for a
+// dimension (§3.2).
+type SpillExec struct {
+	// Dim is the ESS dimension the execution learns.
+	Dim int
+	// PlanID is the pool plan to execute in spill-mode.
+	PlanID int32
+	// Point is the contour location the plan is optimal at (q^j_max).
+	Point int32
+}
+
+// ChooseSpillPlans selects, for each remaining dimension, the plan
+// providing maximal guaranteed learning along that dimension: among the
+// effective contour locations whose optimal plan spills on the
+// dimension, the one with the largest coordinate (§3.2). Dimensions with
+// no spilling plan on the contour are skipped (§4.2).
+func ChooseSpillPlans(s *ess.Space, st *discovery.State, ic *ess.Contour) []SpillExec {
+	rem := st.RemMask()
+	type best struct {
+		pt    int32
+		coord int
+	}
+	bests := make(map[int]best)
+	for _, pt := range ic.Points {
+		if !st.Compatible(s.Grid, pt) {
+			continue
+		}
+		pid := s.PointPlan[pt]
+		dim := s.SpillDim(pid, rem)
+		if dim < 0 {
+			continue
+		}
+		c := s.Grid.Coord(int(pt), dim)
+		b, ok := bests[dim]
+		if !ok || c > b.coord || (c == b.coord && pt > b.pt) {
+			bests[dim] = best{pt: pt, coord: c}
+		}
+	}
+	var out []SpillExec
+	for _, dim := range st.RemainingDims() {
+		if b, ok := bests[dim]; ok {
+			out = append(out, SpillExec{Dim: dim, PlanID: s.PointPlan[b.pt], Point: b.pt})
+		}
+	}
+	return out
+}

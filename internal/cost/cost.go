@@ -1,0 +1,183 @@
+// Package cost implements the plan costing model. Costs are abstract
+// work units charged per tuple touched; the executor charges the same
+// constants at run time, so the cost model is exact by construction —
+// matching the paper's perfect-cost-model assumption (§7, with δ = 0).
+//
+// The model guarantees Plan Cost Monotonicity (Eq. 5 of the paper): the
+// cost of any fixed plan is strictly increasing in every join
+// selectivity, because each join predicate contributes an output-tuple
+// term at its node. PCM is what makes iso-cost contours well-formed and
+// half-space pruning sound.
+package cost
+
+import (
+	"math"
+
+	"repro/internal/plan"
+)
+
+// Params are the per-tuple cost constants. All must be positive.
+type Params struct {
+	// SeqTuple is charged per raw tuple read by a sequential scan.
+	SeqTuple float64
+	// IdxDescend is charged per index descent, multiplied by log2 of the
+	// indexed relation size.
+	IdxDescend float64
+	// IdxTuple is charged per tuple fetched through an index (random
+	// access penalty).
+	IdxTuple float64
+	// HashBuild is charged per build-side tuple of a hash join.
+	HashBuild float64
+	// HashProbe is charged per probe-side tuple of a hash join.
+	HashProbe float64
+	// Tuple is charged per output tuple of any join.
+	Tuple float64
+	// SortCmp is charged per comparison of a sort (n·log2 n of them).
+	SortCmp float64
+	// Merge is charged per input tuple of a merge join's merge phase.
+	Merge float64
+	// NLPair is charged per considered pair of a naive nested-loops join.
+	NLPair float64
+	// Mat is charged per tuple materialized by a nested-loops inner.
+	Mat float64
+}
+
+// DefaultParams returns the constants used throughout the experiments.
+// The ratios roughly follow PostgreSQL's defaults normalized to
+// per-tuple units (random access ≈ 4× sequential).
+func DefaultParams() Params {
+	return Params{
+		SeqTuple:   1.0,
+		IdxDescend: 2.0,
+		IdxTuple:   4.0,
+		HashBuild:  2.0,
+		HashProbe:  1.2,
+		Tuple:      1.0,
+		SortCmp:    0.4,
+		Merge:      0.5,
+		NLPair:     0.1,
+		Mat:        1.0,
+	}
+}
+
+// Env carries the cardinality inputs of a costing call: per-relation raw
+// and filtered row counts, the most selective single-filter selectivity
+// (what an index scan exploits), and the per-join selectivities. Robust
+// processing varies JoinSel across the ESS while everything else stays
+// fixed.
+type Env struct {
+	// RawRows is the unfiltered cardinality per query relation.
+	RawRows []float64
+	// FilteredRows is the post-filter cardinality per query relation.
+	FilteredRows []float64
+	// IndexSel is the best single-filter selectivity per relation (1 if
+	// the relation has no filters).
+	IndexSel []float64
+	// JoinSel is the selectivity per join ID, as a fraction of the
+	// filtered cross product.
+	JoinSel []float64
+}
+
+// Clone returns a deep copy; algorithms mutate JoinSel freely on clones.
+func (e *Env) Clone() *Env {
+	return &Env{
+		RawRows:      append([]float64(nil), e.RawRows...),
+		FilteredRows: append([]float64(nil), e.FilteredRows...),
+		IndexSel:     append([]float64(nil), e.IndexSel...),
+		JoinSel:      append([]float64(nil), e.JoinSel...),
+	}
+}
+
+// Model computes plan costs under a parameter set.
+type Model struct {
+	// P holds the cost constants.
+	P Params
+}
+
+// NewModel returns a model with the given parameters.
+func NewModel(p Params) *Model { return &Model{P: p} }
+
+// Result is the outcome of costing a (sub)plan.
+type Result struct {
+	// Rows is the estimated output cardinality.
+	Rows float64
+	// Cost is the total work of the subtree.
+	Cost float64
+}
+
+// Cost computes output cardinality and total cost of the plan under env.
+func (m *Model) Cost(n *plan.Node, env *Env) Result {
+	if n.IsScan() {
+		return m.scanCost(n, env)
+	}
+	l := m.Cost(n.Left, env)
+	var r Result
+	if n.Join.Method == plan.IndexNLJoin {
+		// The inner side is never scanned; lookups are charged at the
+		// join. Its output cardinality is still needed.
+		r = Result{Rows: env.FilteredRows[n.Right.Scan.Rel]}
+	} else {
+		r = m.Cost(n.Right, env)
+	}
+
+	sel := 1.0
+	for _, id := range n.Join.JoinIDs {
+		sel *= env.JoinSel[id]
+	}
+	out := l.Rows * r.Rows * sel
+
+	p := &m.P
+	var c float64
+	switch n.Join.Method {
+	case plan.HashJoin:
+		c = l.Cost + r.Cost + p.HashBuild*r.Rows + p.HashProbe*l.Rows + p.Tuple*out
+	case plan.MergeJoin:
+		c = l.Cost + r.Cost +
+			p.SortCmp*(l.Rows*log2(l.Rows)+r.Rows*log2(r.Rows)) +
+			p.Merge*(l.Rows+r.Rows) + p.Tuple*out
+	case plan.IndexNLJoin:
+		raw := env.RawRows[n.Right.Scan.Rel]
+		lookups := l.Rows * p.IdxDescend * log2(raw)
+		// Index fetches happen before residual filters: matched raw rows.
+		fetched := l.Rows * raw * sel
+		c = l.Cost + lookups + p.IdxTuple*fetched + p.Tuple*out
+	case plan.NLJoin:
+		c = l.Cost + r.Cost + p.Mat*r.Rows + p.NLPair*l.Rows*r.Rows + p.Tuple*out
+	default:
+		panic("cost: unknown join method")
+	}
+	return Result{Rows: out, Cost: c}
+}
+
+func (m *Model) scanCost(n *plan.Node, env *Env) Result {
+	rel := n.Scan.Rel
+	rows := env.FilteredRows[rel]
+	raw := env.RawRows[rel]
+	p := &m.P
+	switch n.Scan.Method {
+	case plan.SeqScan:
+		return Result{Rows: rows, Cost: p.SeqTuple * raw}
+	case plan.IndexScan:
+		fetched := raw * env.IndexSel[rel]
+		return Result{Rows: rows, Cost: p.IdxDescend*log2(raw) + p.IdxTuple*fetched}
+	default:
+		panic("cost: unknown scan method")
+	}
+}
+
+// SpillCost computes the cost of executing the plan in spill-mode on the
+// given join predicate: only the subtree rooted at that join node runs,
+// and its output is discarded (§3.1.2). It returns the subtree result,
+// or ok=false if the plan does not apply the predicate.
+func (m *Model) SpillCost(root *plan.Node, joinID int, env *Env) (Result, bool) {
+	sub := plan.SpillSubtree(root, joinID)
+	if sub == nil {
+		return Result{}, false
+	}
+	return m.Cost(sub, env), true
+}
+
+func log2(x float64) float64 {
+	// +2 keeps the guard monotone and positive at x = 0 and 1.
+	return math.Log2(x + 2)
+}

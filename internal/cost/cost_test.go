@@ -1,0 +1,230 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/plan"
+)
+
+// env2 builds an Env for two relations (1000 and 100 raw rows, no
+// filters) with one join of selectivity sel.
+func env2(sel float64) *Env {
+	return &Env{
+		RawRows:      []float64{1000, 100},
+		FilteredRows: []float64{1000, 100},
+		IndexSel:     []float64{1, 1},
+		JoinSel:      []float64{sel},
+	}
+}
+
+func TestSeqScanCost(t *testing.T) {
+	m := NewModel(DefaultParams())
+	res := m.Cost(plan.NewScan(0, plan.SeqScan), env2(0.1))
+	if res.Rows != 1000 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if res.Cost != 1000 {
+		t.Errorf("seq scan cost = %v, want 1000", res.Cost)
+	}
+}
+
+func TestSeqScanWithFilter(t *testing.T) {
+	m := NewModel(DefaultParams())
+	e := env2(0.1)
+	e.FilteredRows[0] = 200
+	res := m.Cost(plan.NewScan(0, plan.SeqScan), e)
+	if res.Rows != 200 {
+		t.Errorf("filtered rows = %v, want 200", res.Rows)
+	}
+	if res.Cost != 1000 {
+		t.Error("seq scan still reads all raw rows")
+	}
+}
+
+func TestIndexScanCheaperWhenSelective(t *testing.T) {
+	m := NewModel(DefaultParams())
+	e := env2(0.1)
+	e.IndexSel[0] = 0.01
+	e.FilteredRows[0] = 10
+	seq := m.Cost(plan.NewScan(0, plan.SeqScan), e)
+	idx := m.Cost(plan.NewScan(0, plan.IndexScan), e)
+	if idx.Cost >= seq.Cost {
+		t.Errorf("selective index scan (%v) should beat seq scan (%v)", idx.Cost, seq.Cost)
+	}
+	e.IndexSel[0] = 1.0
+	idxFull := m.Cost(plan.NewScan(0, plan.IndexScan), e)
+	if idxFull.Cost <= seq.Cost {
+		t.Errorf("full index scan (%v) should lose to seq scan (%v)", idxFull.Cost, seq.Cost)
+	}
+}
+
+func TestHashJoinCost(t *testing.T) {
+	m := NewModel(DefaultParams())
+	p := plan.NewJoin(plan.HashJoin, []int{0}, plan.NewScan(0, plan.SeqScan), plan.NewScan(1, plan.SeqScan))
+	res := m.Cost(p, env2(0.01))
+	wantOut := 1000.0 * 100 * 0.01
+	if math.Abs(res.Rows-wantOut) > 1e-9 {
+		t.Errorf("out rows = %v, want %v", res.Rows, wantOut)
+	}
+	// 1000 + 100 (scans) + 2*100 (build) + 1.2*1000 (probe) + 1000 (out).
+	want := 1000 + 100 + 200 + 1200 + wantOut
+	if math.Abs(res.Cost-want) > 1e-9 {
+		t.Errorf("hash join cost = %v, want %v", res.Cost, want)
+	}
+}
+
+func TestJoinSelectivityProduct(t *testing.T) {
+	m := NewModel(DefaultParams())
+	p := plan.NewJoin(plan.HashJoin, []int{0, 1}, plan.NewScan(0, plan.SeqScan), plan.NewScan(1, plan.SeqScan))
+	e := env2(0.1)
+	e.JoinSel = []float64{0.1, 0.5}
+	res := m.Cost(p, e)
+	if want := 1000.0 * 100 * 0.05; math.Abs(res.Rows-want) > 1e-9 {
+		t.Errorf("multi-predicate out = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestIndexNLJoinSkipsInnerScan(t *testing.T) {
+	m := NewModel(DefaultParams())
+	inl := plan.NewJoin(plan.IndexNLJoin, []int{0}, plan.NewScan(0, plan.SeqScan), plan.NewScan(1, plan.SeqScan))
+	hj := plan.NewJoin(plan.HashJoin, []int{0}, plan.NewScan(0, plan.SeqScan), plan.NewScan(1, plan.SeqScan))
+	// With a tiny outer, INL should beat HJ.
+	e := env2(0.001)
+	e.RawRows[0], e.FilteredRows[0] = 10, 10
+	if ci, ch := m.Cost(inl, e).Cost, m.Cost(hj, e).Cost; ci >= ch {
+		t.Errorf("tiny outer: INL (%v) should beat HJ (%v)", ci, ch)
+	}
+	// With a huge outer and high selectivity, HJ should win.
+	e2 := env2(0.5)
+	if ci, ch := m.Cost(inl, e2).Cost, m.Cost(hj, e2).Cost; ci <= ch {
+		t.Errorf("high sel: HJ (%v) should beat INL (%v)", ch, ci)
+	}
+}
+
+func TestMergeJoinAndNLJoinCosts(t *testing.T) {
+	m := NewModel(DefaultParams())
+	e := env2(0.01)
+	mj := plan.NewJoin(plan.MergeJoin, []int{0}, plan.NewScan(0, plan.SeqScan), plan.NewScan(1, plan.SeqScan))
+	nl := plan.NewJoin(plan.NLJoin, []int{0}, plan.NewScan(0, plan.SeqScan), plan.NewScan(1, plan.SeqScan))
+	cm, cn := m.Cost(mj, e), m.Cost(nl, e)
+	if cm.Rows != cn.Rows {
+		t.Error("all join methods must agree on output cardinality")
+	}
+	if cm.Cost <= 0 || cn.Cost <= 0 {
+		t.Error("positive costs expected")
+	}
+	// Naive NL over 1000x100 pairs should be the worst method here.
+	hj := plan.NewJoin(plan.HashJoin, []int{0}, plan.NewScan(0, plan.SeqScan), plan.NewScan(1, plan.SeqScan))
+	if cn.Cost <= m.Cost(hj, e).Cost {
+		t.Error("naive NL should lose to hash join at this size")
+	}
+}
+
+func TestSpillCost(t *testing.T) {
+	m := NewModel(DefaultParams())
+	inner := plan.NewJoin(plan.HashJoin, []int{0}, plan.NewScan(0, plan.SeqScan), plan.NewScan(1, plan.SeqScan))
+	root := plan.NewJoin(plan.HashJoin, []int{1}, inner, plan.NewScan(2, plan.SeqScan))
+	e := &Env{
+		RawRows:      []float64{1000, 100, 500},
+		FilteredRows: []float64{1000, 100, 500},
+		IndexSel:     []float64{1, 1, 1},
+		JoinSel:      []float64{0.01, 0.005},
+	}
+	full := m.Cost(root, e)
+	spill, ok := m.SpillCost(root, 0, e)
+	if !ok {
+		t.Fatal("SpillCost should find join 0")
+	}
+	if spill.Cost >= full.Cost {
+		t.Errorf("spill subtree cost (%v) must be below full plan cost (%v)", spill.Cost, full.Cost)
+	}
+	want := m.Cost(inner, e)
+	if spill.Cost != want.Cost || spill.Rows != want.Rows {
+		t.Error("spill cost should equal the subtree's own cost")
+	}
+	if _, ok := m.SpillCost(root, 42, e); ok {
+		t.Error("missing join should report !ok")
+	}
+	// Spilling on the root join costs the full plan.
+	rootSpill, _ := m.SpillCost(root, 1, e)
+	if rootSpill.Cost != full.Cost {
+		t.Error("root spill should equal full cost")
+	}
+}
+
+// TestPCMProperty verifies Plan Cost Monotonicity (Eq. 5): for any plan
+// shape and any dominated pair of selectivity vectors, cost strictly
+// increases.
+func TestPCMProperty(t *testing.T) {
+	m := NewModel(DefaultParams())
+	inner := plan.NewJoin(plan.HashJoin, []int{0}, plan.NewScan(0, plan.SeqScan), plan.NewScan(1, plan.SeqScan))
+	plans := []*plan.Node{
+		plan.NewJoin(plan.HashJoin, []int{1}, inner, plan.NewScan(2, plan.SeqScan)),
+		plan.NewJoin(plan.MergeJoin, []int{1}, inner, plan.NewScan(2, plan.SeqScan)),
+		plan.NewJoin(plan.IndexNLJoin, []int{1}, inner, plan.NewScan(2, plan.SeqScan)),
+		plan.NewJoin(plan.NLJoin, []int{1}, inner, plan.NewScan(2, plan.SeqScan)),
+	}
+	base := &Env{
+		RawRows:      []float64{2000, 300, 700},
+		FilteredRows: []float64{1500, 300, 350},
+		IndexSel:     []float64{0.5, 1, 0.2},
+		JoinSel:      []float64{0, 0},
+	}
+	f := func(a0, a1, d0, d1 uint16) bool {
+		s0 := 1e-5 * math.Pow(10, float64(a0%500)/100) // [1e-5, 1e-0)
+		s1 := 1e-5 * math.Pow(10, float64(a1%500)/100)
+		t0 := s0 * (1 + float64(d0%1000+1)/100)
+		t1 := s1 * (1 + float64(d1%1000+1)/100)
+		lo, hi := base.Clone(), base.Clone()
+		lo.JoinSel = []float64{s0, s1}
+		hi.JoinSel = []float64{math.Min(t0, 1), math.Min(t1, 1)}
+		for _, p := range plans {
+			if m.Cost(p, lo).Cost >= m.Cost(p, hi).Cost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRowsIndependentOfMethod: cardinality estimates must not depend on
+// the physical method, only on the logical join.
+func TestRowsIndependentOfMethod(t *testing.T) {
+	m := NewModel(DefaultParams())
+	e := env2(0.037)
+	methods := []plan.JoinMethod{plan.HashJoin, plan.MergeJoin, plan.IndexNLJoin, plan.NLJoin}
+	var rows []float64
+	for _, meth := range methods {
+		p := plan.NewJoin(meth, []int{0}, plan.NewScan(0, plan.SeqScan), plan.NewScan(1, plan.SeqScan))
+		rows = append(rows, m.Cost(p, e).Rows)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i] != rows[0] {
+			t.Fatalf("rows differ across methods: %v", rows)
+		}
+	}
+}
+
+func TestEnvClone(t *testing.T) {
+	e := env2(0.5)
+	c := e.Clone()
+	c.JoinSel[0] = 0.9
+	c.FilteredRows[0] = 1
+	if e.JoinSel[0] != 0.5 || e.FilteredRows[0] != 1000 {
+		t.Fatal("Clone must not alias the original")
+	}
+}
+
+func TestLog2Guard(t *testing.T) {
+	if log2(0) <= 0 {
+		t.Error("log2 guard must stay positive at 0")
+	}
+	if log2(1e6) <= log2(10) {
+		t.Error("log2 must increase")
+	}
+}

@@ -1,0 +1,100 @@
+// Package datagen deterministically generates synthetic rows for a
+// catalog schema. It substitutes for the TPC-DS/IMDB data sets used by
+// the paper: only relative cardinalities, key relationships, and value
+// skew matter to the plan space, and all three are reproduced here.
+package datagen
+
+import "math"
+
+// RNG is a splitmix64-seeded xorshift64* generator. It is deliberately
+// not math/rand so that generated data is bit-stable across Go versions
+// (the experiments in EXPERIMENTS.md depend on reproducible inputs).
+type RNG struct{ state uint64 }
+
+// NewRNG creates a generator from a seed; seed 0 is remapped.
+func NewRNG(seed uint64) *RNG {
+	// splitmix64 scramble so nearby seeds give unrelated streams.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x2545f4914f6cdd1d
+	}
+	return &RNG{state: z}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a uniform value in [0, n); n must be positive.
+func (r *RNG) Intn(n int64) int64 {
+	if n <= 0 {
+		panic("datagen: Intn with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// IntRange returns a uniform value in [lo, hi] inclusive.
+func (r *RNG) IntRange(lo, hi int64) int64 {
+	if hi < lo {
+		panic("datagen: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Zipf draws zipf-distributed ranks with parameter s over n values.
+// Ranks are 0-based; rank 0 is the most frequent. The sampler inverts a
+// precomputed CDF with binary search, so draws are O(log n).
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a sampler over n values with skew s (s > 1 typical;
+// s = 0 selects the default 1.3).
+func NewZipf(rng *RNG, n int64, s float64) *Zipf {
+	if n <= 0 {
+		panic("datagen: Zipf with non-positive n")
+	}
+	if s == 0 {
+		s = 1.3
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := int64(0); i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next returns the next zipf rank in [0, n).
+func (z *Zipf) Next() int64 {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int64(lo)
+}

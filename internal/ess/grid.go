@@ -1,0 +1,157 @@
+// Package ess implements the Error-prone Selectivity Space machinery of
+// the paper (§2): a discretized D-dimensional selectivity grid, the
+// optimal cost surface obtained by optimizing at every grid location,
+// the doubling iso-cost contours cut through that surface, the POSP
+// plan pool, slice re-contouring for partially learned selectivities,
+// and the anorexic reduction used by the PlanBouquet baseline.
+package ess
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is the discretization of [SelMin, 1]^D. Values along each
+// dimension are geometrically spaced, matching the log-scale ESS plots
+// of the paper (e.g. Fig. 7).
+type Grid struct {
+	// D is the dimensionality (number of epps).
+	D int
+	// Res is the number of grid values per dimension.
+	Res int
+	// Vals are the selectivity values, ascending; Vals[Res-1] == 1.
+	Vals []float64
+	// strides[d] is the linear-index stride of dimension d (row-major,
+	// dimension 0 outermost).
+	strides []int
+	n       int
+}
+
+// NewGrid builds a geometric grid with res points per dimension from
+// selMin to 1. res must be ≥ 2 and selMin in (0, 1).
+func NewGrid(d, res int, selMin float64) *Grid {
+	if d < 1 {
+		panic("ess: grid dimension must be ≥ 1")
+	}
+	if res < 2 {
+		panic("ess: grid resolution must be ≥ 2")
+	}
+	if selMin <= 0 || selMin >= 1 {
+		panic("ess: selMin must be in (0,1)")
+	}
+	g := &Grid{D: d, Res: res}
+	g.Vals = make([]float64, res)
+	ratio := math.Pow(1/selMin, 1/float64(res-1))
+	v := selMin
+	for i := 0; i < res; i++ {
+		g.Vals[i] = v
+		v *= ratio
+	}
+	g.Vals[res-1] = 1 // exact despite float drift
+	g.strides = make([]int, d)
+	s := 1
+	for dim := d - 1; dim >= 0; dim-- {
+		g.strides[dim] = s
+		s *= res
+	}
+	g.n = s
+	return g
+}
+
+// NumPoints returns the total number of grid locations.
+func (g *Grid) NumPoints() int { return g.n }
+
+// Linear converts per-dimension indexes to a linear point index.
+func (g *Grid) Linear(idx []int) int {
+	lin := 0
+	for d, i := range idx {
+		if i < 0 || i >= g.Res {
+			panic(fmt.Sprintf("ess: index %d out of range on dim %d", i, d))
+		}
+		lin += i * g.strides[d]
+	}
+	return lin
+}
+
+// Coords fills out with the per-dimension indexes of the linear point
+// and returns it. out must have length D (nil allocates).
+func (g *Grid) Coords(lin int, out []int) []int {
+	if out == nil {
+		out = make([]int, g.D)
+	}
+	for d := 0; d < g.D; d++ {
+		out[d] = lin / g.strides[d] % g.Res
+	}
+	return out
+}
+
+// Coord returns the index of dimension d at linear point lin.
+func (g *Grid) Coord(lin, d int) int {
+	return lin / g.strides[d] % g.Res
+}
+
+// Step returns the linear index of the point one grid step along
+// dimension d from lin, or -1 if that would leave the grid.
+func (g *Grid) Step(lin, d int) int {
+	if g.Coord(lin, d) == g.Res-1 {
+		return -1
+	}
+	return lin + g.strides[d]
+}
+
+// Sel fills sel with the selectivity values at the linear point.
+func (g *Grid) Sel(lin int, sel []float64) []float64 {
+	if sel == nil {
+		sel = make([]float64, g.D)
+	}
+	for d := 0; d < g.D; d++ {
+		sel[d] = g.Vals[g.Coord(lin, d)]
+	}
+	return sel
+}
+
+// Origin returns the linear index of the all-minimum corner.
+func (g *Grid) Origin() int { return 0 }
+
+// Terminus returns the linear index of the all-ones corner (§2.1).
+func (g *Grid) Terminus() int { return g.n - 1 }
+
+// Dominates reports whether point a dominates point b (a.j ≥ b.j on
+// every dimension, per §2.1).
+func (g *Grid) Dominates(a, b int) bool {
+	for d := 0; d < g.D; d++ {
+		if g.Coord(a, d) < g.Coord(b, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictlyDominates reports a ≻ b: a.j > b.j on every dimension.
+func (g *Grid) StrictlyDominates(a, b int) bool {
+	for d := 0; d < g.D; d++ {
+		if g.Coord(a, d) <= g.Coord(b, d) {
+			return false
+		}
+	}
+	return true
+}
+
+// NearestIndex returns the grid index on one dimension whose value is
+// closest to sel in log space, clamping to the grid range.
+func (g *Grid) NearestIndex(sel float64) int {
+	if sel <= g.Vals[0] {
+		return 0
+	}
+	if sel >= 1 {
+		return g.Res - 1
+	}
+	best, bestDist := 0, math.Inf(1)
+	for i, v := range g.Vals {
+		d := math.Abs(math.Log(v) - math.Log(sel))
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}

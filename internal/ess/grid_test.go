@@ -1,0 +1,145 @@
+package ess
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGridValues(t *testing.T) {
+	g := NewGrid(2, 5, 1e-4)
+	if g.NumPoints() != 25 {
+		t.Fatalf("NumPoints = %d, want 25", g.NumPoints())
+	}
+	if g.Vals[0] != 1e-4 {
+		t.Errorf("Vals[0] = %v", g.Vals[0])
+	}
+	if g.Vals[4] != 1 {
+		t.Errorf("Vals[last] = %v, want exactly 1", g.Vals[4])
+	}
+	// Geometric spacing: constant ratio.
+	r0 := g.Vals[1] / g.Vals[0]
+	for i := 2; i < 5; i++ {
+		if math.Abs(g.Vals[i]/g.Vals[i-1]-r0) > 1e-9*r0 {
+			t.Errorf("non-geometric spacing at %d", i)
+		}
+	}
+}
+
+func TestNewGridPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewGrid(0, 5, 0.1) },
+		func() { NewGrid(2, 1, 0.1) },
+		func() { NewGrid(2, 5, 0) },
+		func() { NewGrid(2, 5, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLinearCoordsRoundTrip(t *testing.T) {
+	g := NewGrid(3, 4, 1e-3)
+	f := func(a, b, c uint8) bool {
+		idx := []int{int(a) % 4, int(b) % 4, int(c) % 4}
+		lin := g.Linear(idx)
+		got := g.Coords(lin, nil)
+		return got[0] == idx[0] && got[1] == idx[1] && got[2] == idx[2]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearPanicsOutOfRange(t *testing.T) {
+	g := NewGrid(2, 4, 1e-3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range index should panic")
+		}
+	}()
+	g.Linear([]int{4, 0})
+}
+
+func TestCoordAndStep(t *testing.T) {
+	g := NewGrid(2, 3, 1e-2)
+	lin := g.Linear([]int{1, 2})
+	if g.Coord(lin, 0) != 1 || g.Coord(lin, 1) != 2 {
+		t.Fatal("Coord broken")
+	}
+	if g.Step(lin, 1) != -1 {
+		t.Error("Step off the grid should be -1")
+	}
+	up := g.Step(lin, 0)
+	if up < 0 || g.Coord(up, 0) != 2 || g.Coord(up, 1) != 2 {
+		t.Error("Step along dim 0 broken")
+	}
+}
+
+func TestSelValues(t *testing.T) {
+	g := NewGrid(2, 4, 1e-3)
+	sel := g.Sel(g.Terminus(), nil)
+	if sel[0] != 1 || sel[1] != 1 {
+		t.Errorf("terminus sel = %v", sel)
+	}
+	sel = g.Sel(g.Origin(), sel)
+	if sel[0] != 1e-3 || sel[1] != 1e-3 {
+		t.Errorf("origin sel = %v", sel)
+	}
+}
+
+func TestDominance(t *testing.T) {
+	g := NewGrid(2, 4, 1e-3)
+	a := g.Linear([]int{2, 3})
+	b := g.Linear([]int{1, 3})
+	c := g.Linear([]int{3, 0})
+	if !g.Dominates(a, b) || g.Dominates(b, a) {
+		t.Error("Dominates broken")
+	}
+	if g.Dominates(a, c) || g.Dominates(c, a) {
+		t.Error("incomparable points should not dominate")
+	}
+	if g.StrictlyDominates(a, b) {
+		t.Error("equal coordinate on dim 1 is not strict")
+	}
+	d := g.Linear([]int{0, 0})
+	if !g.StrictlyDominates(a, d) {
+		t.Error("strict dominance expected")
+	}
+	if !g.Dominates(a, a) {
+		t.Error("a point dominates itself (non-strict)")
+	}
+}
+
+func TestNearestIndex(t *testing.T) {
+	g := NewGrid(1, 5, 1e-4)
+	if g.NearestIndex(1e-9) != 0 {
+		t.Error("below range clamps to 0")
+	}
+	if g.NearestIndex(2) != 4 {
+		t.Error("above range clamps to last")
+	}
+	for i, v := range g.Vals {
+		if g.NearestIndex(v) != i {
+			t.Errorf("exact value %v should map to its own index %d", v, i)
+		}
+	}
+	// A value geometrically just above Vals[1] still maps to 1.
+	if g.NearestIndex(g.Vals[1]*1.1) != 1 {
+		t.Error("near value mapping broken")
+	}
+}
+
+func TestOriginTerminus(t *testing.T) {
+	g := NewGrid(3, 4, 1e-3)
+	if g.Origin() != 0 || g.Terminus() != 63 {
+		t.Fatalf("origin/terminus = %d/%d", g.Origin(), g.Terminus())
+	}
+}

@@ -1,0 +1,105 @@
+package ess
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/cost"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// spaceDTO is the gob wire format of a built space: enough to skip the
+// expensive POSP sweep on reload. Contours and caches are rebuilt.
+type spaceDTO struct {
+	QueryName string
+	D, Res    int
+	SelMin    float64
+	CostRatio float64
+	PlanRoots []*plan.Node
+	PointPlan []int32
+	PointCost []float64
+}
+
+// Save serializes the space's POSP sweep results. Reloading with Load
+// against the same query, statistics environment, and cost model
+// reproduces the space without re-optimizing the grid — the paper's
+// offline contour enumeration for canned queries (§7).
+func (s *Space) Save(w io.Writer) error {
+	dto := spaceDTO{
+		QueryName: s.Q.Name,
+		D:         s.Grid.D,
+		Res:       s.Grid.Res,
+		SelMin:    s.Grid.Vals[0],
+		CostRatio: s.CostRatio,
+		PointPlan: s.PointPlan,
+		PointCost: s.PointCost,
+	}
+	for _, p := range s.Plans {
+		dto.PlanRoots = append(dto.PlanRoots, p.Root)
+	}
+	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// Load reconstructs a space saved with Save. The query, base
+// environment, and model must semantically match the ones the space was
+// built with; cheap invariants (name, dimensionality, plan validity,
+// spot-checked costs) are verified and violations reported.
+func Load(r io.Reader, q *query.Query, baseEnv *cost.Env, model *cost.Model) (*Space, error) {
+	var dto spaceDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("ess: decoding space: %w", err)
+	}
+	if dto.QueryName != q.Name {
+		return nil, fmt.Errorf("ess: space was saved for query %q, not %q", dto.QueryName, q.Name)
+	}
+	if dto.D != q.D() {
+		return nil, fmt.Errorf("ess: saved dimensionality %d != query D %d", dto.D, q.D())
+	}
+	g := NewGrid(dto.D, dto.Res, dto.SelMin)
+	if g.NumPoints() != len(dto.PointPlan) || len(dto.PointPlan) != len(dto.PointCost) {
+		return nil, fmt.Errorf("ess: saved point arrays inconsistent with grid")
+	}
+	s := &Space{
+		Q:          q,
+		Grid:       g,
+		Model:      model,
+		BaseEnv:    baseEnv,
+		PointPlan:  dto.PointPlan,
+		PointCost:  dto.PointCost,
+		CostRatio:  dto.CostRatio,
+		opt:        optimizer.New(q, model),
+		sliceCache: make(map[string][]Contour),
+		spillCache: make(map[spillKey]int),
+	}
+	for i, root := range dto.PlanRoots {
+		if err := root.Validate(); err != nil {
+			return nil, fmt.Errorf("ess: saved plan %d invalid: %w", i, err)
+		}
+		s.Plans = append(s.Plans, &PlanInfo{ID: i, Root: root, Sig: root.Signature()})
+	}
+	for _, pid := range s.PointPlan {
+		if int(pid) >= len(s.Plans) {
+			return nil, fmt.Errorf("ess: saved point references plan %d of %d", pid, len(s.Plans))
+		}
+	}
+	s.Cmin = s.PointCost[g.Origin()]
+	s.Cmax = s.PointCost[g.Terminus()]
+	if s.Cmin <= 0 || s.Cmax < s.Cmin {
+		return nil, fmt.Errorf("ess: saved cost surface degenerate")
+	}
+	// Spot-check: the recorded optimal costs must match recosting the
+	// recorded plans under the supplied environment and model.
+	ev := s.NewEvaluator()
+	for _, pt := range []int32{int32(g.Origin()), int32(g.Terminus()), int32(g.NumPoints() / 2)} {
+		got := ev.PlanCost(s.PointPlan[pt], pt)
+		want := s.PointCost[pt]
+		if diff := got - want; diff > 1e-6*want || diff < -1e-6*want {
+			return nil, fmt.Errorf("ess: saved costs disagree with environment at point %d (%v vs %v)", pt, got, want)
+		}
+	}
+	s.Contours = s.contoursOn(s.allPoints(), nil)
+	return s, nil
+}

@@ -1,0 +1,112 @@
+package ess
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := buildSpace(t, 10)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, s.Q, s.BaseEnv, s.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Grid.NumPoints() != s.Grid.NumPoints() || loaded.Grid.D != s.Grid.D {
+		t.Fatal("grid shape mismatch")
+	}
+	if len(loaded.Plans) != len(s.Plans) {
+		t.Fatalf("plan pool %d != %d", len(loaded.Plans), len(s.Plans))
+	}
+	for i := range s.Plans {
+		if loaded.Plans[i].Sig != s.Plans[i].Sig {
+			t.Fatalf("plan %d signature differs", i)
+		}
+	}
+	for pt := range s.PointCost {
+		if loaded.PointCost[pt] != s.PointCost[pt] || loaded.PointPlan[pt] != s.PointPlan[pt] {
+			t.Fatalf("point %d differs after reload", pt)
+		}
+	}
+	if len(loaded.Contours) != len(s.Contours) {
+		t.Fatal("contours differ after reload")
+	}
+	for i := range s.Contours {
+		if len(loaded.Contours[i].Points) != len(s.Contours[i].Points) {
+			t.Fatalf("contour %d membership differs", i)
+		}
+	}
+	// The reloaded space is fully operational: evaluator + spill dims.
+	ev := loaded.NewEvaluator()
+	pid := loaded.PointPlan[0]
+	if c := ev.PlanCost(pid, 0); c != loaded.PointCost[0] {
+		t.Fatalf("reloaded evaluator recost %v != %v", c, loaded.PointCost[0])
+	}
+	if d := loaded.SpillDim(pid, 0b11); d < 0 {
+		t.Fatal("reloaded spill identification broken")
+	}
+}
+
+func TestLoadRejectsWrongQuery(t *testing.T) {
+	s := buildSpace(t, 8)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other, err := sqlparse.Parse("other", s.Q.Cat, `SELECT * FROM store_sales ss, date_dim d
+		WHERE ss.ss_sold_date_sk = d.date_dim_sk`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sqlparse.MarkEPP(other, "ss.ss_sold_date_sk", "d.date_dim_sk"); err != nil {
+		t.Fatal(err)
+	}
+	env := optimizer.BuildEnv(other, stats.FromCatalog(other.Cat))
+	if _, err := Load(&buf, other, env, s.Model); err == nil {
+		t.Fatal("loading into a different query must fail")
+	}
+}
+
+func TestLoadRejectsWrongEnvironment(t *testing.T) {
+	s := buildSpace(t, 8)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the environment: costs will no longer match the snapshot.
+	env := s.BaseEnv.Clone()
+	for i := range env.FilteredRows {
+		env.FilteredRows[i] *= 3
+	}
+	if _, err := Load(&buf, s.Q, env, s.Model); err == nil {
+		t.Fatal("loading under a different environment must fail the spot check")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	s := buildSpace(t, 8)
+	if _, err := Load(bytes.NewBufferString("not gob"), s.Q, s.BaseEnv, s.Model); err == nil {
+		t.Fatal("garbage input must fail")
+	}
+}
+
+func TestLoadRejectsWrongModelParams(t *testing.T) {
+	s := buildSpace(t, 8)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p := cost.DefaultParams()
+	p.HashBuild *= 10
+	if _, err := Load(&buf, s.Q, s.BaseEnv, cost.NewModel(p)); err == nil {
+		t.Fatal("loading under different cost params must fail the spot check")
+	}
+}

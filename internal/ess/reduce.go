@@ -1,0 +1,133 @@
+package ess
+
+import "sort"
+
+// Reduction is an anorexic reduction (Harish et al., VLDB 2007) of the
+// plan assignment on the contour points: plans whose contour territory
+// can be taken over by another plan at ≤ (1+Lambda) cost inflation are
+// swallowed, shrinking the bouquet PlanBouquet must execute. The
+// reduction preserves the PB guarantee with budgets inflated to
+// (1+Lambda)·CC_i, giving MSO ≤ 4(1+Lambda)·ρ_red.
+type Reduction struct {
+	// Lambda is the cost-inflation threshold (paper default 0.2).
+	Lambda float64
+	// PointPlan maps contour points to their (possibly replaced) plan.
+	PointPlan map[int32]int32
+	// ContourPlans lists, per contour, the distinct surviving plan IDs.
+	ContourPlans [][]int32
+	// Rho is the maximum plan count over all contours after reduction —
+	// the ρ_red in PlanBouquet's 4(1+λ)ρ_red guarantee.
+	Rho int
+}
+
+// Reduce computes the anorexic reduction of the space's contour plan
+// diagram at threshold lambda, using the CostGreedy strategy: try to
+// swallow small-territory plans into large-territory ones whenever the
+// replacement never exceeds (1+lambda) of optimal anywhere in the
+// swallowed territory.
+func (s *Space) Reduce(lambda float64) *Reduction {
+	r := &Reduction{Lambda: lambda, PointPlan: make(map[int32]int32)}
+
+	// Collect the contour points and the plan territories on them.
+	territory := make(map[int32][]int32) // planID -> points
+	for _, c := range s.Contours {
+		for _, pt := range c.Points {
+			if _, seen := r.PointPlan[pt]; seen {
+				continue // a point can sit on two adjacent contours
+			}
+			pid := s.PointPlan[pt]
+			r.PointPlan[pt] = pid
+			territory[pid] = append(territory[pid], pt)
+		}
+	}
+
+	ev := s.NewEvaluator()
+	removed := make(map[int32]bool)
+	threshold := 1 + lambda
+	// Multi-pass greedy to a fixpoint: each pass tries to swallow the
+	// smallest surviving territory into the surviving plan (from the
+	// full POSP pool) that covers it within threshold, preferring
+	// swallowers that already hold large territories so the assignment
+	// converges onto few plans.
+	for changed := true; changed; {
+		changed = false
+		plans := make([]int32, 0, len(territory))
+		for pid := range territory {
+			if !removed[pid] {
+				plans = append(plans, pid)
+			}
+		}
+		sort.Slice(plans, func(a, b int) bool {
+			ta, tb := len(territory[plans[a]]), len(territory[plans[b]])
+			if ta != tb {
+				return ta < tb
+			}
+			return plans[a] < plans[b]
+		})
+		for i, victim := range plans {
+			if removed[victim] {
+				continue
+			}
+			for j := len(plans) - 1; j > i; j-- {
+				cand := plans[j]
+				if removed[cand] || cand == victim {
+					continue
+				}
+				ok := true
+				for _, pt := range territory[victim] {
+					if ev.PlanCost(cand, pt) > threshold*s.PointCost[pt] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				for _, pt := range territory[victim] {
+					r.PointPlan[pt] = cand
+				}
+				territory[cand] = append(territory[cand], territory[victim]...)
+				delete(territory, victim)
+				removed[victim] = true
+				changed = true
+				break
+			}
+		}
+	}
+
+	// Per-contour surviving plan lists and ρ_red.
+	r.ContourPlans = make([][]int32, len(s.Contours))
+	for i, c := range s.Contours {
+		seen := make(map[int32]bool)
+		for _, pt := range c.Points {
+			pid := r.PointPlan[pt]
+			if !seen[pid] {
+				seen[pid] = true
+				r.ContourPlans[i] = append(r.ContourPlans[i], pid)
+			}
+		}
+		sort.Slice(r.ContourPlans[i], func(a, b int) bool {
+			return r.ContourPlans[i][a] < r.ContourPlans[i][b]
+		})
+		if len(r.ContourPlans[i]) > r.Rho {
+			r.Rho = len(r.ContourPlans[i])
+		}
+	}
+	return r
+}
+
+// RhoUnreduced returns the maximum plan density over contours without
+// any reduction — the ρ in PlanBouquet's raw 4ρ guarantee.
+func (s *Space) RhoUnreduced() int {
+	rho := 0
+	for _, c := range s.Contours {
+		seen := make(map[int32]bool)
+		for _, pt := range c.Points {
+			seen[s.PointPlan[pt]] = true
+		}
+		if len(seen) > rho {
+			rho = len(seen)
+		}
+	}
+	return rho
+}

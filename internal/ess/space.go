@@ -1,0 +1,463 @@
+package ess
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/cost"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// Config controls ESS construction.
+type Config struct {
+	// Res is the grid resolution per dimension.
+	Res int
+	// SelMin is the smallest selectivity on the grid (default 1e-4).
+	SelMin float64
+	// CostRatio is the geometric spacing of iso-cost contours (default
+	// 2.0, the doubling of the paper; §4.2 notes 1.8 can shave the bound).
+	CostRatio float64
+	// Workers bounds the parallelism of the POSP sweep (default NumCPU).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SelMin == 0 {
+		c.SelMin = 1e-4
+	}
+	if c.CostRatio == 0 {
+		c.CostRatio = 2.0
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	return c
+}
+
+// PlanInfo is one POSP plan in the pool.
+type PlanInfo struct {
+	// ID is the plan's index in Space.Plans.
+	ID int
+	// Root is the plan tree.
+	Root *plan.Node
+	// Sig is the canonical signature.
+	Sig string
+}
+
+// Contour is one iso-cost contour: the discrete skyline of the
+// hypograph {q : Cost(Pq,q) ≤ Cost} — every location on it has optimal
+// cost within budget while all of its (unlearned-dimension) successors
+// exceed it.
+type Contour struct {
+	// Index is the 1-based contour number (IC_{Index}).
+	Index int
+	// Cost is CC_i, the execution budget on this contour.
+	Cost float64
+	// Points are the linear grid indexes on the contour, ascending.
+	Points []int32
+}
+
+// Space is the constructed search space: the tuples <q, Pq, Cost(Pq,q)>
+// of §2.2 for every grid location, the plan pool, and the contours.
+type Space struct {
+	// Q is the underlying query.
+	Q *query.Query
+	// Grid is the ESS discretization.
+	Grid *Grid
+	// Model is the cost model shared with the optimizer.
+	Model *cost.Model
+	// BaseEnv is the costing environment with non-epp quantities fixed.
+	BaseEnv *cost.Env
+	// Plans is the POSP plan pool.
+	Plans []*PlanInfo
+	// PointPlan maps each grid point to its optimal plan's ID.
+	PointPlan []int32
+	// PointCost maps each grid point to its optimal cost.
+	PointCost []float64
+	// Contours are the full-grid iso-cost contours, cheapest first.
+	Contours []Contour
+	// Cmin and Cmax are the optimal costs at origin and terminus.
+	Cmin, Cmax float64
+	// CostRatio is the contour spacing used.
+	CostRatio float64
+
+	opt *optimizer.Optimizer
+
+	mu         sync.Mutex
+	sliceCache map[string][]Contour
+	spillCache map[spillKey]int
+}
+
+type spillKey struct {
+	planID  int32
+	remMask uint16
+}
+
+// Build optimizes every grid location and assembles the space.
+func Build(q *query.Query, baseEnv *cost.Env, model *cost.Model, cfg Config) (*Space, error) {
+	cfg = cfg.withDefaults()
+	if q.D() < 1 {
+		return nil, fmt.Errorf("ess: query %s has no epps", q.Name)
+	}
+	g := NewGrid(q.D(), cfg.Res, cfg.SelMin)
+	s := &Space{
+		Q:          q,
+		Grid:       g,
+		Model:      model,
+		BaseEnv:    baseEnv,
+		PointPlan:  make([]int32, g.NumPoints()),
+		PointCost:  make([]float64, g.NumPoints()),
+		CostRatio:  cfg.CostRatio,
+		opt:        optimizer.New(q, model),
+		sliceCache: make(map[string][]Contour),
+		spillCache: make(map[spillKey]int),
+	}
+	if err := s.sweep(cfg); err != nil {
+		return nil, err
+	}
+	s.Cmin = s.PointCost[g.Origin()]
+	s.Cmax = s.PointCost[g.Terminus()]
+	if s.Cmin <= 0 || s.Cmax < s.Cmin {
+		return nil, fmt.Errorf("ess: degenerate cost surface (Cmin=%v, Cmax=%v)", s.Cmin, s.Cmax)
+	}
+	s.Contours = s.contoursOn(s.allPoints(), nil)
+	return s, nil
+}
+
+// sweep runs the POSP enumeration across the grid in parallel.
+func (s *Space) sweep(cfg Config) error {
+	g := s.Grid
+	n := g.NumPoints()
+	workers := cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	sigID := make(map[string]int32)
+	var poolMu sync.Mutex
+	intern := func(root *plan.Node) int32 {
+		sig := root.Signature()
+		poolMu.Lock()
+		defer poolMu.Unlock()
+		if id, ok := sigID[sig]; ok {
+			return id
+		}
+		id := int32(len(s.Plans))
+		s.Plans = append(s.Plans, &PlanInfo{ID: int(id), Root: root, Sig: sig})
+		sigID[sig] = id
+		return id
+	}
+
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			env := s.BaseEnv.Clone()
+			sel := make([]float64, g.D)
+			local := make(map[string]int32) // worker-local sig cache
+			for pt := lo; pt < hi; pt++ {
+				g.Sel(pt, sel)
+				optimizer.SetEPPSel(env, s.Q, sel)
+				best := s.opt.Best(env)
+				if best == nil {
+					errs[w] = fmt.Errorf("ess: optimizer found no plan at point %d", pt)
+					return
+				}
+				sig := best.Root.Signature()
+				id, ok := local[sig]
+				if !ok {
+					id = intern(best.Root)
+					local[sig] = id
+				}
+				s.PointPlan[pt] = id
+				s.PointCost[pt] = best.Cost
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Space) allPoints() []int32 {
+	pts := make([]int32, s.Grid.NumPoints())
+	for i := range pts {
+		pts[i] = int32(i)
+	}
+	return pts
+}
+
+// ContourCosts returns the budget sequence CC_1..CC_m: Cmin, then
+// geometric steps, capped at Cmax (§2.5).
+func (s *Space) ContourCosts() []float64 {
+	costs := []float64{s.Cmin}
+	const slack = 1e-9
+	for c := s.Cmin * s.CostRatio; c < s.Cmax*(1-slack); c *= s.CostRatio {
+		costs = append(costs, c)
+	}
+	if s.Cmax > s.Cmin*(1+slack) {
+		costs = append(costs, s.Cmax)
+	}
+	return costs
+}
+
+// contoursOn computes the iso-cost contours restricted to the given
+// point set, with successor checks along freeDims only (nil = all).
+func (s *Space) contoursOn(pts []int32, freeDims []int) []Contour {
+	if freeDims == nil {
+		freeDims = make([]int, s.Grid.D)
+		for d := range freeDims {
+			freeDims[d] = d
+		}
+	}
+	costs := s.ContourCosts()
+	out := make([]Contour, len(costs))
+	const eps = 1e-9
+	for i, cc := range costs {
+		budget := cc * (1 + eps)
+		var members []int32
+		for _, pt := range pts {
+			if s.PointCost[pt] > budget {
+				continue
+			}
+			maximal := true
+			for _, d := range freeDims {
+				if nxt := s.Grid.Step(int(pt), d); nxt >= 0 && s.PointCost[nxt] <= budget {
+					maximal = false
+					break
+				}
+			}
+			if maximal {
+				members = append(members, pt)
+			}
+		}
+		out[i] = Contour{Index: i + 1, Cost: cc, Points: members}
+	}
+	return out
+}
+
+// ContoursFor returns the iso-cost contours of the slice where the
+// learned dimensions (learned[d] ≥ 0) are pinned to their grid indexes.
+// With nothing learned this is the precomputed full-grid contour set.
+// Results are cached per slice.
+func (s *Space) ContoursFor(learned []int) []Contour {
+	all := true
+	for _, v := range learned {
+		if v >= 0 {
+			all = false
+			break
+		}
+	}
+	if all {
+		return s.Contours
+	}
+	key := sliceKey(learned)
+	s.mu.Lock()
+	if c, ok := s.sliceCache[key]; ok {
+		s.mu.Unlock()
+		return c
+	}
+	s.mu.Unlock()
+
+	pts := s.slicePoints(learned)
+	var free []int
+	for d, v := range learned {
+		if v < 0 {
+			free = append(free, d)
+		}
+	}
+	c := s.contoursOn(pts, free)
+
+	s.mu.Lock()
+	s.sliceCache[key] = c
+	s.mu.Unlock()
+	return c
+}
+
+func sliceKey(learned []int) string {
+	b := make([]byte, 0, len(learned)*3)
+	for _, v := range learned {
+		b = append(b, byte(v+1), ',')
+	}
+	return string(b)
+}
+
+// slicePoints enumerates the linear indexes of the slice in ascending
+// order.
+func (s *Space) slicePoints(learned []int) []int32 {
+	g := s.Grid
+	var free []int
+	base := 0
+	for d, v := range learned {
+		if v >= 0 {
+			base += v * g.strides[d]
+		} else {
+			free = append(free, d)
+		}
+	}
+	count := 1
+	for range free {
+		count *= g.Res
+	}
+	pts := make([]int32, 0, count)
+	idx := make([]int, len(free))
+	for {
+		lin := base
+		for k, d := range free {
+			lin += idx[k] * g.strides[d]
+		}
+		pts = append(pts, int32(lin))
+		k := len(free) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < g.Res {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+	return pts
+}
+
+// SpillDim returns the ESS dimension the plan spills on given the set of
+// still-unlearned dimensions (bitmask over dims), or -1. Results are
+// memoized — spill-node identification is structural, not location-
+// dependent.
+func (s *Space) SpillDim(planID int32, remMask uint16) int {
+	key := spillKey{planID: planID, remMask: remMask}
+	s.mu.Lock()
+	if d, ok := s.spillCache[key]; ok {
+		s.mu.Unlock()
+		return d
+	}
+	s.mu.Unlock()
+
+	remaining := make(map[int]bool, s.Q.D())
+	for d, joinID := range s.Q.EPPs {
+		if remMask&(1<<uint(d)) != 0 {
+			remaining[joinID] = true
+		}
+	}
+	joinID := plan.SpillJoin(s.Plans[planID].Root, remaining)
+	dim := -1
+	if joinID >= 0 {
+		dim = s.Q.EPPDim(joinID)
+	}
+
+	s.mu.Lock()
+	s.spillCache[key] = dim
+	s.mu.Unlock()
+	return dim
+}
+
+// AddPlan interns an externally produced plan (e.g. an AlignedBound
+// replacement from the per-spill-class optimizer search) into the pool
+// and returns its ID.
+func (s *Space) AddPlan(root *plan.Node) int32 {
+	sig := root.Signature()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.Plans {
+		if p.Sig == sig {
+			return int32(p.ID)
+		}
+	}
+	id := int32(len(s.Plans))
+	s.Plans = append(s.Plans, &PlanInfo{ID: int(id), Root: root, Sig: sig})
+	return id
+}
+
+// Optimizer exposes the space's optimizer (shared cost model and query).
+func (s *Space) Optimizer() *optimizer.Optimizer { return s.opt }
+
+// Evaluator provides recosting of arbitrary pool plans at arbitrary grid
+// locations. Each evaluator owns scratch state; use one per goroutine.
+type Evaluator struct {
+	s   *Space
+	env *cost.Env
+	sel []float64
+}
+
+// NewEvaluator returns a fresh evaluator over the space.
+func (s *Space) NewEvaluator() *Evaluator {
+	return &Evaluator{s: s, env: s.BaseEnv.Clone(), sel: make([]float64, s.Grid.D)}
+}
+
+// Env positions the evaluator's costing environment at the grid point
+// and returns it.
+func (e *Evaluator) Env(pt int32) *cost.Env {
+	e.s.Grid.Sel(int(pt), e.sel)
+	optimizer.SetEPPSel(e.env, e.s.Q, e.sel)
+	return e.env
+}
+
+// PlanCost recosts pool plan planID at the grid point.
+func (e *Evaluator) PlanCost(planID, pt int32) float64 {
+	return e.s.Model.Cost(e.s.Plans[planID].Root, e.Env(pt)).Cost
+}
+
+// SpillCost costs the spill-mode execution of the plan on the given ESS
+// dimension at the grid point (the subtree rooted at the epp's join
+// node, §3.1.2).
+func (e *Evaluator) SpillCost(planID, pt int32, dim int) float64 {
+	joinID := e.s.Q.EPPs[dim]
+	res, ok := e.s.Model.SpillCost(e.s.Plans[planID].Root, joinID, e.Env(pt))
+	if !ok {
+		return math.Inf(1)
+	}
+	return res.Cost
+}
+
+// OptCost returns the optimal cost at the grid point.
+func (e *Evaluator) OptCost(pt int32) float64 { return e.s.PointCost[pt] }
+
+// MaxSelIndexWithin returns the largest grid index k along dim such
+// that the spill-mode cost of the plan — with dim's selectivity set to
+// Vals[k] and all other dimensions taken from the point pt — stays
+// within budget. Returns -1 if even index 0 exceeds the budget. This is
+// the selectivity the engine is guaranteed to have scanned past when a
+// budget-limited spill execution is killed (Lemma 3.1).
+func (e *Evaluator) MaxSelIndexWithin(planID, pt int32, dim int, budget float64) int {
+	g := e.s.Grid
+	base := int(pt) - g.Coord(int(pt), dim)*g.strides[dim]
+	// Spill cost is monotone in the dimension: binary search the
+	// crossing.
+	lo, hi := 0, g.Res-1
+	if e.spillAt(planID, base, dim, 0) > budget {
+		return -1
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if e.spillAt(planID, base, dim, mid) <= budget {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+func (e *Evaluator) spillAt(planID int32, base, dim, k int) float64 {
+	return e.SpillCost(planID, int32(base+k*e.s.Grid.strides[dim]), dim)
+}

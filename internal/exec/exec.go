@@ -1,0 +1,268 @@
+// Package exec implements the demand-driven iterator executor (§3.1.1)
+// with the engine extensions the paper added to PostgreSQL: cost-limited
+// execution with forced termination, spill-mode execution of a chosen
+// subtree with output discarding, and run-time monitoring of operator
+// selectivities.
+//
+// Operators charge the same per-tuple constants as the cost model, so a
+// plan's metered execution cost equals its modeled cost whenever the
+// model's cardinality inputs are exact — the paper's perfect-cost-model
+// setting.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+// ErrBudgetExceeded aborts an execution whose metered cost passed its
+// budget — the forced termination of §1.1.1.
+var ErrBudgetExceeded = errors.New("exec: cost budget exceeded")
+
+// Meter tracks metered cost against an optional budget.
+type Meter struct {
+	// Used is the cost consumed so far.
+	Used float64
+	// Budget caps Used; 0 means unlimited.
+	Budget float64
+}
+
+// Charge adds units and fails with ErrBudgetExceeded past the budget.
+func (m *Meter) Charge(units float64) error {
+	m.Used += units
+	if m.Budget > 0 && m.Used > m.Budget {
+		m.Used = m.Budget // a killed execution costs exactly its budget
+		return ErrBudgetExceeded
+	}
+	return nil
+}
+
+// JoinObs is the run-time selectivity observation of one join operator.
+type JoinObs struct {
+	// LeftRows and RightRows are the input cardinalities consumed.
+	LeftRows, RightRows int64
+	// OutRows is the number of joined rows produced.
+	OutRows int64
+}
+
+// Sel returns the observed join selectivity (fraction of the input cross
+// product), or 0 when inputs were empty.
+func (o JoinObs) Sel() float64 {
+	if o.LeftRows == 0 || o.RightRows == 0 {
+		return 0
+	}
+	return float64(o.OutRows) / (float64(o.LeftRows) * float64(o.RightRows))
+}
+
+// Result reports one (possibly budget-limited) execution.
+type Result struct {
+	// Rows is the number of rows the root produced before completion or
+	// termination.
+	Rows int64
+	// Cost is the metered cost consumed.
+	Cost float64
+	// Completed reports whether the plan ran to completion.
+	Completed bool
+	// JoinSel maps join predicate IDs to their observed selectivities;
+	// populated only for joins whose operators fully consumed their
+	// inputs (exact observations).
+	JoinSel map[int]float64
+}
+
+// Executor runs physical plans over a store.
+type Executor struct {
+	q      *query.Query
+	store  *storage.Store
+	params cost.Params
+}
+
+// New creates an executor for the query over the store.
+func New(q *query.Query, store *storage.Store, params cost.Params) *Executor {
+	return &Executor{q: q, store: store, params: params}
+}
+
+// Run executes the plan with the budget (0 = unlimited), discarding
+// output rows (the OLAP experiments measure work, not result delivery).
+func (e *Executor) Run(root *plan.Node, budget float64) (*Result, error) {
+	return e.drive(root, budget)
+}
+
+// RunSpill executes the plan in spill-mode on the given join predicate:
+// only the subtree rooted at that join runs, and its output is
+// discarded (§3.1.2). The observed selectivity of the spilled join is
+// exact iff the subtree completed within budget.
+func (e *Executor) RunSpill(root *plan.Node, joinID int, budget float64) (*Result, error) {
+	sub := plan.SpillSubtree(root, joinID)
+	if sub == nil {
+		return nil, fmt.Errorf("exec: plan does not apply join %d", joinID)
+	}
+	return e.drive(sub, budget)
+}
+
+func (e *Executor) drive(root *plan.Node, budget float64) (*Result, error) {
+	meter := &Meter{Budget: budget}
+	op, _, err := e.build(root, meter)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{JoinSel: make(map[int]float64)}
+	err = func() error {
+		if err := op.Open(); err != nil {
+			return err
+		}
+		for {
+			_, err := op.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			res.Rows++
+		}
+	}()
+	cerr := op.Close()
+	res.Cost = meter.Used
+	switch {
+	case err == nil:
+		res.Completed = true
+	case errors.Is(err, ErrBudgetExceeded):
+		res.Completed = false
+	default:
+		return nil, err
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	if res.Completed {
+		collectObservations(op, res.JoinSel)
+	}
+	return res, nil
+}
+
+// operator is the iterator interface (§3.1.1's demand-driven model).
+type operator interface {
+	Open() error
+	Next() (expr.Row, error)
+	Close() error
+}
+
+// joinObserver is implemented by join operators that can report an
+// exact selectivity observation after completion.
+type joinObserver interface {
+	observations(into map[int]float64)
+}
+
+func collectObservations(op operator, into map[int]float64) {
+	if jo, ok := op.(joinObserver); ok {
+		jo.observations(into)
+	}
+}
+
+// schema maps qualified column names to row positions.
+type schema struct {
+	cols []string // "alias.column"
+}
+
+func (s *schema) indexOf(name string) int {
+	for i, c := range s.cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func concatSchema(l, r *schema) *schema {
+	out := &schema{cols: make([]string, 0, len(l.cols)+len(r.cols))}
+	out.cols = append(out.cols, l.cols...)
+	out.cols = append(out.cols, r.cols...)
+	return out
+}
+
+// build compiles a plan node into an operator tree.
+func (e *Executor) build(n *plan.Node, meter *Meter) (operator, *schema, error) {
+	if n.IsScan() {
+		return e.buildScan(n, meter)
+	}
+	return e.buildJoin(n, meter)
+}
+
+func (e *Executor) relSchema(rel int) *schema {
+	r := &e.q.Relations[rel]
+	tab := e.q.Cat.MustTable(r.Table)
+	s := &schema{cols: make([]string, len(tab.Columns))}
+	for i := range tab.Columns {
+		s.cols[i] = r.Alias + "." + tab.Columns[i].Name
+	}
+	return s
+}
+
+// compileFilters binds the relation's filter predicates to positions.
+func (e *Executor) compileFilters(rel int, skip int) []boundFilter {
+	r := &e.q.Relations[rel]
+	tab := e.q.Cat.MustTable(r.Table)
+	var out []boundFilter
+	for i, f := range r.Filters {
+		if i == skip {
+			continue
+		}
+		bf := boundFilter{
+			col: tab.ColumnIndex(f.Column),
+			op:  f.Op,
+			val: expr.Int(f.Value),
+		}
+		if f.IsIn() {
+			bf.in = make(map[int64]bool, len(f.Values))
+			for _, v := range f.Values {
+				bf.in[v] = true
+			}
+		}
+		out = append(out, bf)
+	}
+	return out
+}
+
+type boundFilter struct {
+	col int
+	op  expr.CmpOp
+	val expr.Value
+	in  map[int64]bool // non-nil for IN-list predicates
+}
+
+func (f boundFilter) eval(row expr.Row) bool {
+	v := row[f.col]
+	if v.IsNull() {
+		return false
+	}
+	if f.in != nil {
+		return v.K == expr.KindInt && f.in[v.I]
+	}
+	c := expr.Compare(v, f.val)
+	switch f.op {
+	case expr.EQ:
+		return c == 0
+	case expr.NE:
+		return c != 0
+	case expr.LT:
+		return c < 0
+	case expr.LE:
+		return c <= 0
+	case expr.GT:
+		return c > 0
+	case expr.GE:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+func log2g(x float64) float64 { return math.Log2(x + 2) }

@@ -1,0 +1,100 @@
+package exec
+
+import (
+	"io"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// indexNLJoin streams the outer child, probing the inner base relation's
+// hash index per row; inner filters apply after the fetch (the index
+// serves the join key only).
+type indexNLJoin struct {
+	joinBase
+	rel     *storage.Relation
+	filters []boundFilter
+
+	cur     expr.Row
+	matches []int32
+	mi      int
+	have    bool
+	// innerFiltered is the inner relation's filtered cardinality,
+	// counted once for the selectivity observation (a statistics lookup,
+	// not execution work — hence uncharged).
+	innerFiltered int64
+}
+
+func (j *indexNLJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	for _, row := range j.rel.Rows {
+		ok := true
+		for _, f := range j.filters {
+			if !f.eval(row) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			j.innerFiltered++
+		}
+	}
+	j.obs.RightRows = j.innerFiltered
+	return nil
+}
+
+func (j *indexNLJoin) Next() (expr.Row, error) {
+	for {
+		if !j.have {
+			row, err := j.left.Next()
+			if err == io.EOF {
+				j.exact = true
+				return nil, io.EOF
+			}
+			if err != nil {
+				return nil, err
+			}
+			j.obs.LeftRows++
+			// One index descent per outer row.
+			if err := j.meter.Charge(j.e.params.IdxDescend * log2g(float64(j.rel.NumRows()))); err != nil {
+				return nil, err
+			}
+			j.cur = row
+			k := row[j.jc.leftPos[0]]
+			if k.IsNull() {
+				continue
+			}
+			j.matches = j.rel.HashLookup(j.jc.rightPos[0], k.I)
+			j.mi = 0
+			j.have = true
+		}
+		for j.mi < len(j.matches) {
+			inner := j.rel.Rows[j.matches[j.mi]]
+			j.mi++
+			// Random fetch per matched (pre-filter) row.
+			if err := j.meter.Charge(j.e.params.IdxTuple); err != nil {
+				return nil, err
+			}
+			ok := true
+			for _, f := range j.filters {
+				if !f.eval(inner) {
+					ok = false
+					break
+				}
+			}
+			if !ok || !j.jc.residualsMatch(j.cur, inner) {
+				continue
+			}
+			if err := j.meter.Charge(j.e.params.Tuple); err != nil {
+				return nil, err
+			}
+			j.obs.OutRows++
+			return joinRows(j.cur, inner), nil
+		}
+		j.have = false
+	}
+}
+
+func (j *indexNLJoin) Close() error { return j.left.Close() }

@@ -1,0 +1,177 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/storage"
+)
+
+func (e *Executor) buildScan(n *plan.Node, meter *Meter) (operator, *schema, error) {
+	rel := n.Scan.Rel
+	r := &e.q.Relations[rel]
+	relation := e.store.Relation(r.Table)
+	if relation == nil {
+		return nil, nil, fmt.Errorf("exec: store missing relation %s", r.Table)
+	}
+	sch := e.relSchema(rel)
+	switch n.Scan.Method {
+	case plan.SeqScan:
+		return &seqScan{
+			rel:     relation,
+			filters: e.compileFilters(rel, -1),
+			meter:   meter,
+			params:  e,
+		}, sch, nil
+	case plan.IndexScan:
+		op, err := e.buildIndexScan(rel, relation, meter)
+		if err != nil {
+			return nil, nil, err
+		}
+		return op, sch, nil
+	default:
+		return nil, nil, fmt.Errorf("exec: unknown scan method")
+	}
+}
+
+// seqScan reads every row, charging SeqTuple each, and applies filters.
+type seqScan struct {
+	rel     *storage.Relation
+	filters []boundFilter
+	meter   *Meter
+	params  *Executor
+	pos     int
+}
+
+func (s *seqScan) Open() error {
+	s.pos = 0
+	return nil
+}
+
+func (s *seqScan) Next() (expr.Row, error) {
+	for s.pos < len(s.rel.Rows) {
+		row := s.rel.Rows[s.pos]
+		s.pos++
+		if err := s.meter.Charge(s.params.params.SeqTuple); err != nil {
+			return nil, err
+		}
+		ok := true
+		for _, f := range s.filters {
+			if !f.eval(row) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return row, nil
+		}
+	}
+	return nil, io.EOF
+}
+
+func (s *seqScan) Close() error { return nil }
+
+// buildIndexScan selects the driving predicate: the filter whose index
+// probe matches the fewest rows (the executor's analogue of the cost
+// model's best-single-filter selectivity). Remaining filters run as
+// residuals.
+func (e *Executor) buildIndexScan(rel int, relation *storage.Relation, meter *Meter) (operator, error) {
+	r := &e.q.Relations[rel]
+	if len(r.Filters) == 0 {
+		return nil, fmt.Errorf("exec: index scan on %s without filters", r.Alias)
+	}
+	bestIdx, bestCount := -1, int(^uint(0)>>1)
+	var bestRows []int32
+	for i, f := range r.Filters {
+		col := relation.ColumnIndex(f.Column)
+		if col < 0 || !relation.HasSortedIndex(col) {
+			continue
+		}
+		rows := indexProbe(relation, col, f)
+		if rows == nil {
+			continue
+		}
+		if len(rows) < bestCount {
+			bestIdx, bestCount, bestRows = i, len(rows), rows
+		}
+	}
+	if bestIdx < 0 {
+		return nil, fmt.Errorf("exec: no usable index for %s", r.Alias)
+	}
+	return &indexScan{
+		rel:     relation,
+		rows:    bestRows,
+		filters: e.compileFilters(rel, bestIdx),
+		meter:   meter,
+		params:  e,
+	}, nil
+}
+
+// indexProbe returns the matching row ordinals for a filter through the
+// sorted index, or nil if the operator cannot be served by a range.
+func indexProbe(relation *storage.Relation, col int, f query.FilterPred) []int32 {
+	if f.IsIn() {
+		return nil // IN-lists run as residual filters
+	}
+	v := expr.Int(f.Value)
+	vPrev := expr.Int(f.Value - 1)
+	vNext := expr.Int(f.Value + 1)
+	switch f.Op {
+	case expr.EQ:
+		return relation.RangeLookup(col, &v, &v)
+	case expr.LT:
+		return relation.RangeLookup(col, nil, &vPrev)
+	case expr.LE:
+		return relation.RangeLookup(col, nil, &v)
+	case expr.GT:
+		return relation.RangeLookup(col, &vNext, nil)
+	case expr.GE:
+		return relation.RangeLookup(col, &v, nil)
+	default:
+		return nil // NE is not a range
+	}
+}
+
+// indexScan charges one descent plus IdxTuple per fetched row, applying
+// residual filters after the fetch.
+type indexScan struct {
+	rel     *storage.Relation
+	rows    []int32
+	filters []boundFilter
+	meter   *Meter
+	params  *Executor
+	pos     int
+	opened  bool
+}
+
+func (s *indexScan) Open() error {
+	s.pos = 0
+	s.opened = true
+	return s.meter.Charge(s.params.params.IdxDescend * log2g(float64(s.rel.NumRows())))
+}
+
+func (s *indexScan) Next() (expr.Row, error) {
+	for s.pos < len(s.rows) {
+		row := s.rel.Rows[s.rows[s.pos]]
+		s.pos++
+		if err := s.meter.Charge(s.params.params.IdxTuple); err != nil {
+			return nil, err
+		}
+		ok := true
+		for _, f := range s.filters {
+			if !f.eval(row) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return row, nil
+		}
+	}
+	return nil, io.EOF
+}
+
+func (s *indexScan) Close() error { return nil }

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ess"
+	"repro/internal/mso"
+	"repro/internal/workload"
+)
+
+// Options configures the experiment harness.
+type Options struct {
+	// Scale is the data/catalog scale factor (default 1.0).
+	Scale float64
+	// Res overrides every query's grid resolution when > 0.
+	Res int
+	// Lambda is PlanBouquet's anorexic reduction threshold (default 0.2).
+	Lambda float64
+	// StrideHighD samples every n-th location in 5D/6D MSO sweeps to
+	// bound runtime (default 3; 1 = exhaustive).
+	StrideHighD int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 1.0
+	}
+	if o.Lambda == 0 {
+		o.Lambda = core.DefaultLambda
+	}
+	if o.StrideHighD == 0 {
+		o.StrideHighD = 3
+	}
+	return o
+}
+
+// Harness caches built search spaces and sessions across experiments so
+// that running the full battery builds each query's ESS only once.
+type Harness struct {
+	// Opts are the effective options.
+	Opts Options
+
+	mu       sync.Mutex
+	spaces   map[string]*ess.Space
+	sessions map[string]*core.Session
+}
+
+// New creates a harness.
+func New(opts Options) *Harness {
+	return &Harness{
+		Opts:     opts.withDefaults(),
+		spaces:   make(map[string]*ess.Space),
+		sessions: make(map[string]*core.Session),
+	}
+}
+
+// space returns the (cached) search space of a workload spec.
+func (h *Harness) space(spec workload.Spec) (*ess.Space, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s, ok := h.spaces[spec.Name]; ok {
+		return s, nil
+	}
+	s, err := spec.Space(h.Opts.Scale, h.Opts.Res)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building %s: %w", spec.Name, err)
+	}
+	h.spaces[spec.Name] = s
+	return s, nil
+}
+
+// session returns the (cached) session of a workload spec.
+func (h *Harness) session(spec workload.Spec) (*core.Session, error) {
+	s, err := h.space(spec)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if sess, ok := h.sessions[spec.Name]; ok {
+		return sess, nil
+	}
+	sess := core.NewSession(s)
+	sess.SetLambda(h.Opts.Lambda)
+	h.sessions[spec.Name] = sess
+	return sess, nil
+}
+
+// sweepOpts returns the MSO sweep options for a query of dimension d.
+func (h *Harness) sweepOpts(d int) mso.Options {
+	opts := mso.Options{}
+	if d >= 5 {
+		opts.Stride = h.Opts.StrideHighD
+	}
+	return opts
+}

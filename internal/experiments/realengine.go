@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core/discovery"
+	"repro/internal/ess"
+	"repro/internal/exec"
+)
+
+// RealEngine drives discovery through the row-level executor instead of
+// the cost model: budgeted executions really run over generated data,
+// are really killed when the meter passes the budget, and selectivities
+// are really observed by the operator monitors. This is the engine mode
+// of the paper's wall-clock experiment (§6.3).
+type RealEngine struct {
+	s  *ess.Space
+	ex *exec.Executor
+	ev *ess.Evaluator
+	// learned mirrors the discovery state so failed spills can be
+	// converted into sound grid lower bounds via the (exact) cost model.
+	learned []int
+}
+
+// NewRealEngine creates an engine over the space and executor; both must
+// be built for the same query.
+func NewRealEngine(s *ess.Space, ex *exec.Executor) *RealEngine {
+	learned := make([]int, s.Grid.D)
+	for i := range learned {
+		learned[i] = -1
+	}
+	return &RealEngine{s: s, ex: ex, ev: s.NewEvaluator(), learned: learned}
+}
+
+// ExecFull implements discovery.Engine with a real budgeted execution.
+func (e *RealEngine) ExecFull(planID int32, budget float64) (float64, bool) {
+	res, err := e.ex.Run(e.s.Plans[planID].Root, budget)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: executor failure: %v", err))
+	}
+	return res.Cost, res.Completed
+}
+
+// ExecSpill implements discovery.Engine with a real spill-mode run. On
+// completion the spilled join's monitored selectivity is snapped to the
+// grid; on a kill, the guaranteed learning bound is derived from the
+// metered budget through the cost model (which the executor's meter
+// matches by construction).
+func (e *RealEngine) ExecSpill(planID int32, dim int, budget float64) (float64, bool, int) {
+	joinID := e.s.Q.EPPs[dim]
+	res, err := e.ex.RunSpill(e.s.Plans[planID].Root, joinID, budget)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: executor failure: %v", err))
+	}
+	if res.Completed {
+		sel, ok := res.JoinSel[joinID]
+		if !ok {
+			panic("experiments: completed spill without selectivity observation")
+		}
+		idx := e.s.Grid.NearestIndex(sel)
+		e.learned[dim] = idx
+		return res.Cost, true, idx
+	}
+	// Reference point: learned dims at their values, the rest at the
+	// origin — the spill subtree's cost depends only on the learned
+	// dimensions and dim itself.
+	coords := make([]int, e.s.Grid.D)
+	for d, v := range e.learned {
+		if v >= 0 {
+			coords[d] = v
+		}
+	}
+	ref := int32(e.s.Grid.Linear(coords))
+	idx := e.ev.MaxSelIndexWithin(planID, ref, dim, budget)
+	return res.Cost, false, idx
+}
+
+var _ discovery.Engine = (*RealEngine)(nil)

@@ -1,0 +1,76 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§6): each experiment builds the needed search spaces, runs
+// the algorithms, and renders the same rows/series the paper reports.
+// EXPERIMENTS.md records paper-vs-measured values for each one.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is a rendered experiment result: a titled text table plus
+// explanatory notes.
+type Report struct {
+	// Title identifies the experiment (e.g. "Fig. 8 — MSO guarantees").
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows are the data rows.
+	Rows [][]string
+	// Notes carry caveats (grid resolution, strides, substitutions).
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Render writes the report as an aligned text table.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n%s\n", r.Title, strings.Repeat("=", len([]rune(r.Title))))
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len([]rune(c))
+			}
+			fmt.Fprintf(w, "%s%s", c, strings.Repeat(" ", pad+2))
+		}
+		fmt.Fprintln(w)
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// pct formats a fraction as an integer percentage.
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }

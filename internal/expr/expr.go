@@ -1,0 +1,181 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is a tuple of values addressed positionally; expressions are
+// bound to ordinals before evaluation.
+type Row []Value
+
+// Expr is a scalar expression evaluated against a row.
+type Expr interface {
+	// Eval computes the expression's value on the row.
+	Eval(r Row) Value
+	// String renders the expression for plan display.
+	String() string
+}
+
+// ColRef reads column Idx of the row. Name is retained for display.
+type ColRef struct {
+	Idx  int
+	Name string
+}
+
+// Eval implements Expr.
+func (c *ColRef) Eval(r Row) Value { return r[c.Idx] }
+
+// String implements Expr.
+func (c *ColRef) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("$%d", c.Idx)
+}
+
+// Const is a literal value.
+type Const struct{ Val Value }
+
+// Eval implements Expr.
+func (c *Const) Eval(Row) Value { return c.Val }
+
+// String implements Expr.
+func (c *Const) String() string { return c.Val.String() }
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// Cmp is a binary comparison. NULL operands yield false.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (c *Cmp) Eval(r Row) Value {
+	l, rt := c.L.Eval(r), c.R.Eval(r)
+	if l.IsNull() || rt.IsNull() {
+		return Bool(false)
+	}
+	cv := Compare(l, rt)
+	switch c.Op {
+	case EQ:
+		return Bool(cv == 0)
+	case NE:
+		return Bool(cv != 0)
+	case LT:
+		return Bool(cv < 0)
+	case LE:
+		return Bool(cv <= 0)
+	case GT:
+		return Bool(cv > 0)
+	case GE:
+		return Bool(cv >= 0)
+	default:
+		panic("expr: unknown comparison operator")
+	}
+}
+
+// String implements Expr.
+func (c *Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// And is an n-ary conjunction; empty And is true.
+type And struct{ Args []Expr }
+
+// Eval implements Expr.
+func (a *And) Eval(r Row) Value {
+	for _, e := range a.Args {
+		if !e.Eval(r).Truthy() {
+			return Bool(false)
+		}
+	}
+	return Bool(true)
+}
+
+// String implements Expr.
+func (a *And) String() string { return joinArgs(a.Args, " AND ") }
+
+// Or is an n-ary disjunction; empty Or is false.
+type Or struct{ Args []Expr }
+
+// Eval implements Expr.
+func (o *Or) Eval(r Row) Value {
+	for _, e := range o.Args {
+		if e.Eval(r).Truthy() {
+			return Bool(true)
+		}
+	}
+	return Bool(false)
+}
+
+// String implements Expr.
+func (o *Or) String() string { return joinArgs(o.Args, " OR ") }
+
+// Not negates a boolean expression.
+type Not struct{ Arg Expr }
+
+// Eval implements Expr.
+func (n *Not) Eval(r Row) Value { return Bool(!n.Arg.Eval(r).Truthy()) }
+
+// String implements Expr.
+func (n *Not) String() string { return "NOT (" + n.Arg.String() + ")" }
+
+func joinArgs(args []Expr, sep string) string {
+	parts := make([]string, len(args))
+	for i, e := range args {
+		parts[i] = "(" + e.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// Conjoin builds the conjunction of the given expressions, flattening
+// the degenerate cases (nil for none, the expression itself for one).
+func Conjoin(es ...Expr) Expr {
+	nonNil := es[:0:0]
+	for _, e := range es {
+		if e != nil {
+			nonNil = append(nonNil, e)
+		}
+	}
+	switch len(nonNil) {
+	case 0:
+		return nil
+	case 1:
+		return nonNil[0]
+	default:
+		return &And{Args: nonNil}
+	}
+}

@@ -1,0 +1,149 @@
+// Package expr provides the typed value model and scalar expression
+// trees evaluated by the executor. Expressions are bound to positional
+// column indexes before execution, so evaluation is allocation-free on
+// the hot path.
+package expr
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the runtime type of a Value.
+type Kind int
+
+const (
+	// KindInt is a 64-bit integer value.
+	KindInt Kind = iota
+	// KindFloat is a 64-bit float value.
+	KindFloat
+	// KindString is a string value.
+	KindString
+	// KindNull is the SQL NULL value.
+	KindNull
+	// KindBool is a boolean value (result of predicates).
+	KindBool
+)
+
+// Value is a dynamically typed scalar.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	S string
+	B bool
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{K: KindInt, I: i} }
+
+// Float returns a float value.
+func Float(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{K: KindString, S: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{K: KindBool, B: b} }
+
+// Null is the SQL NULL value.
+var Null = Value{K: KindNull}
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Truthy reports whether v is a true boolean; NULL and non-bools are false.
+func (v Value) Truthy() bool { return v.K == KindBool && v.B }
+
+// AsFloat converts numeric values to float64 for mixed comparisons.
+func (v Value) AsFloat() float64 {
+	if v.K == KindFloat {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// String renders the value for traces and test failures.
+func (v Value) String() string {
+	switch v.K {
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.S)
+	case KindBool:
+		return strconv.FormatBool(v.B)
+	case KindNull:
+		return "NULL"
+	default:
+		return fmt.Sprintf("Value(kind=%d)", int(v.K))
+	}
+}
+
+// Compare orders two values: -1, 0, +1. NULL sorts before everything.
+// Numeric kinds compare numerically across int/float; comparing a
+// numeric with a string or bool panics, since the planner type-checks
+// expressions before execution.
+func Compare(a, b Value) int {
+	if a.K == KindNull || b.K == KindNull {
+		switch {
+		case a.K == b.K:
+			return 0
+		case a.K == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch {
+	case a.K == KindString || b.K == KindString:
+		if a.K != KindString || b.K != KindString {
+			panic("expr: comparing string with non-string")
+		}
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		}
+		return 0
+	case a.K == KindBool || b.K == KindBool:
+		if a.K != KindBool || b.K != KindBool {
+			panic("expr: comparing bool with non-bool")
+		}
+		switch {
+		case !a.B && b.B:
+			return -1
+		case a.B && !b.B:
+			return 1
+		}
+		return 0
+	case a.K == KindInt && b.K == KindInt:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	default:
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	}
+}
+
+// Equal reports value equality under Compare semantics; NULL equals
+// nothing, not even NULL (SQL three-valued logic collapsed to false).
+func Equal(a, b Value) bool {
+	if a.K == KindNull || b.K == KindNull {
+		return false
+	}
+	return Compare(a, b) == 0
+}

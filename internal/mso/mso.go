@@ -1,0 +1,251 @@
+// Package mso evaluates the robustness metrics of the paper: empirical
+// Maximum Sub-Optimality (Eq. 4) via exhaustive enumeration of the ESS,
+// Average Sub-Optimality (Eq. 8), sub-optimality histograms (Fig. 12),
+// and the native-optimizer baseline (Eq. 2).
+package mso
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core/discovery"
+	"repro/internal/ess"
+)
+
+// Runner evaluates one discovery run for the true location qa and
+// returns its outcome. Implementations must be safe for concurrent
+// calls (create per-call engines).
+type Runner func(qa int32) (*discovery.Outcome, error)
+
+// Options configures a sweep.
+type Options struct {
+	// Workers bounds parallelism (default NumCPU).
+	Workers int
+	// Stride samples every Stride-th grid point (default 1 = exhaustive).
+	// Used to keep 5D/6D sweeps tractable; EXPERIMENTS.md records the
+	// stride used per experiment.
+	Stride int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.Stride == 0 {
+		o.Stride = 1
+	}
+	return o
+}
+
+// Result aggregates a sweep.
+type Result struct {
+	// MSO is the maximum sub-optimality over the evaluated locations.
+	MSO float64
+	// ArgMax is the location attaining MSO.
+	ArgMax int32
+	// ASO is the average sub-optimality (Eq. 8, uniform over locations).
+	ASO float64
+	// Points are the evaluated locations.
+	Points []int32
+	// SubOpts are the per-location sub-optimalities, aligned with Points.
+	SubOpts []float64
+}
+
+// Sweep evaluates the runner at every Stride-th grid location in
+// parallel and aggregates MSO/ASO.
+func Sweep(s *ess.Space, run Runner, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n := s.Grid.NumPoints()
+	var pts []int32
+	for p := 0; p < n; p += opts.Stride {
+		pts = append(pts, int32(p))
+	}
+	res := &Result{Points: pts, SubOpts: make([]float64, len(pts)), ArgMax: -1}
+
+	var wg sync.WaitGroup
+	errs := make([]error, opts.Workers)
+	chunk := (len(pts) + opts.Workers - 1) / opts.Workers
+	for w := 0; w < opts.Workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				qa := pts[i]
+				out, err := run(qa)
+				if err != nil {
+					errs[w] = fmt.Errorf("mso: qa=%d: %w", qa, err)
+					return
+				}
+				res.SubOpts[i] = out.SubOpt(s.PointCost[qa])
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sum := 0.0
+	for i, so := range res.SubOpts {
+		sum += so
+		if so > res.MSO {
+			res.MSO = so
+			res.ArgMax = pts[i]
+		}
+	}
+	if len(pts) > 0 {
+		res.ASO = sum / float64(len(pts))
+	}
+	return res, nil
+}
+
+// Bucket is one histogram bucket of a sub-optimality distribution.
+type Bucket struct {
+	// Lo and Hi bound the sub-optimality range [Lo, Hi).
+	Lo, Hi float64
+	// Count is the number of locations falling in the range.
+	Count int
+	// Frac is Count over the total.
+	Frac float64
+}
+
+// Histogram buckets the sub-optimalities with the given width (the
+// paper's Fig. 12 uses width 5).
+func Histogram(subopts []float64, width float64) []Bucket {
+	if width <= 0 || len(subopts) == 0 {
+		return nil
+	}
+	max := 0.0
+	for _, so := range subopts {
+		if so > max {
+			max = so
+		}
+	}
+	nb := int(max/width) + 1
+	buckets := make([]Bucket, nb)
+	for i := range buckets {
+		buckets[i].Lo = float64(i) * width
+		buckets[i].Hi = float64(i+1) * width
+	}
+	for _, so := range subopts {
+		buckets[int(so/width)].Count++
+	}
+	for i := range buckets {
+		buckets[i].Frac = float64(buckets[i].Count) / float64(len(subopts))
+	}
+	return buckets
+}
+
+// NativeWorstCase computes the native optimizer's worst-case MSO (Eq. 2):
+// for each true location the adversarial estimate is the POSP plan that
+// performs worst there — estimation errors can land on any qe, so the
+// bound maximizes over both coordinates.
+func NativeWorstCase(s *ess.Space, opts Options) *Result {
+	opts = opts.withDefaults()
+	n := s.Grid.NumPoints()
+	var pts []int32
+	for p := 0; p < n; p += opts.Stride {
+		pts = append(pts, int32(p))
+	}
+	res := &Result{Points: pts, SubOpts: make([]float64, len(pts)), ArgMax: -1}
+
+	var wg sync.WaitGroup
+	chunk := (len(pts) + opts.Workers - 1) / opts.Workers
+	for w := 0; w < opts.Workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			ev := s.NewEvaluator()
+			for i := lo; i < hi; i++ {
+				qa := pts[i]
+				worst := 0.0
+				for pid := range s.Plans {
+					if c := ev.PlanCost(int32(pid), qa); c > worst {
+						worst = c
+					}
+				}
+				res.SubOpts[i] = worst / s.PointCost[qa]
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	sum := 0.0
+	for i, so := range res.SubOpts {
+		sum += so
+		if so > res.MSO {
+			res.MSO = so
+			res.ArgMax = pts[i]
+		}
+	}
+	if len(pts) > 0 {
+		res.ASO = sum / float64(len(pts))
+	}
+	return res
+}
+
+// NativeAt computes the sub-optimality profile of the plan a traditional
+// optimizer would pick at the estimate location qe, across all true
+// locations: SubOpt(qe, qa) of Eq. 1.
+func NativeAt(s *ess.Space, qe int32, opts Options) *Result {
+	opts = opts.withDefaults()
+	pid := s.PointPlan[qe]
+	n := s.Grid.NumPoints()
+	var pts []int32
+	for p := 0; p < n; p += opts.Stride {
+		pts = append(pts, int32(p))
+	}
+	res := &Result{Points: pts, SubOpts: make([]float64, len(pts)), ArgMax: -1}
+	ev := s.NewEvaluator()
+	sum := 0.0
+	for i, qa := range pts {
+		so := ev.PlanCost(pid, qa) / s.PointCost[qa]
+		res.SubOpts[i] = so
+		sum += so
+		if so > res.MSO {
+			res.MSO = so
+			res.ArgMax = qa
+		}
+	}
+	if len(pts) > 0 {
+		res.ASO = sum / float64(len(pts))
+	}
+	return res
+}
+
+// PercentileSubOpt returns the p-quantile (0..1) of the sub-optimality
+// distribution, interpolation-free (nearest rank).
+func PercentileSubOpt(subopts []float64, p float64) float64 {
+	if len(subopts) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), subopts...)
+	sort.Float64s(sorted)
+	rank := int(p*float64(len(sorted))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,183 @@
+package mso
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core/alignedbound"
+	"repro/internal/core/bouquet"
+	"repro/internal/core/discovery"
+	"repro/internal/core/spillbound"
+	"repro/internal/testutil"
+)
+
+func TestSweepSpillBound(t *testing.T) {
+	s := testutil.Space2D(t, 10)
+	res, err := Sweep(s, func(qa int32) (*discovery.Outcome, error) {
+		return spillbound.Run(s, discovery.NewSimEngine(s, qa))
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != s.Grid.NumPoints() {
+		t.Fatalf("exhaustive sweep covered %d points", len(res.Points))
+	}
+	if res.MSO < 1 || res.MSO > spillbound.Guarantee(2) {
+		t.Fatalf("MSOe = %v outside (1, %v]", res.MSO, spillbound.Guarantee(2))
+	}
+	if res.ASO < 1 || res.ASO > res.MSO {
+		t.Fatalf("ASO = %v inconsistent with MSO = %v", res.ASO, res.MSO)
+	}
+	if res.ArgMax < 0 {
+		t.Fatal("ArgMax unset")
+	}
+	// ArgMax should actually attain MSO.
+	found := false
+	for i, p := range res.Points {
+		if p == res.ArgMax && res.SubOpts[i] == res.MSO {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ArgMax does not attain MSO")
+	}
+}
+
+func TestSweepStride(t *testing.T) {
+	s := testutil.Space2D(t, 10)
+	res, err := Sweep(s, func(qa int32) (*discovery.Outcome, error) {
+		return spillbound.Run(s, discovery.NewSimEngine(s, qa))
+	}, Options{Stride: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (s.Grid.NumPoints() + 6) / 7
+	if len(res.Points) != want {
+		t.Fatalf("stride sweep covered %d points, want %d", len(res.Points), want)
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	s := testutil.Space2D(t, 8)
+	boom := errors.New("boom")
+	_, err := Sweep(s, func(qa int32) (*discovery.Outcome, error) {
+		if qa == 5 {
+			return nil, boom
+		}
+		return &discovery.Outcome{TotalCost: s.PointCost[qa], Completed: true}, nil
+	}, Options{})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+// Fig. 10/13 shape: PB's empirical MSO must exceed SB's, and AB must not
+// exceed SB, on the same space.
+func TestOrderingPBvsSBvsAB(t *testing.T) {
+	s := testutil.Space2D(t, 12)
+	red := s.Reduce(0.2)
+	pb, err := Sweep(s, func(qa int32) (*discovery.Outcome, error) {
+		return bouquet.Run(s, red, discovery.NewSimEngine(s, qa))
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Sweep(s, func(qa int32) (*discovery.Outcome, error) {
+		return spillbound.Run(s, discovery.NewSimEngine(s, qa))
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := alignedbound.NewPlanner(s)
+	ab, err := Sweep(s, func(qa int32) (*discovery.Outcome, error) {
+		out, _, err := alignedbound.Run(s, pl, discovery.NewSimEngine(s, qa))
+		return out, err
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.MSO > pb.MSO*1.05 {
+		t.Errorf("MSOe: SB (%v) should not exceed PB (%v)", sb.MSO, pb.MSO)
+	}
+	if ab.MSO > sb.MSO*1.5 {
+		t.Errorf("MSOe: AB (%v) should track SB (%v)", ab.MSO, sb.MSO)
+	}
+	if sb.ASO > pb.ASO*1.1 {
+		t.Errorf("ASO: SB (%v) should not exceed PB (%v)", sb.ASO, pb.ASO)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	subopts := []float64{0.5, 1, 4.9, 5, 12, 12.5}
+	h := Histogram(subopts, 5)
+	if len(h) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(h))
+	}
+	if h[0].Count != 3 || h[1].Count != 1 || h[2].Count != 2 {
+		t.Fatalf("counts = %d,%d,%d", h[0].Count, h[1].Count, h[2].Count)
+	}
+	if math.Abs(h[0].Frac-0.5) > 1e-9 {
+		t.Errorf("frac = %v", h[0].Frac)
+	}
+	if h[0].Lo != 0 || h[0].Hi != 5 || h[2].Lo != 10 {
+		t.Error("bucket bounds wrong")
+	}
+	if Histogram(nil, 5) != nil || Histogram(subopts, 0) != nil {
+		t.Error("degenerate histograms should be nil")
+	}
+}
+
+func TestNativeWorstCaseDominatesRobust(t *testing.T) {
+	s := testutil.Space2D(t, 12)
+	native := NativeWorstCase(s, Options{})
+	sb, err := Sweep(s, func(qa int32) (*discovery.Outcome, error) {
+		return spillbound.Run(s, discovery.NewSimEngine(s, qa))
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole point of the paper: the native worst case dwarfs SB.
+	if native.MSO < sb.MSO {
+		t.Errorf("native worst-case MSO (%v) should exceed SB's (%v)", native.MSO, sb.MSO)
+	}
+	if native.MSO < 10 {
+		t.Errorf("native worst-case MSO (%v) suspiciously low", native.MSO)
+	}
+}
+
+func TestNativeAt(t *testing.T) {
+	s := testutil.Space2D(t, 12)
+	// Estimate at origin (classic underestimate), truth anywhere.
+	res := NativeAt(s, int32(s.Grid.Origin()), Options{})
+	if res.MSO < 1 {
+		t.Fatalf("MSO = %v", res.MSO)
+	}
+	// At the estimate location itself the sub-optimality is exactly 1.
+	for i, p := range res.Points {
+		if p == int32(s.Grid.Origin()) && math.Abs(res.SubOpts[i]-1) > 1e-9 {
+			t.Errorf("sub-opt at qe should be 1, got %v", res.SubOpts[i])
+		}
+	}
+	// Worst case over estimates must dominate any single estimate.
+	worst := NativeWorstCase(s, Options{})
+	if worst.MSO < res.MSO {
+		t.Error("worst case must dominate a fixed estimate")
+	}
+}
+
+func TestPercentileSubOpt(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	if got := PercentileSubOpt(vals, 0.5); got != 2 {
+		t.Errorf("median-ish = %v", got)
+	}
+	if got := PercentileSubOpt(vals, 1.0); got != 5 {
+		t.Errorf("max = %v", got)
+	}
+	if got := PercentileSubOpt(vals, 0.0); got != 1 {
+		t.Errorf("min = %v", got)
+	}
+	if !math.IsNaN(PercentileSubOpt(nil, 0.5)) {
+		t.Error("empty should be NaN")
+	}
+}

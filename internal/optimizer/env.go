@@ -1,0 +1,46 @@
+package optimizer
+
+import (
+	"repro/internal/cost"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// BuildEnv constructs the base costing environment for a query: raw and
+// filtered cardinalities and index selectivities from statistics, and
+// every join selectivity initialized to its statistics estimate.
+// Robust-processing code then overrides the epp entries per ESS
+// location via SetEPPSel; the non-epp entries stay at their estimates,
+// which the paper's framework assumes accurate.
+func BuildEnv(q *query.Query, st *stats.Stats) *cost.Env {
+	n := len(q.Relations)
+	env := &cost.Env{
+		RawRows:      make([]float64, n),
+		FilteredRows: make([]float64, n),
+		IndexSel:     make([]float64, n),
+		JoinSel:      make([]float64, len(q.Joins)),
+	}
+	for i := range q.Relations {
+		env.RawRows[i] = st.TableRows(q.Relations[i].Table)
+		env.FilteredRows[i] = st.FilteredRows(q, i)
+		if env.FilteredRows[i] < 1 {
+			env.FilteredRows[i] = 1
+		}
+		env.IndexSel[i] = st.BestIndexSel(q, i)
+	}
+	for _, j := range q.Joins {
+		env.JoinSel[j.ID] = st.JoinSelEstimate(q, j)
+	}
+	return env
+}
+
+// SetEPPSel overrides the epp join selectivities of env with the given
+// ESS location (sel[d] is the selectivity of dimension d).
+func SetEPPSel(env *cost.Env, q *query.Query, sel []float64) {
+	if len(sel) != q.D() {
+		panic("optimizer: selectivity vector dimension mismatch")
+	}
+	for d, joinID := range q.EPPs {
+		env.JoinSel[joinID] = sel[d]
+	}
+}

@@ -1,0 +1,283 @@
+// Package optimizer implements a System-R style dynamic-programming
+// query optimizer over the physical operators of package plan. Given a
+// selectivity environment it returns the cost-optimal bushy join tree;
+// repeated invocations with injected selectivities enumerate the
+// Parametric Optimal Set of Plans (POSP) over the ESS.
+//
+// Beyond the classic Best search, the optimizer supports spill-class
+// enumeration: the cheapest plan per "first spilled epp" class, the
+// engine hook AlignedBound needs to find minimum-penalty replacement
+// plans (§5.1 of the paper; the authors patched PostgreSQL for this).
+package optimizer
+
+import (
+	"math/bits"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// Plan is an optimized plan with its estimated cost and cardinality.
+type Plan struct {
+	// Root is the physical plan tree.
+	Root *plan.Node
+	// Cost is the estimated total cost under the env used to optimize.
+	Cost float64
+	// Rows is the estimated output cardinality.
+	Rows float64
+}
+
+// Optimizer searches the bushy plan space of one query.
+type Optimizer struct {
+	q     *query.Query
+	model *cost.Model
+	edges []edge
+	// hasFilter marks relations where an index scan is applicable.
+	hasFilter []bool
+	// eppDim maps join ID to ESS dimension, -1 for non-epps.
+	eppDim []int
+}
+
+type edge struct {
+	a, b   int // relation indexes
+	joinID int
+}
+
+// New builds an optimizer for the query. The query must validate.
+func New(q *query.Query, model *cost.Model) *Optimizer {
+	o := &Optimizer{q: q, model: model}
+	for _, j := range q.Joins {
+		o.edges = append(o.edges, edge{a: j.LeftRel, b: j.RightRel, joinID: j.ID})
+	}
+	o.hasFilter = make([]bool, len(q.Relations))
+	for i := range q.Relations {
+		o.hasFilter[i] = len(q.Relations[i].Filters) > 0
+	}
+	o.eppDim = make([]int, len(q.Joins))
+	for i := range o.eppDim {
+		o.eppDim[i] = q.EPPDim(i)
+	}
+	return o
+}
+
+// Query returns the query being optimized.
+func (o *Optimizer) Query() *query.Query { return o.q }
+
+// Best returns the cost-optimal plan under env.
+func (o *Optimizer) Best(env *cost.Env) *Plan {
+	cands := o.search(env, nil)
+	return bestOf(cands)
+}
+
+// BestPerSpillClass returns, for each remaining epp dimension, the
+// cheapest plan whose spill-node identification (against remaining)
+// selects that epp. Keys are join IDs. Plans exist only for classes the
+// plan space can realize.
+func (o *Optimizer) BestPerSpillClass(env *cost.Env, remaining map[int]bool) map[int]*Plan {
+	cands := o.search(env, remaining)
+	out := make(map[int]*Plan)
+	for _, c := range cands {
+		if c == nil || c.spillJoin < 0 {
+			continue
+		}
+		if prev := out[c.spillJoin]; prev == nil || c.cost < prev.Cost {
+			out[c.spillJoin] = &Plan{Root: c.node, Cost: c.cost, Rows: c.rows}
+		}
+	}
+	return out
+}
+
+// cand is a DP candidate: a plan for some relation subset together with
+// its cost, cardinality, and spill class.
+type cand struct {
+	node *plan.Node
+	cost float64
+	rows float64
+	// spillJoin is the join ID the plan would spill on (first unlearned
+	// epp in pipeline order), or -1.
+	spillJoin int
+	sig       string // lazily computed for deterministic tie-breaks
+}
+
+// search runs the DP. When classes is nil only the single cheapest
+// candidate per subset is kept; otherwise the cheapest per spill class.
+func (o *Optimizer) search(env *cost.Env, classes map[int]bool) []*cand {
+	n := len(o.q.Relations)
+	full := uint32(1)<<uint(n) - 1
+	// table[mask] is a small slice of candidates for the subset.
+	table := make([][]*cand, full+1)
+
+	for r := 0; r < n; r++ {
+		table[1<<uint(r)] = o.scanCands(r, env)
+	}
+
+	for mask := uint32(1); mask <= full; mask++ {
+		if bits.OnesCount32(mask) < 2 {
+			continue
+		}
+		var results []*cand
+		// Enumerate proper submask splits; both orientations appear.
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			other := mask ^ sub
+			if sub > other {
+				continue // each unordered split once; orientations handled below
+			}
+			ls, rs := table[sub], table[other]
+			if ls == nil || rs == nil {
+				continue
+			}
+			joinIDs := o.crossingJoins(sub, other)
+			if len(joinIDs) == 0 {
+				continue // avoid cross products
+			}
+			for _, l := range ls {
+				for _, r := range rs {
+					results = o.emitJoins(results, l, r, joinIDs, env, classes)
+					results = o.emitJoins(results, r, l, joinIDs, env, classes)
+				}
+			}
+		}
+		table[mask] = results
+	}
+	return table[full]
+}
+
+// scanCands returns the access-path candidates for one relation.
+func (o *Optimizer) scanCands(rel int, env *cost.Env) []*cand {
+	mk := func(m plan.ScanMethod) *cand {
+		node := plan.NewScan(rel, m)
+		res := o.model.Cost(node, env)
+		return &cand{node: node, cost: res.Cost, rows: res.Rows, spillJoin: -1}
+	}
+	seq := mk(plan.SeqScan)
+	if !o.hasFilter[rel] {
+		return []*cand{seq}
+	}
+	idx := mk(plan.IndexScan)
+	if idx.cost < seq.cost {
+		return []*cand{idx}
+	}
+	return []*cand{seq}
+}
+
+// crossingJoins returns join IDs with one endpoint in each subset, the
+// epp joins first so the primary (physical) predicate of a node is the
+// epp when one exists.
+func (o *Optimizer) crossingJoins(a, b uint32) []int {
+	var ids []int
+	for _, e := range o.edges {
+		am, bm := uint32(1)<<uint(e.a), uint32(1)<<uint(e.b)
+		if (am&a != 0 && bm&b != 0) || (am&b != 0 && bm&a != 0) {
+			ids = append(ids, e.joinID)
+		}
+	}
+	return ids
+}
+
+// emitJoins generates all physical joins of (l outer, r inner) and folds
+// them into the candidate set with per-class pruning.
+func (o *Optimizer) emitJoins(results []*cand, l, r *cand, joinIDs []int, env *cost.Env, classes map[int]bool) []*cand {
+	methods := [...]plan.JoinMethod{plan.HashJoin, plan.MergeJoin, plan.IndexNLJoin, plan.NLJoin}
+	for _, m := range methods {
+		if m == plan.IndexNLJoin && !r.node.IsScan() {
+			continue
+		}
+		node := plan.NewJoin(m, joinIDs, l.node, r.node)
+		res := o.model.Cost(node, env)
+		c := &cand{
+			node:      node,
+			cost:      res.Cost,
+			rows:      res.Rows,
+			spillJoin: o.spillClass(m, l, r, joinIDs, classes),
+		}
+		results = insertCand(results, c, classes != nil)
+	}
+	return results
+}
+
+// spillClass composes the "first spilled epp" of a joined plan from its
+// children, following pipeline execution order (see plan.Pipelines):
+// HashJoin and NLJoin run the inner side's pipelines first, MergeJoin
+// and IndexNLJoin the outer side's.
+func (o *Optimizer) spillClass(m plan.JoinMethod, l, r *cand, joinIDs []int, classes map[int]bool) int {
+	if classes == nil {
+		return -1
+	}
+	own := -1
+	for _, id := range joinIDs {
+		if classes[id] {
+			own = id
+			break
+		}
+	}
+	pick := func(first, second int) int {
+		if first >= 0 {
+			return first
+		}
+		if second >= 0 {
+			return second
+		}
+		return own
+	}
+	switch m {
+	case plan.HashJoin, plan.NLJoin:
+		return pick(r.spillJoin, l.spillJoin)
+	case plan.MergeJoin:
+		return pick(l.spillJoin, r.spillJoin)
+	case plan.IndexNLJoin:
+		return pick(l.spillJoin, -1)
+	default:
+		panic("optimizer: unknown join method")
+	}
+}
+
+// insertCand keeps the cheapest candidate overall and, if perClass, the
+// cheapest per spill class. Ties break on plan signature so that POSP
+// enumeration is deterministic.
+func insertCand(results []*cand, c *cand, perClass bool) []*cand {
+	if !perClass {
+		if len(results) == 0 {
+			return append(results, c)
+		}
+		if better(c, results[0]) {
+			results[0] = c
+		}
+		return results
+	}
+	for i, prev := range results {
+		if prev.spillJoin == c.spillJoin {
+			if better(c, prev) {
+				results[i] = c
+			}
+			return results
+		}
+	}
+	return append(results, c)
+}
+
+func better(a, b *cand) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	if a.sig == "" {
+		a.sig = a.node.Signature()
+	}
+	if b.sig == "" {
+		b.sig = b.node.Signature()
+	}
+	return a.sig < b.sig
+}
+
+func bestOf(cands []*cand) *Plan {
+	var best *cand
+	for _, c := range cands {
+		if best == nil || better(c, best) {
+			best = c
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return &Plan{Root: best.node, Cost: best.cost, Rows: best.rows}
+}

@@ -1,0 +1,105 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// Format renders the plan as an indented operator tree, resolving
+// relation indexes and join predicates against the query:
+//
+//	HashJoin [cs.cs_sold_date_sk = d.date_dim_sk]
+//	├─ IndexNLJoin [cs.cs_bill_customer_sk = c.c_customer_sk]
+//	│  ├─ SeqScan catalog_sales AS cs
+//	│  └─ IndexScan customer AS c
+//	└─ SeqScan date_dim AS d
+func Format(n *Node, q *query.Query) string {
+	var b strings.Builder
+	format(n, q, &b, "", "")
+	return b.String()
+}
+
+func format(n *Node, q *query.Query, b *strings.Builder, prefix, childPrefix string) {
+	b.WriteString(prefix)
+	if n.IsScan() {
+		r := &q.Relations[n.Scan.Rel]
+		name := scanName(n.Scan.Method)
+		fmt.Fprintf(b, "%s %s", name, r.Table)
+		if r.Alias != r.Table {
+			fmt.Fprintf(b, " AS %s", r.Alias)
+		}
+		if len(r.Filters) > 0 {
+			var parts []string
+			for _, f := range r.Filters {
+				parts = append(parts, f.String())
+			}
+			fmt.Fprintf(b, " (%s)", strings.Join(parts, " AND "))
+		}
+		b.WriteByte('\n')
+		return
+	}
+	fmt.Fprintf(b, "%s [%s]\n", joinName(n.Join.Method), joinPreds(n, q))
+	format(n.Left, q, b, childPrefix+"├─ ", childPrefix+"│  ")
+	format(n.Right, q, b, childPrefix+"└─ ", childPrefix+"   ")
+}
+
+func scanName(m ScanMethod) string {
+	switch m {
+	case SeqScan:
+		return "SeqScan"
+	case IndexScan:
+		return "IndexScan"
+	default:
+		return m.String()
+	}
+}
+
+func joinName(m JoinMethod) string {
+	switch m {
+	case HashJoin:
+		return "HashJoin"
+	case MergeJoin:
+		return "MergeJoin"
+	case IndexNLJoin:
+		return "IndexNLJoin"
+	case NLJoin:
+		return "NestedLoops"
+	default:
+		return m.String()
+	}
+}
+
+func joinPreds(n *Node, q *query.Query) string {
+	var parts []string
+	for _, id := range n.Join.JoinIDs {
+		j := q.Joins[id]
+		star := ""
+		if q.EPPDim(id) >= 0 {
+			star = "*"
+		}
+		parts = append(parts, fmt.Sprintf("%s.%s = %s.%s%s",
+			q.Relations[j.LeftRel].Alias, j.LeftCol,
+			q.Relations[j.RightRel].Alias, j.RightCol, star))
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// FormatPipelines renders the plan's pipeline decomposition, one line
+// per pipeline in execution order.
+func FormatPipelines(root *Node, q *query.Query) string {
+	var b strings.Builder
+	for i, p := range Pipelines(root) {
+		fmt.Fprintf(&b, "L%d:", i+1)
+		for _, n := range p.Nodes {
+			if n.IsScan() {
+				fmt.Fprintf(&b, " %s(%s)", n.Scan.Method, q.Relations[n.Scan.Rel].Alias)
+			} else {
+				fmt.Fprintf(&b, " %s[%d]", n.Join.Method, n.Join.JoinIDs[0])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/query"
+)
+
+func formatQuery() *query.Query {
+	cat := catalog.TPCDS(1)
+	q := &query.Query{
+		Name: "fmt",
+		Cat:  cat,
+		Relations: []query.Relation{
+			{Table: "catalog_sales", Alias: "cs"},
+			{Table: "date_dim", Alias: "d", Filters: []query.FilterPred{
+				{Column: "d_year", Op: expr.EQ, Value: 2000},
+			}},
+			{Table: "customer", Alias: "customer"},
+		},
+		Joins: []query.Join{
+			{ID: 0, LeftRel: 0, RightRel: 1, LeftCol: "cs_sold_date_sk", RightCol: "date_dim_sk"},
+			{ID: 1, LeftRel: 0, RightRel: 2, LeftCol: "cs_bill_customer_sk", RightCol: "c_customer_sk"},
+		},
+		EPPs: []int{1},
+	}
+	return q
+}
+
+func formatPlan() *Node {
+	inner := NewJoin(IndexNLJoin, []int{1}, NewScan(0, SeqScan), NewScan(2, SeqScan))
+	return NewJoin(HashJoin, []int{0}, inner, NewScan(1, IndexScan))
+}
+
+func TestFormatTree(t *testing.T) {
+	q := formatQuery()
+	out := Format(formatPlan(), q)
+	for _, want := range []string{
+		"HashJoin [cs.cs_sold_date_sk = d.date_dim_sk]",
+		"IndexNLJoin [cs.cs_bill_customer_sk = customer.c_customer_sk*]", // epp starred
+		"SeqScan catalog_sales AS cs",
+		"IndexScan date_dim AS d (d_year = 2000)",
+		"SeqScan customer\n", // no AS when alias == table
+		"├─ ", "└─ ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q in:\n%s", want, out)
+		}
+	}
+	// Scans with alias==table must not emit AS.
+	if strings.Contains(out, "customer AS customer") {
+		t.Error("redundant AS emitted")
+	}
+}
+
+func TestFormatPipelines(t *testing.T) {
+	q := formatQuery()
+	out := FormatPipelines(formatPlan(), q)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// HJ build side (IndexScan d) runs first, then the probe pipeline
+	// SS(cs) → INL → HJ.
+	if len(lines) != 2 {
+		t.Fatalf("pipelines = %d lines: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "IS(d)") {
+		t.Errorf("first pipeline should be the build scan: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "SS(cs) INL[1] HJ[0]") {
+		t.Errorf("probe pipeline wrong: %q", lines[1])
+	}
+}

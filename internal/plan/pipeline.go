@@ -1,0 +1,105 @@
+package plan
+
+// Pipeline is a maximal concurrently-executing operator chain of a plan,
+// per the execution model of §3.1.1: blocking operators (hash build,
+// sort, materialize) terminate pipelines, and pipelines execute one at a
+// time in a fixed order.
+type Pipeline struct {
+	// Nodes in upstream-to-downstream order (deepest first).
+	Nodes []*Node
+}
+
+// Pipelines decomposes the plan into its pipelines in execution order.
+//
+// The decomposition rules mirror the iterator model:
+//
+//   - A scan starts a streaming pipeline.
+//   - HashJoin: the build (right) side's pipelines run first — the last
+//     of them ends blocked at the hash-table build — then the probe
+//     (left) side's pipelines run, with this join appended to the probe
+//     side's final streaming pipeline.
+//   - MergeJoin: both children's pipelines run (each ending blocked at a
+//     sort), then a fresh merge pipeline containing this node runs.
+//   - IndexNLJoin: the inner side is index lookups (no pipeline of its
+//     own); this node extends the outer side's final pipeline.
+//   - NLJoin: the inner side's pipelines run first (ending blocked at a
+//     materialize), then this node extends the outer side's final
+//     pipeline.
+func Pipelines(root *Node) []Pipeline {
+	done, open := decompose(root)
+	return append(done, Pipeline{Nodes: open})
+}
+
+// decompose returns the completed pipelines of the subtree in execution
+// order, plus the still-open streaming chain ending at n.
+func decompose(n *Node) (done []Pipeline, open []*Node) {
+	if n.IsScan() {
+		return nil, []*Node{n}
+	}
+	switch n.Join.Method {
+	case HashJoin:
+		bDone, bOpen := decompose(n.Right)
+		done = append(done, bDone...)
+		done = append(done, Pipeline{Nodes: bOpen}) // blocked at build
+		pDone, pOpen := decompose(n.Left)
+		done = append(done, pDone...)
+		return done, append(pOpen, n)
+	case MergeJoin:
+		lDone, lOpen := decompose(n.Left)
+		done = append(done, lDone...)
+		done = append(done, Pipeline{Nodes: lOpen}) // blocked at sort
+		rDone, rOpen := decompose(n.Right)
+		done = append(done, rDone...)
+		done = append(done, Pipeline{Nodes: rOpen}) // blocked at sort
+		return done, []*Node{n}                     // fresh merge pipeline
+	case IndexNLJoin:
+		oDone, oOpen := decompose(n.Left)
+		return oDone, append(oOpen, n)
+	case NLJoin:
+		iDone, iOpen := decompose(n.Right)
+		done = append(done, iDone...)
+		done = append(done, Pipeline{Nodes: iOpen}) // blocked at materialize
+		oDone, oOpen := decompose(n.Left)
+		done = append(done, oDone...)
+		return done, append(oOpen, n)
+	default:
+		panic("plan: unknown join method")
+	}
+}
+
+// EPPOrder returns the query join IDs of the epp join nodes in the
+// paper's total order: pipelines in execution order, and within a
+// pipeline upstream nodes first. isEPP selects which join IDs count.
+func EPPOrder(root *Node, isEPP func(joinID int) bool) []int {
+	var order []int
+	for _, p := range Pipelines(root) {
+		for _, n := range p.Nodes {
+			if n.Join == nil {
+				continue
+			}
+			for _, id := range n.Join.JoinIDs {
+				if isEPP(id) {
+					order = append(order, id)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// SpillJoin identifies the join predicate to spill on: the first epp in
+// the total order that is still unlearned (present in remaining).
+// It returns -1 if the plan has no remaining epp.
+func SpillJoin(root *Node, remaining map[int]bool) int {
+	for _, id := range EPPOrder(root, func(j int) bool { return remaining[j] }) {
+		return id
+	}
+	return -1
+}
+
+// SpillSubtree returns the subtree root executed in spill-mode for the
+// given join predicate: the node applying it. Output of this node is
+// discarded rather than forwarded downstream (§3.1.2).
+func SpillSubtree(root *Node, joinID int) *Node {
+	return root.FindJoinNode(joinID)
+}

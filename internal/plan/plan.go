@@ -1,0 +1,215 @@
+// Package plan defines physical execution plan trees, their pipeline
+// decomposition under the demand-driven iterator model, and the
+// spill-node identification procedure of the paper (§3.1.3): epps are
+// totally ordered by (pipeline execution order, upstream-before-
+// downstream), and spilling always targets the first unlearned epp.
+package plan
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// ScanMethod enumerates access paths for base relations.
+type ScanMethod int
+
+const (
+	// SeqScan reads the relation sequentially, applying filters.
+	SeqScan ScanMethod = iota
+	// IndexScan drives the most selective filter through a sorted index,
+	// applying residual filters afterwards.
+	IndexScan
+)
+
+// String returns a short display name.
+func (m ScanMethod) String() string {
+	switch m {
+	case SeqScan:
+		return "SS"
+	case IndexScan:
+		return "IS"
+	default:
+		return fmt.Sprintf("Scan(%d)", int(m))
+	}
+}
+
+// JoinMethod enumerates the physical join operators.
+type JoinMethod int
+
+const (
+	// HashJoin builds a hash table on the right (inner) child and probes
+	// with the left (outer) child.
+	HashJoin JoinMethod = iota
+	// MergeJoin sorts both children and merges.
+	MergeJoin
+	// IndexNLJoin streams the left child, probing a base-relation index
+	// on the right; the right child must be a scan leaf.
+	IndexNLJoin
+	// NLJoin materializes the right child and nest-loops over it.
+	NLJoin
+)
+
+// String returns a short display name.
+func (m JoinMethod) String() string {
+	switch m {
+	case HashJoin:
+		return "HJ"
+	case MergeJoin:
+		return "MJ"
+	case IndexNLJoin:
+		return "INL"
+	case NLJoin:
+		return "NL"
+	default:
+		return fmt.Sprintf("Join(%d)", int(m))
+	}
+}
+
+// Node is one operator in a physical plan tree. Exactly one of Scan and
+// Join is non-nil.
+type Node struct {
+	// Scan is set for leaf scan nodes.
+	Scan *ScanSpec
+	// Join is set for internal join nodes.
+	Join *JoinSpec
+	// Left and Right are the children of a join node (nil for scans).
+	// Left is the outer/probe side, Right the inner/build side.
+	Left, Right *Node
+	// Rels is the bitset of query relation indexes under this node.
+	Rels uint32
+}
+
+// ScanSpec describes a leaf scan.
+type ScanSpec struct {
+	// Rel is the query relation index scanned.
+	Rel int
+	// Method is the access path.
+	Method ScanMethod
+}
+
+// JoinSpec describes a join operator.
+type JoinSpec struct {
+	// Method is the physical join algorithm.
+	Method JoinMethod
+	// JoinIDs are the query join predicates applied at this node; the
+	// first is the "primary" predicate that drives hashing/merging, the
+	// rest (present only in cyclic join graphs) are residual conditions.
+	JoinIDs []int
+}
+
+// IsScan reports whether the node is a leaf scan.
+func (n *Node) IsScan() bool { return n.Scan != nil }
+
+// NumRels returns the number of relations under the node.
+func (n *Node) NumRels() int { return bits.OnesCount32(n.Rels) }
+
+// NewScan builds a scan leaf.
+func NewScan(rel int, m ScanMethod) *Node {
+	return &Node{Scan: &ScanSpec{Rel: rel, Method: m}, Rels: 1 << uint(rel)}
+}
+
+// NewJoin builds a join node over two children.
+func NewJoin(m JoinMethod, joinIDs []int, left, right *Node) *Node {
+	return &Node{
+		Join:  &JoinSpec{Method: m, JoinIDs: joinIDs},
+		Left:  left,
+		Right: right,
+		Rels:  left.Rels | right.Rels,
+	}
+}
+
+// Signature returns a canonical string identifying the plan's structure
+// (operators, methods, join order). Two plans with equal signatures are
+// the same plan for POSP bookkeeping.
+func (n *Node) Signature() string {
+	var b strings.Builder
+	n.signature(&b)
+	return b.String()
+}
+
+func (n *Node) signature(b *strings.Builder) {
+	if n.IsScan() {
+		fmt.Fprintf(b, "%s(%d)", n.Scan.Method, n.Scan.Rel)
+		return
+	}
+	b.WriteString(n.Join.Method.String())
+	b.WriteByte('[')
+	for i, id := range n.Join.JoinIDs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%d", id)
+	}
+	b.WriteString("](")
+	n.Left.signature(b)
+	b.WriteByte(',')
+	n.Right.signature(b)
+	b.WriteByte(')')
+}
+
+// Walk visits the tree in post-order (children before parents).
+func (n *Node) Walk(f func(*Node)) {
+	if n.Left != nil {
+		n.Left.Walk(f)
+	}
+	if n.Right != nil {
+		n.Right.Walk(f)
+	}
+	f(n)
+}
+
+// FindJoinNode returns the node applying the given join predicate, or nil.
+func (n *Node) FindJoinNode(joinID int) *Node {
+	var found *Node
+	n.Walk(func(m *Node) {
+		if found != nil || m.Join == nil {
+			return
+		}
+		for _, id := range m.Join.JoinIDs {
+			if id == joinID {
+				found = m
+				return
+			}
+		}
+	})
+	return found
+}
+
+// Validate checks structural invariants of the plan tree: children
+// present exactly for joins, disjoint relation sets, IndexNLJoin inner
+// side a leaf, and every node's Rels consistent.
+func (n *Node) Validate() error {
+	switch {
+	case n.IsScan():
+		if n.Left != nil || n.Right != nil {
+			return fmt.Errorf("plan: scan node with children")
+		}
+		if n.Rels != 1<<uint(n.Scan.Rel) {
+			return fmt.Errorf("plan: scan Rels inconsistent")
+		}
+		return nil
+	case n.Join != nil:
+		if n.Left == nil || n.Right == nil {
+			return fmt.Errorf("plan: join node missing children")
+		}
+		if len(n.Join.JoinIDs) == 0 {
+			return fmt.Errorf("plan: join node without predicates")
+		}
+		if n.Left.Rels&n.Right.Rels != 0 {
+			return fmt.Errorf("plan: overlapping children relation sets")
+		}
+		if n.Rels != n.Left.Rels|n.Right.Rels {
+			return fmt.Errorf("plan: join Rels inconsistent")
+		}
+		if n.Join.Method == IndexNLJoin && !n.Right.IsScan() {
+			return fmt.Errorf("plan: IndexNLJoin inner side must be a scan leaf")
+		}
+		if err := n.Left.Validate(); err != nil {
+			return err
+		}
+		return n.Right.Validate()
+	default:
+		return fmt.Errorf("plan: node is neither scan nor join")
+	}
+}

@@ -1,0 +1,274 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildTestPlan constructs:
+//
+//	HJ[2]( INL[1](SS(0), IS(1)), SS(2) )
+//
+// i.e. (R0 ⋈inl R1) ⋈hj R2, with R2 on the build side.
+func buildTestPlan() *Node {
+	inl := NewJoin(IndexNLJoin, []int{1}, NewScan(0, SeqScan), NewScan(1, IndexScan))
+	return NewJoin(HashJoin, []int{2}, inl, NewScan(2, SeqScan))
+}
+
+func TestMethodStrings(t *testing.T) {
+	if SeqScan.String() != "SS" || IndexScan.String() != "IS" {
+		t.Error("scan method names")
+	}
+	if HashJoin.String() != "HJ" || MergeJoin.String() != "MJ" || IndexNLJoin.String() != "INL" || NLJoin.String() != "NL" {
+		t.Error("join method names")
+	}
+	if !strings.Contains(ScanMethod(9).String(), "9") || !strings.Contains(JoinMethod(9).String(), "9") {
+		t.Error("unknown method display")
+	}
+}
+
+func TestRelsBitsets(t *testing.T) {
+	p := buildTestPlan()
+	if p.Rels != 0b111 {
+		t.Errorf("root Rels = %b, want 111", p.Rels)
+	}
+	if p.NumRels() != 3 {
+		t.Errorf("NumRels = %d", p.NumRels())
+	}
+	if p.Left.Rels != 0b011 || p.Right.Rels != 0b100 {
+		t.Error("child Rels wrong")
+	}
+}
+
+func TestSignature(t *testing.T) {
+	p := buildTestPlan()
+	want := "HJ[2](INL[1](SS(0),IS(1)),SS(2))"
+	if got := p.Signature(); got != want {
+		t.Errorf("Signature = %q, want %q", got, want)
+	}
+	// Signatures distinguish methods and shapes.
+	q := NewJoin(MergeJoin, []int{2}, p.Left, p.Right)
+	if q.Signature() == p.Signature() {
+		t.Error("different methods must have different signatures")
+	}
+}
+
+func TestWalkPostOrder(t *testing.T) {
+	p := buildTestPlan()
+	var seen []string
+	p.Walk(func(n *Node) {
+		if n.IsScan() {
+			seen = append(seen, n.Scan.Method.String())
+		} else {
+			seen = append(seen, n.Join.Method.String())
+		}
+	})
+	want := []string{"SS", "IS", "INL", "SS", "HJ"}
+	if len(seen) != len(want) {
+		t.Fatalf("walk visited %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestFindJoinNode(t *testing.T) {
+	p := buildTestPlan()
+	if n := p.FindJoinNode(1); n == nil || n.Join.Method != IndexNLJoin {
+		t.Error("FindJoinNode(1) should be the INL node")
+	}
+	if n := p.FindJoinNode(2); n == nil || n.Join.Method != HashJoin {
+		t.Error("FindJoinNode(2) should be the HJ node")
+	}
+	if p.FindJoinNode(99) != nil {
+		t.Error("missing join should be nil")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := buildTestPlan().Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	overlap := &Node{
+		Join:  &JoinSpec{Method: HashJoin, JoinIDs: []int{0}},
+		Left:  NewScan(0, SeqScan),
+		Right: NewScan(0, SeqScan),
+		Rels:  1,
+	}
+	if err := overlap.Validate(); err == nil {
+		t.Error("overlapping children should fail")
+	}
+
+	badINL := NewJoin(IndexNLJoin, []int{0},
+		NewScan(0, SeqScan),
+		NewJoin(HashJoin, []int{1}, NewScan(1, SeqScan), NewScan(2, SeqScan)))
+	if err := badINL.Validate(); err == nil {
+		t.Error("IndexNLJoin with non-leaf inner should fail")
+	}
+
+	noPred := &Node{
+		Join:  &JoinSpec{Method: HashJoin},
+		Left:  NewScan(0, SeqScan),
+		Right: NewScan(1, SeqScan),
+		Rels:  0b11,
+	}
+	if err := noPred.Validate(); err == nil {
+		t.Error("join without predicates should fail")
+	}
+
+	empty := &Node{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty node should fail")
+	}
+
+	scanKids := NewScan(0, SeqScan)
+	scanKids.Left = NewScan(1, SeqScan)
+	if err := scanKids.Validate(); err == nil {
+		t.Error("scan with children should fail")
+	}
+
+	halfJoin := &Node{Join: &JoinSpec{Method: HashJoin, JoinIDs: []int{0}}, Left: NewScan(0, SeqScan), Rels: 1}
+	if err := halfJoin.Validate(); err == nil {
+		t.Error("join missing a child should fail")
+	}
+
+	badRels := NewJoin(HashJoin, []int{0}, NewScan(0, SeqScan), NewScan(1, SeqScan))
+	badRels.Rels = 0b1
+	if err := badRels.Validate(); err == nil {
+		t.Error("inconsistent Rels should fail")
+	}
+}
+
+func TestPipelinesHashJoin(t *testing.T) {
+	// HJ(SS(0), SS(1)): build pipeline = [SS(1)], probe = [SS(0), HJ].
+	p := NewJoin(HashJoin, []int{0}, NewScan(0, SeqScan), NewScan(1, SeqScan))
+	ps := Pipelines(p)
+	if len(ps) != 2 {
+		t.Fatalf("pipelines = %d, want 2", len(ps))
+	}
+	if len(ps[0].Nodes) != 1 || !ps[0].Nodes[0].IsScan() || ps[0].Nodes[0].Scan.Rel != 1 {
+		t.Error("first pipeline should be the build side scan")
+	}
+	if len(ps[1].Nodes) != 2 || ps[1].Nodes[1] != p {
+		t.Error("second pipeline should be probe scan + join")
+	}
+}
+
+func TestPipelinesMergeJoin(t *testing.T) {
+	p := NewJoin(MergeJoin, []int{0}, NewScan(0, SeqScan), NewScan(1, SeqScan))
+	ps := Pipelines(p)
+	// sort-left, sort-right, merge.
+	if len(ps) != 3 {
+		t.Fatalf("pipelines = %d, want 3", len(ps))
+	}
+	if ps[0].Nodes[0].Scan.Rel != 0 || ps[1].Nodes[0].Scan.Rel != 1 {
+		t.Error("sort pipelines out of order")
+	}
+	if len(ps[2].Nodes) != 1 || ps[2].Nodes[0] != p {
+		t.Error("merge pipeline should contain only the join")
+	}
+}
+
+func TestPipelinesIndexNLJoin(t *testing.T) {
+	p := NewJoin(IndexNLJoin, []int{0}, NewScan(0, SeqScan), NewScan(1, IndexScan))
+	ps := Pipelines(p)
+	if len(ps) != 1 {
+		t.Fatalf("pipelines = %d, want 1 (INL streams)", len(ps))
+	}
+	if len(ps[0].Nodes) != 2 || ps[0].Nodes[1] != p {
+		t.Error("INL should extend the outer pipeline")
+	}
+}
+
+func TestPipelinesNLJoin(t *testing.T) {
+	p := NewJoin(NLJoin, []int{0}, NewScan(0, SeqScan), NewScan(1, SeqScan))
+	ps := Pipelines(p)
+	if len(ps) != 2 {
+		t.Fatalf("pipelines = %d, want 2", len(ps))
+	}
+	if ps[0].Nodes[0].Scan.Rel != 1 {
+		t.Error("inner materialization should run first")
+	}
+}
+
+func TestPipelinesNested(t *testing.T) {
+	// HJ[3]( MJ[1](SS0,SS1), HJ[2](SS2,SS3) )
+	mj := NewJoin(MergeJoin, []int{1}, NewScan(0, SeqScan), NewScan(1, SeqScan))
+	hj2 := NewJoin(HashJoin, []int{2}, NewScan(2, SeqScan), NewScan(3, SeqScan))
+	root := NewJoin(HashJoin, []int{3}, mj, hj2)
+	ps := Pipelines(root)
+	// Build side (hj2) first: [SS3], [SS2, HJ2]; then probe (mj):
+	// [SS0], [SS1], [MJ, root].
+	if len(ps) != 5 {
+		t.Fatalf("pipelines = %d, want 5", len(ps))
+	}
+	last := ps[4].Nodes
+	if len(last) != 2 || last[0] != mj || last[1] != root {
+		t.Error("final pipeline should be merge join extended through root")
+	}
+}
+
+func allEPP(int) bool { return true }
+
+func TestEPPOrderHashBuildFirst(t *testing.T) {
+	// Build-side epps precede probe-side epps (inter-pipeline rule).
+	hjInner := NewJoin(HashJoin, []int{1}, NewScan(2, SeqScan), NewScan(3, SeqScan))
+	root := NewJoin(HashJoin, []int{0}, NewScan(0, SeqScan), hjInner)
+	// root's build side is hjInner: pipelines = [SS3], [SS2, HJ1], [SS0, root].
+	order := EPPOrder(root, allEPP)
+	if len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Fatalf("EPPOrder = %v, want [1 0]", order)
+	}
+}
+
+func TestEPPOrderIntraPipeline(t *testing.T) {
+	// Two INL joins stacked in one pipeline: upstream (deeper) first.
+	inner := NewJoin(IndexNLJoin, []int{0}, NewScan(0, SeqScan), NewScan(1, IndexScan))
+	root := NewJoin(IndexNLJoin, []int{1}, inner, NewScan(2, IndexScan))
+	order := EPPOrder(root, allEPP)
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("EPPOrder = %v, want [0 1]", order)
+	}
+}
+
+func TestEPPOrderFiltering(t *testing.T) {
+	p := buildTestPlan() // joins 1 (INL, probe pipeline) and 2 (HJ)
+	order := EPPOrder(p, func(j int) bool { return j == 2 })
+	if len(order) != 1 || order[0] != 2 {
+		t.Fatalf("filtered EPPOrder = %v", order)
+	}
+}
+
+func TestSpillJoin(t *testing.T) {
+	p := buildTestPlan()
+	// Pipelines: [SS(2)] (build), [SS(0), INL, HJ]. Total order: 1, 2.
+	if got := SpillJoin(p, map[int]bool{1: true, 2: true}); got != 1 {
+		t.Errorf("SpillJoin = %d, want 1", got)
+	}
+	// After learning 1, spill target moves to 2.
+	if got := SpillJoin(p, map[int]bool{2: true}); got != 2 {
+		t.Errorf("SpillJoin = %d, want 2", got)
+	}
+	if got := SpillJoin(p, map[int]bool{}); got != -1 {
+		t.Errorf("SpillJoin with nothing remaining = %d, want -1", got)
+	}
+}
+
+func TestSpillSubtree(t *testing.T) {
+	p := buildTestPlan()
+	sub := SpillSubtree(p, 1)
+	if sub == nil || sub.Join.Method != IndexNLJoin {
+		t.Fatal("SpillSubtree(1) should be the INL node")
+	}
+	if sub.NumRels() != 2 {
+		t.Error("spill subtree should cover R0 and R1")
+	}
+	if SpillSubtree(p, 42) != nil {
+		t.Error("missing join yields nil subtree")
+	}
+}

@@ -1,0 +1,222 @@
+// Package query defines the logical model of the SPJ queries the system
+// processes: base relations with conjunctive filter predicates, and
+// equi-join predicates, a subset of which are declared error-prone
+// (epps). The epps induce the Error-prone Selectivity Space explored by
+// the robust processing algorithms.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+)
+
+// FilterPred is a simple comparison between a column and a literal
+// (e.g. "p_retailprice < 1000") or an IN-list membership test. Filters
+// are assumed accurately estimable (the paper's setting: only join
+// selectivities are error-prone).
+type FilterPred struct {
+	// Column is the unqualified column name on the relation.
+	Column string
+	// Op is the comparison operator; ignored when Values is set.
+	Op expr.CmpOp
+	// Value is the literal right-hand side of a comparison.
+	Value int64
+	// Values, when non-empty, makes the predicate an IN-list test.
+	Values []int64
+}
+
+// IsIn reports whether the predicate is an IN-list test.
+func (f FilterPred) IsIn() bool { return len(f.Values) > 0 }
+
+// String renders the predicate.
+func (f FilterPred) String() string {
+	if f.IsIn() {
+		parts := make([]string, len(f.Values))
+		for i, v := range f.Values {
+			parts[i] = fmt.Sprintf("%d", v)
+		}
+		return fmt.Sprintf("%s IN (%s)", f.Column, strings.Join(parts, ", "))
+	}
+	return fmt.Sprintf("%s %s %d", f.Column, f.Op, f.Value)
+}
+
+// Relation is one base-relation occurrence in the query.
+type Relation struct {
+	// Table is the catalog table name.
+	Table string
+	// Alias is the unique name of this occurrence within the query;
+	// defaults to Table when the SQL has no alias.
+	Alias string
+	// Filters are the conjunctive local predicates on this relation.
+	Filters []FilterPred
+}
+
+// Join is one equi-join predicate between two relation occurrences.
+type Join struct {
+	// ID is the join's ordinal in Query.Joins.
+	ID int
+	// LeftRel/RightRel are indexes into Query.Relations.
+	LeftRel, RightRel int
+	// LeftCol/RightCol are the join column names on each side.
+	LeftCol, RightCol string
+}
+
+// Query is a select-project-join query over a catalog.
+type Query struct {
+	// Name labels the query in experiment reports (e.g. "4D_Q91").
+	Name string
+	// Cat is the catalog the query is bound to.
+	Cat *catalog.Catalog
+	// Relations are the base relation occurrences.
+	Relations []Relation
+	// Joins are the equi-join predicates; Joins[i].ID == i.
+	Joins []Join
+	// EPPs lists the error-prone join IDs; its order defines the ESS
+	// dimensions (EPPs[d] is dimension d).
+	EPPs []int
+}
+
+// D returns the ESS dimensionality (number of epps).
+func (q *Query) D() int { return len(q.EPPs) }
+
+// RelIndex returns the ordinal of the relation with the given alias, or -1.
+func (q *Query) RelIndex(alias string) int {
+	for i := range q.Relations {
+		if q.Relations[i].Alias == alias {
+			return i
+		}
+	}
+	return -1
+}
+
+// EPPDim returns the ESS dimension of join id j, or -1 if j is not an epp.
+func (q *Query) EPPDim(joinID int) int {
+	for d, id := range q.EPPs {
+		if id == joinID {
+			return d
+		}
+	}
+	return -1
+}
+
+// JoinsOf returns the IDs of the joins incident on relation rel.
+func (q *Query) JoinsOf(rel int) []int {
+	var out []int
+	for _, j := range q.Joins {
+		if j.LeftRel == rel || j.RightRel == rel {
+			out = append(out, j.ID)
+		}
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: aliases unique, join
+// endpoints and columns resolve, join graph connected, epps valid.
+func (q *Query) Validate() error {
+	if len(q.Relations) == 0 {
+		return fmt.Errorf("query %s: no relations", q.Name)
+	}
+	seen := make(map[string]bool)
+	for i, r := range q.Relations {
+		if r.Alias == "" {
+			return fmt.Errorf("query %s: relation %d has empty alias", q.Name, i)
+		}
+		if seen[r.Alias] {
+			return fmt.Errorf("query %s: duplicate alias %q", q.Name, r.Alias)
+		}
+		seen[r.Alias] = true
+		t := q.Cat.Table(r.Table)
+		if t == nil {
+			return fmt.Errorf("query %s: unknown table %q", q.Name, r.Table)
+		}
+		for _, f := range r.Filters {
+			if t.ColumnIndex(f.Column) < 0 {
+				return fmt.Errorf("query %s: filter column %s.%s not found", q.Name, r.Alias, f.Column)
+			}
+		}
+	}
+	for i, j := range q.Joins {
+		if j.ID != i {
+			return fmt.Errorf("query %s: join %d has ID %d", q.Name, i, j.ID)
+		}
+		if j.LeftRel < 0 || j.LeftRel >= len(q.Relations) || j.RightRel < 0 || j.RightRel >= len(q.Relations) {
+			return fmt.Errorf("query %s: join %d endpoint out of range", q.Name, i)
+		}
+		if j.LeftRel == j.RightRel {
+			return fmt.Errorf("query %s: join %d is a self-loop", q.Name, i)
+		}
+		lt := q.Cat.MustTable(q.Relations[j.LeftRel].Table)
+		rt := q.Cat.MustTable(q.Relations[j.RightRel].Table)
+		if lt.ColumnIndex(j.LeftCol) < 0 {
+			return fmt.Errorf("query %s: join %d left column %s not in %s", q.Name, i, j.LeftCol, lt.Name)
+		}
+		if rt.ColumnIndex(j.RightCol) < 0 {
+			return fmt.Errorf("query %s: join %d right column %s not in %s", q.Name, i, j.RightCol, rt.Name)
+		}
+	}
+	if len(q.Relations) > 1 && !q.connected() {
+		return fmt.Errorf("query %s: join graph is disconnected", q.Name)
+	}
+	eppSeen := make(map[int]bool)
+	for _, e := range q.EPPs {
+		if e < 0 || e >= len(q.Joins) {
+			return fmt.Errorf("query %s: epp join id %d out of range", q.Name, e)
+		}
+		if eppSeen[e] {
+			return fmt.Errorf("query %s: duplicate epp %d", q.Name, e)
+		}
+		eppSeen[e] = true
+	}
+	return nil
+}
+
+func (q *Query) connected() bool {
+	n := len(q.Relations)
+	adj := make([][]int, n)
+	for _, j := range q.Joins {
+		adj[j.LeftRel] = append(adj[j.LeftRel], j.RightRel)
+		adj[j.RightRel] = append(adj[j.RightRel], j.LeftRel)
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// String renders a compact description of the query for reports.
+func (q *Query) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: ", q.Name)
+	for i, r := range q.Relations {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(r.Alias)
+	}
+	b.WriteString(" | joins:")
+	for _, j := range q.Joins {
+		epp := ""
+		if q.EPPDim(j.ID) >= 0 {
+			epp = "*"
+		}
+		fmt.Fprintf(&b, " %s.%s=%s.%s%s",
+			q.Relations[j.LeftRel].Alias, j.LeftCol,
+			q.Relations[j.RightRel].Alias, j.RightCol, epp)
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+)
+
+func cat() *catalog.Catalog { return catalog.TPCDS(1) }
+
+func valid() *Query {
+	return &Query{
+		Name: "t",
+		Cat:  cat(),
+		Relations: []Relation{
+			{Table: "catalog_sales", Alias: "cs"},
+			{Table: "date_dim", Alias: "d", Filters: []FilterPred{{Column: "d_year", Op: expr.EQ, Value: 2000}}},
+			{Table: "customer", Alias: "c"},
+		},
+		Joins: []Join{
+			{ID: 0, LeftRel: 0, RightRel: 1, LeftCol: "cs_sold_date_sk", RightCol: "date_dim_sk"},
+			{ID: 1, LeftRel: 0, RightRel: 2, LeftCol: "cs_bill_customer_sk", RightCol: "c_customer_sk"},
+		},
+		EPPs: []int{0, 1},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+}
+
+func TestD(t *testing.T) {
+	if valid().D() != 2 {
+		t.Fatal("D should equal number of epps")
+	}
+}
+
+func TestRelIndex(t *testing.T) {
+	q := valid()
+	if q.RelIndex("d") != 1 || q.RelIndex("cs") != 0 || q.RelIndex("nope") != -1 {
+		t.Fatal("RelIndex broken")
+	}
+}
+
+func TestEPPDim(t *testing.T) {
+	q := valid()
+	if q.EPPDim(0) != 0 || q.EPPDim(1) != 1 {
+		t.Fatal("EPPDim broken")
+	}
+	q.EPPs = []int{1}
+	if q.EPPDim(0) != -1 || q.EPPDim(1) != 0 {
+		t.Fatal("EPPDim after re-mark broken")
+	}
+}
+
+func TestJoinsOf(t *testing.T) {
+	q := valid()
+	if got := q.JoinsOf(0); len(got) != 2 {
+		t.Fatalf("JoinsOf(cs) = %v, want both joins", got)
+	}
+	if got := q.JoinsOf(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("JoinsOf(d) = %v", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Query)
+		want   string
+	}{
+		{"no relations", func(q *Query) { q.Relations = nil }, "no relations"},
+		{"empty alias", func(q *Query) { q.Relations[0].Alias = "" }, "empty alias"},
+		{"dup alias", func(q *Query) { q.Relations[1].Alias = "cs" }, "duplicate alias"},
+		{"unknown table", func(q *Query) { q.Relations[0].Table = "zzz" }, "unknown table"},
+		{"bad filter col", func(q *Query) { q.Relations[1].Filters[0].Column = "nope" }, "not found"},
+		{"bad join id", func(q *Query) { q.Joins[1].ID = 5 }, "has ID"},
+		{"endpoint range", func(q *Query) { q.Joins[0].LeftRel = 9 }, "out of range"},
+		{"self loop", func(q *Query) { q.Joins[0].RightRel = 0 }, "self-loop"},
+		{"bad left col", func(q *Query) { q.Joins[0].LeftCol = "zz" }, "left column"},
+		{"bad right col", func(q *Query) { q.Joins[0].RightCol = "zz" }, "right column"},
+		{"disconnected", func(q *Query) { q.Joins = q.Joins[:1] }, "disconnected"},
+		{"epp range", func(q *Query) { q.EPPs = []int{7} }, "out of range"},
+		{"dup epp", func(q *Query) { q.EPPs = []int{0, 0} }, "duplicate epp"},
+	}
+	for _, c := range cases {
+		q := valid()
+		c.mutate(q)
+		err := q.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestStringRendersEPPStar(t *testing.T) {
+	q := valid()
+	q.EPPs = []int{1}
+	s := q.String()
+	if !strings.Contains(s, "cs.cs_bill_customer_sk=c.c_customer_sk*") {
+		t.Errorf("String() = %q, epp join should be starred", s)
+	}
+	if strings.Contains(s, "date_dim_sk*") {
+		t.Errorf("String() = %q, non-epp join starred", s)
+	}
+}
+
+func TestFilterPredString(t *testing.T) {
+	f := FilterPred{Column: "d_year", Op: expr.LE, Value: 2000}
+	if f.String() != "d_year <= 2000" {
+		t.Errorf("FilterPred.String() = %q", f.String())
+	}
+}
+
+func TestSingleRelationQueryIsConnected(t *testing.T) {
+	q := &Query{Name: "one", Cat: cat(), Relations: []Relation{{Table: "store", Alias: "s"}}}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("single-relation query should validate: %v", err)
+	}
+}

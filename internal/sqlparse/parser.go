@@ -1,0 +1,376 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/query"
+)
+
+// Parse parses an SPJ SQL statement against the catalog and returns a
+// validated query with the given name. No epps are marked; callers use
+// MarkEPP (or query.Query.EPPs directly) to declare the error-prone
+// joins.
+func Parse(name string, cat *catalog.Catalog, sql string) (*query.Query, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, cat: cat}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("sqlparse: %w", err)
+	}
+	q.Name = name
+	q.Cat = cat
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("sqlparse: %w", err)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	cat  *catalog.Catalog
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectSymbol(s string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != s {
+		return fmt.Errorf("expected %q at offset %d, got %q", s, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if !keywordEq(t, kw) {
+		return fmt.Errorf("expected %s at offset %d, got %q", strings.ToUpper(kw), t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*query.Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSelectList(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	q := &query.Query{}
+	if err := p.parseFromList(q); err != nil {
+		return nil, err
+	}
+	if keywordEq(p.peek(), "where") {
+		p.next()
+		if err := p.parseWhere(q); err != nil {
+			return nil, err
+		}
+	}
+	// Optional trailing semicolon.
+	if t := p.peek(); t.kind == tokSymbol && t.text == ";" {
+		p.next()
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("trailing input at offset %d: %q", t.pos, t.text)
+	}
+	return q, nil
+}
+
+// parseSelectList accepts '*' or a comma-separated list of (qualified)
+// columns. SPJ processing projects all columns, so the list is checked
+// for syntax and discarded.
+func (p *parser) parseSelectList() error {
+	if t := p.peek(); t.kind == tokSymbol && t.text == "*" {
+		p.next()
+		return nil
+	}
+	for {
+		if t := p.next(); t.kind != tokIdent {
+			return fmt.Errorf("expected column in select list at offset %d", t.pos)
+		}
+		if t := p.peek(); t.kind == tokSymbol && t.text == "." {
+			p.next()
+			if t := p.next(); t.kind != tokIdent {
+				return fmt.Errorf("expected column after '.' at offset %d", t.pos)
+			}
+		}
+		if t := p.peek(); t.kind == tokSymbol && t.text == "," {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseFromList(q *query.Query) error {
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return fmt.Errorf("expected table name at offset %d", t.pos)
+		}
+		rel := query.Relation{Table: t.text, Alias: t.text}
+		if keywordEq(p.peek(), "as") {
+			p.next()
+		}
+		if a := p.peek(); a.kind == tokIdent && !keywordEq(a, "where") {
+			p.next()
+			rel.Alias = a.text
+		}
+		q.Relations = append(q.Relations, rel)
+		if t := p.peek(); t.kind == tokSymbol && t.text == "," {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+type operand struct {
+	isCol      bool
+	rel        int // relation index for columns
+	col        string
+	lit        int64
+	pos        int
+	aliasOrCol string
+}
+
+func (p *parser) parseWhere(q *query.Query) error {
+	for {
+		if err := p.parseCondition(q); err != nil {
+			return err
+		}
+		if keywordEq(p.peek(), "and") {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseCondition(q *query.Query) error {
+	// Parenthesized conjunction: ( cond AND cond ... ).
+	if t := p.peek(); t.kind == tokSymbol && t.text == "(" {
+		p.next()
+		if err := p.parseWhere(q); err != nil {
+			return err
+		}
+		return p.expectSymbol(")")
+	}
+	l, err := p.parseOperand(q)
+	if err != nil {
+		return err
+	}
+	if keywordEq(p.peek(), "between") {
+		return p.parseBetween(q, l)
+	}
+	if keywordEq(p.peek(), "in") {
+		return p.parseIn(q, l)
+	}
+	opTok := p.next()
+	op, ok := cmpOps[opTok.text]
+	if !ok || opTok.kind != tokSymbol {
+		return fmt.Errorf("expected comparison operator at offset %d, got %q", opTok.pos, opTok.text)
+	}
+	r, err := p.parseOperand(q)
+	if err != nil {
+		return err
+	}
+	switch {
+	case l.isCol && r.isCol:
+		if op != expr.EQ {
+			return fmt.Errorf("only equi-joins are supported (offset %d)", opTok.pos)
+		}
+		q.Joins = append(q.Joins, query.Join{
+			ID:      len(q.Joins),
+			LeftRel: l.rel, RightRel: r.rel,
+			LeftCol: l.col, RightCol: r.col,
+		})
+	case l.isCol && !r.isCol:
+		q.Relations[l.rel].Filters = append(q.Relations[l.rel].Filters,
+			query.FilterPred{Column: l.col, Op: op, Value: r.lit})
+	case !l.isCol && r.isCol:
+		q.Relations[r.rel].Filters = append(q.Relations[r.rel].Filters,
+			query.FilterPred{Column: r.col, Op: flip(op), Value: l.lit})
+	default:
+		return fmt.Errorf("condition with two literals at offset %d", opTok.pos)
+	}
+	return nil
+}
+
+// parseBetween desugars "col BETWEEN lo AND hi" into two range filters.
+func (p *parser) parseBetween(q *query.Query, l operand) error {
+	p.next() // BETWEEN
+	if !l.isCol {
+		return fmt.Errorf("BETWEEN requires a column at offset %d", l.pos)
+	}
+	lo, err := p.parseOperand(q)
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("and"); err != nil {
+		return err
+	}
+	hi, err := p.parseOperand(q)
+	if err != nil {
+		return err
+	}
+	if lo.isCol || hi.isCol {
+		return fmt.Errorf("BETWEEN bounds must be literals at offset %d", l.pos)
+	}
+	q.Relations[l.rel].Filters = append(q.Relations[l.rel].Filters,
+		query.FilterPred{Column: l.col, Op: expr.GE, Value: lo.lit},
+		query.FilterPred{Column: l.col, Op: expr.LE, Value: hi.lit})
+	return nil
+}
+
+// parseIn parses "col IN (v1, v2, ...)" into an IN-list filter.
+func (p *parser) parseIn(q *query.Query, l operand) error {
+	p.next() // IN
+	if !l.isCol {
+		return fmt.Errorf("IN requires a column at offset %d", l.pos)
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return err
+	}
+	var vals []int64
+	for {
+		v, err := p.parseOperand(q)
+		if err != nil {
+			return err
+		}
+		if v.isCol {
+			return fmt.Errorf("IN list must contain literals at offset %d", v.pos)
+		}
+		vals = append(vals, v.lit)
+		t := p.next()
+		if t.kind == tokSymbol && t.text == "," {
+			continue
+		}
+		if t.kind == tokSymbol && t.text == ")" {
+			break
+		}
+		return fmt.Errorf("expected ',' or ')' in IN list at offset %d", t.pos)
+	}
+	q.Relations[l.rel].Filters = append(q.Relations[l.rel].Filters,
+		query.FilterPred{Column: l.col, Values: vals})
+	return nil
+}
+
+var cmpOps = map[string]expr.CmpOp{
+	"=": expr.EQ, "<>": expr.NE, "!=": expr.NE,
+	"<": expr.LT, "<=": expr.LE, ">": expr.GT, ">=": expr.GE,
+}
+
+func flip(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.LT:
+		return expr.GT
+	case expr.LE:
+		return expr.GE
+	case expr.GT:
+		return expr.LT
+	case expr.GE:
+		return expr.LE
+	default:
+		return op
+	}
+}
+
+// parseOperand parses either a literal or a column reference. Column
+// references may be qualified ("alias.col") or bare; bare names resolve
+// against the relations in FROM, and must be unambiguous.
+func (p *parser) parseOperand(q *query.Query) (operand, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return operand{}, fmt.Errorf("bad literal %q at offset %d", t.text, t.pos)
+		}
+		return operand{lit: v, pos: t.pos}, nil
+	case tokIdent:
+		if n := p.peek(); n.kind == tokSymbol && n.text == "." {
+			p.next()
+			c := p.next()
+			if c.kind != tokIdent {
+				return operand{}, fmt.Errorf("expected column after %q. at offset %d", t.text, c.pos)
+			}
+			rel := -1
+			for i := range q.Relations {
+				if q.Relations[i].Alias == t.text {
+					rel = i
+					break
+				}
+			}
+			if rel < 0 {
+				return operand{}, fmt.Errorf("unknown alias %q at offset %d", t.text, t.pos)
+			}
+			return operand{isCol: true, rel: rel, col: c.text, pos: t.pos}, nil
+		}
+		// Bare column: resolve by searching catalog tables of the query.
+		rel := -1
+		for i := range q.Relations {
+			tab := p.cat.Table(q.Relations[i].Table)
+			if tab != nil && tab.ColumnIndex(t.text) >= 0 {
+				if rel >= 0 {
+					return operand{}, fmt.Errorf("ambiguous column %q at offset %d", t.text, t.pos)
+				}
+				rel = i
+			}
+		}
+		if rel < 0 {
+			return operand{}, fmt.Errorf("unresolved column %q at offset %d", t.text, t.pos)
+		}
+		return operand{isCol: true, rel: rel, col: t.text, pos: t.pos}, nil
+	default:
+		return operand{}, fmt.Errorf("unexpected token %q at offset %d", t.text, t.pos)
+	}
+}
+
+// MarkEPP declares the join between the two qualified columns
+// ("alias.col") as error-prone, appending it as the next ESS dimension.
+// The order of MarkEPP calls defines dimension order.
+func MarkEPP(q *query.Query, left, right string) error {
+	la, lc, err := catalog.QualifiedColumn(left)
+	if err != nil {
+		return err
+	}
+	ra, rc, err := catalog.QualifiedColumn(right)
+	if err != nil {
+		return err
+	}
+	li, ri := q.RelIndex(la), q.RelIndex(ra)
+	if li < 0 || ri < 0 {
+		return fmt.Errorf("sqlparse: MarkEPP unknown alias in (%s, %s)", left, right)
+	}
+	for _, j := range q.Joins {
+		match := (j.LeftRel == li && j.LeftCol == lc && j.RightRel == ri && j.RightCol == rc) ||
+			(j.LeftRel == ri && j.LeftCol == rc && j.RightRel == li && j.RightCol == lc)
+		if match {
+			if q.EPPDim(j.ID) >= 0 {
+				return fmt.Errorf("sqlparse: join %s=%s already an epp", left, right)
+			}
+			q.EPPs = append(q.EPPs, j.ID)
+			return nil
+		}
+	}
+	return fmt.Errorf("sqlparse: no join %s = %s in query %s", left, right, q.Name)
+}

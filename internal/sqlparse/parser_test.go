@@ -1,0 +1,252 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+)
+
+func cat() *catalog.Catalog { return catalog.TPCDS(1) }
+
+const eq = `
+SELECT *
+FROM catalog_sales cs, date_dim d, customer c
+WHERE cs.cs_sold_date_sk = d.date_dim_sk
+  AND cs.cs_bill_customer_sk = c.c_customer_sk
+  AND d.d_year = 2000
+  AND c.c_birth_year < 1980
+`
+
+func TestParseBasic(t *testing.T) {
+	q, err := Parse("t", cat(), eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Relations) != 3 {
+		t.Fatalf("relations = %d, want 3", len(q.Relations))
+	}
+	if q.Relations[0].Alias != "cs" || q.Relations[1].Alias != "d" {
+		t.Error("aliases not bound")
+	}
+	if len(q.Joins) != 2 {
+		t.Fatalf("joins = %d, want 2", len(q.Joins))
+	}
+	if len(q.Relations[1].Filters) != 1 || q.Relations[1].Filters[0].Column != "d_year" {
+		t.Error("date filter not attached to d")
+	}
+	if f := q.Relations[2].Filters[0]; f.Op != expr.LT || f.Value != 1980 {
+		t.Errorf("customer filter = %+v", f)
+	}
+}
+
+func TestParseAliasForms(t *testing.T) {
+	q, err := Parse("t", cat(), `SELECT * FROM date_dim AS d, store_sales WHERE store_sales.ss_sold_date_sk = d.date_dim_sk`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Relations[0].Alias != "d" {
+		t.Error("AS alias not applied")
+	}
+	if q.Relations[1].Alias != "store_sales" {
+		t.Error("default alias should be the table name")
+	}
+}
+
+func TestParseSelectColumnList(t *testing.T) {
+	if _, err := Parse("t", cat(), `SELECT d.d_year, d_moy FROM date_dim d`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseBareColumnResolution(t *testing.T) {
+	q, err := Parse("t", cat(), `SELECT * FROM date_dim d WHERE d_year >= 1999`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Relations[0].Filters) != 1 {
+		t.Fatal("bare column filter not bound")
+	}
+}
+
+func TestParseFlippedLiteral(t *testing.T) {
+	q, err := Parse("t", cat(), `SELECT * FROM date_dim d WHERE 2000 <= d.d_year`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := q.Relations[0].Filters[0]
+	if f.Op != expr.GE || f.Value != 2000 {
+		t.Errorf("flipped filter = %+v, want d_year >= 2000", f)
+	}
+}
+
+func TestParseNegativeLiteral(t *testing.T) {
+	q, err := Parse("t", cat(), `SELECT * FROM customer_address ca WHERE ca.ca_gmt_offset = -6`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Relations[0].Filters[0].Value != -6 {
+		t.Error("negative literal not parsed")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "SELECT * -- all cols\nFROM date_dim d -- dim\nWHERE d.d_moy = 5"
+	if _, err := Parse("t", cat(), src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	if _, err := Parse("t", cat(), `SELECT * FROM store s;`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{`FROM x`, "expected SELECT"},
+		{`SELECT * WHERE a = b`, "expected FROM"},
+		{`SELECT * FROM`, "expected table name"},
+		{`SELECT * FROM nosuch n`, "unknown table"},
+		{`SELECT * FROM date_dim d WHERE d.d_year ~ 3`, "unexpected character"},
+		{`SELECT * FROM date_dim d WHERE d.nope = 3`, "not found"},
+		{`SELECT * FROM date_dim d WHERE zz = 3`, "unresolved column"},
+		{`SELECT * FROM date_dim d, time_dim t WHERE d.date_dim_sk < t.time_dim_sk`, "equi-join"},
+		{`SELECT * FROM date_dim d WHERE 1 = 2`, "two literals"},
+		{`SELECT * FROM date_dim d WHERE d.d_year = 3 extra`, "trailing input"},
+		{`SELECT * FROM date_dim d WHERE badalias.x = 3`, "unknown alias"},
+		{`SELECT * FROM store_sales ss, store_returns sr WHERE ss.ss_item_sk = sr.sr_item_sk AND item_sk_missing = 1`, "unresolved column"},
+		{`SELECT * FROM date_dim d, time_dim t WHERE d.date_dim_sk = t.time_dim_sk AND d_dom = d_dom`, "disconnect"}, // d_dom=d_dom is a self-loop... expect validate error
+	}
+	for _, c := range cases {
+		_, err := Parse("t", cat(), c.sql)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", c.sql)
+			continue
+		}
+	}
+}
+
+func TestParseAmbiguousBareColumn(t *testing.T) {
+	// d_year exists only in date_dim, but joining date_dim twice makes it ambiguous.
+	sql := `SELECT * FROM date_dim d1, date_dim d2 WHERE d1.date_dim_sk = d2.date_dim_sk AND d_year = 2000`
+	if _, err := Parse("t", cat(), sql); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("err = %v, want ambiguous", err)
+	}
+}
+
+func TestMarkEPP(t *testing.T) {
+	q, err := Parse("t", cat(), eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MarkEPP(q, "cs.cs_sold_date_sk", "d.date_dim_sk"); err != nil {
+		t.Fatal(err)
+	}
+	// Reversed column order must also match.
+	if err := MarkEPP(q, "c.c_customer_sk", "cs.cs_bill_customer_sk"); err != nil {
+		t.Fatal(err)
+	}
+	if q.D() != 2 || q.EPPs[0] != 0 || q.EPPs[1] != 1 {
+		t.Fatalf("EPPs = %v", q.EPPs)
+	}
+	// Duplicate marking is an error.
+	if err := MarkEPP(q, "cs.cs_sold_date_sk", "d.date_dim_sk"); err == nil {
+		t.Error("duplicate MarkEPP should fail")
+	}
+	// Nonexistent join.
+	if err := MarkEPP(q, "cs.cs_item_sk", "d.date_dim_sk"); err == nil {
+		t.Error("MarkEPP on missing join should fail")
+	}
+	// Bad alias.
+	if err := MarkEPP(q, "zz.x", "d.date_dim_sk"); err == nil {
+		t.Error("MarkEPP with bad alias should fail")
+	}
+	// Malformed qualified name.
+	if err := MarkEPP(q, "noDot", "d.date_dim_sk"); err == nil {
+		t.Error("MarkEPP with malformed name should fail")
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	q, err := Parse("t", cat(), `SELECT * FROM date_dim d WHERE d.d_year BETWEEN 1999 AND 2001 AND d.d_moy = 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := q.Relations[0].Filters
+	if len(fs) != 3 {
+		t.Fatalf("filters = %d, want 3 (two range bounds + moy)", len(fs))
+	}
+	if fs[0].Op != expr.GE || fs[0].Value != 1999 {
+		t.Errorf("lower bound = %+v", fs[0])
+	}
+	if fs[1].Op != expr.LE || fs[1].Value != 2001 {
+		t.Errorf("upper bound = %+v", fs[1])
+	}
+}
+
+func TestParseIn(t *testing.T) {
+	q, err := Parse("t", cat(), `SELECT * FROM date_dim d WHERE d.d_moy IN (1, 2, 12)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := q.Relations[0].Filters[0]
+	if !f.IsIn() || len(f.Values) != 3 || f.Values[2] != 12 {
+		t.Fatalf("IN filter = %+v", f)
+	}
+	if !strings.Contains(f.String(), "IN (1, 2, 12)") {
+		t.Errorf("IN display = %q", f.String())
+	}
+}
+
+func TestParseParenthesizedConjunction(t *testing.T) {
+	q, err := Parse("t", cat(), `SELECT * FROM date_dim d, time_dim t
+		WHERE (d.date_dim_sk = t.time_dim_sk AND d.d_year = 2000) AND t.t_hour = 9`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Joins) != 1 {
+		t.Fatal("join inside parens not found")
+	}
+	if len(q.Relations[0].Filters) != 1 || len(q.Relations[1].Filters) != 1 {
+		t.Fatal("filters inside and outside parens not both attached")
+	}
+}
+
+func TestParseBetweenErrors(t *testing.T) {
+	cases := []string{
+		`SELECT * FROM date_dim d WHERE 5 BETWEEN 1 AND 9`,
+		`SELECT * FROM date_dim d WHERE d.d_year BETWEEN d.d_moy AND 9`,
+		`SELECT * FROM date_dim d WHERE d.d_year BETWEEN 1 9`,
+	}
+	for _, sql := range cases {
+		if _, err := Parse("t", cat(), sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseInErrors(t *testing.T) {
+	cases := []string{
+		`SELECT * FROM date_dim d WHERE 3 IN (1, 2)`,
+		`SELECT * FROM date_dim d WHERE d.d_moy IN (d.d_year)`,
+		`SELECT * FROM date_dim d WHERE d.d_moy IN (1, 2`,
+		`SELECT * FROM date_dim d WHERE d.d_moy IN 1`,
+	}
+	for _, sql := range cases {
+		if _, err := Parse("t", cat(), sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseUnbalancedParens(t *testing.T) {
+	if _, err := Parse("t", cat(), `SELECT * FROM date_dim d WHERE (d.d_moy = 1`); err == nil {
+		t.Fatal("unbalanced parens should fail")
+	}
+}

@@ -1,0 +1,162 @@
+// Package storage implements the in-memory row store backing the
+// executor: per-table row slices plus hash and sorted indexes on single
+// columns. The store is immutable after loading, matching the paper's
+// read-only OLAP setting.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+)
+
+// Relation holds the rows of one table plus any secondary indexes.
+type Relation struct {
+	// Name is the table name.
+	Name string
+	// Cols are the column names in row order.
+	Cols []string
+	// Rows is the tuple storage.
+	Rows []expr.Row
+
+	hashIdx   map[int]map[int64][]int32
+	sortedIdx map[int][]int32
+}
+
+// NewRelation creates an empty relation with the given column names.
+func NewRelation(name string, cols []string) *Relation {
+	return &Relation{
+		Name:      name,
+		Cols:      cols,
+		hashIdx:   make(map[int]map[int64][]int32),
+		sortedIdx: make(map[int][]int32),
+	}
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (r *Relation) ColumnIndex(name string) int {
+	for i, c := range r.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Append adds a row; it must have exactly len(Cols) values.
+func (r *Relation) Append(row expr.Row) {
+	if len(row) != len(r.Cols) {
+		panic(fmt.Sprintf("storage: row width %d != %d for %s", len(row), len(r.Cols), r.Name))
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// NumRows returns the relation cardinality.
+func (r *Relation) NumRows() int { return len(r.Rows) }
+
+// BuildHashIndex builds (or rebuilds) a hash index on an int64 column.
+func (r *Relation) BuildHashIndex(col int) {
+	idx := make(map[int64][]int32, len(r.Rows))
+	for i, row := range r.Rows {
+		v := row[col]
+		if v.K != expr.KindInt {
+			panic(fmt.Sprintf("storage: hash index on non-int column %s.%s", r.Name, r.Cols[col]))
+		}
+		idx[v.I] = append(idx[v.I], int32(i))
+	}
+	r.hashIdx[col] = idx
+}
+
+// HashLookup returns the row ordinals whose column equals key, or nil.
+// It panics if no hash index exists on the column.
+func (r *Relation) HashLookup(col int, key int64) []int32 {
+	idx, ok := r.hashIdx[col]
+	if !ok {
+		panic(fmt.Sprintf("storage: no hash index on %s column %d", r.Name, col))
+	}
+	return idx[key]
+}
+
+// HasHashIndex reports whether a hash index exists on the column.
+func (r *Relation) HasHashIndex(col int) bool {
+	_, ok := r.hashIdx[col]
+	return ok
+}
+
+// BuildSortedIndex builds a sorted index (row ordinals ordered by the
+// column value) enabling range scans.
+func (r *Relation) BuildSortedIndex(col int) {
+	idx := make([]int32, len(r.Rows))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return expr.Compare(r.Rows[idx[a]][col], r.Rows[idx[b]][col]) < 0
+	})
+	r.sortedIdx[col] = idx
+}
+
+// HasSortedIndex reports whether a sorted index exists on the column.
+func (r *Relation) HasSortedIndex(col int) bool {
+	_, ok := r.sortedIdx[col]
+	return ok
+}
+
+// RangeLookup returns the row ordinals with lo ≤ value ≤ hi in column
+// order, using the sorted index. Nil bounds are unbounded.
+func (r *Relation) RangeLookup(col int, lo, hi *expr.Value) []int32 {
+	idx, ok := r.sortedIdx[col]
+	if !ok {
+		panic(fmt.Sprintf("storage: no sorted index on %s column %d", r.Name, col))
+	}
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(idx), func(i int) bool {
+			return expr.Compare(r.Rows[idx[i]][col], *lo) >= 0
+		})
+	}
+	end := len(idx)
+	if hi != nil {
+		end = sort.Search(len(idx), func(i int) bool {
+			return expr.Compare(r.Rows[idx[i]][col], *hi) > 0
+		})
+	}
+	if start >= end {
+		return nil
+	}
+	return idx[start:end]
+}
+
+// Store is a named collection of relations.
+type Store struct {
+	rels map[string]*Relation
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store { return &Store{rels: make(map[string]*Relation)} }
+
+// Add registers a relation, replacing any previous one of the same name.
+func (s *Store) Add(r *Relation) { s.rels[r.Name] = r }
+
+// Relation returns the named relation, or nil.
+func (s *Store) Relation(name string) *Relation { return s.rels[name] }
+
+// MustRelation returns the named relation or panics.
+func (s *Store) MustRelation(name string) *Relation {
+	r := s.rels[name]
+	if r == nil {
+		panic("storage: unknown relation " + name)
+	}
+	return r
+}
+
+// Names returns the relation names in unspecified order.
+func (s *Store) Names() []string {
+	out := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,209 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+)
+
+func sample() *Relation {
+	r := NewRelation("t", []string{"id", "v"})
+	for i := int64(0); i < 10; i++ {
+		r.Append(expr.Row{expr.Int(i), expr.Int(i % 3)})
+	}
+	return r
+}
+
+func TestAppendAndNumRows(t *testing.T) {
+	r := sample()
+	if r.NumRows() != 10 {
+		t.Fatalf("NumRows = %d, want 10", r.NumRows())
+	}
+}
+
+func TestAppendWidthMismatchPanics(t *testing.T) {
+	r := NewRelation("t", []string{"a", "b"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short row should panic")
+		}
+	}()
+	r.Append(expr.Row{expr.Int(1)})
+}
+
+func TestColumnIndex(t *testing.T) {
+	r := sample()
+	if r.ColumnIndex("v") != 1 || r.ColumnIndex("id") != 0 || r.ColumnIndex("zzz") != -1 {
+		t.Fatal("ColumnIndex broken")
+	}
+}
+
+func TestHashIndex(t *testing.T) {
+	r := sample()
+	r.BuildHashIndex(1)
+	if !r.HasHashIndex(1) || r.HasHashIndex(0) {
+		t.Fatal("HasHashIndex broken")
+	}
+	// v = i%3, so key 0 matches ids 0,3,6,9.
+	got := r.HashLookup(1, 0)
+	if len(got) != 4 {
+		t.Fatalf("HashLookup(0) = %v, want 4 rows", got)
+	}
+	for _, ord := range got {
+		if r.Rows[ord][1].I != 0 {
+			t.Errorf("row %d has v=%d, want 0", ord, r.Rows[ord][1].I)
+		}
+	}
+	if r.HashLookup(1, 99) != nil {
+		t.Error("missing key should return nil")
+	}
+}
+
+func TestHashLookupWithoutIndexPanics(t *testing.T) {
+	r := sample()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lookup without index should panic")
+		}
+	}()
+	r.HashLookup(0, 1)
+}
+
+func TestHashIndexOnNonIntPanics(t *testing.T) {
+	r := NewRelation("t", []string{"s"})
+	r.Append(expr.Row{expr.Str("x")})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("hash index on string column should panic")
+		}
+	}()
+	r.BuildHashIndex(0)
+}
+
+func TestSortedIndexRange(t *testing.T) {
+	r := NewRelation("t", []string{"v"})
+	for _, v := range []int64{5, 1, 9, 3, 7} {
+		r.Append(expr.Row{expr.Int(v)})
+	}
+	r.BuildSortedIndex(0)
+	if !r.HasSortedIndex(0) || r.HasSortedIndex(1) {
+		t.Fatal("HasSortedIndex broken")
+	}
+
+	lo, hi := expr.Int(3), expr.Int(7)
+	got := r.RangeLookup(0, &lo, &hi)
+	if len(got) != 3 {
+		t.Fatalf("range [3,7] = %d rows, want 3", len(got))
+	}
+	prev := int64(-1)
+	for _, ord := range got {
+		v := r.Rows[ord][0].I
+		if v < 3 || v > 7 {
+			t.Errorf("value %d outside [3,7]", v)
+		}
+		if v < prev {
+			t.Error("range results not ordered")
+		}
+		prev = v
+	}
+
+	if got := r.RangeLookup(0, nil, nil); len(got) != 5 {
+		t.Errorf("unbounded range = %d rows, want 5", len(got))
+	}
+	lo2 := expr.Int(100)
+	if r.RangeLookup(0, &lo2, nil) != nil {
+		t.Error("empty range should be nil")
+	}
+}
+
+func TestRangeLookupWithoutIndexPanics(t *testing.T) {
+	r := sample()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("range lookup without index should panic")
+		}
+	}()
+	r.RangeLookup(0, nil, nil)
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	s.Add(sample())
+	if s.Relation("t") == nil || s.Relation("x") != nil {
+		t.Fatal("Relation lookup broken")
+	}
+	if s.MustRelation("t").Name != "t" {
+		t.Fatal("MustRelation broken")
+	}
+	if names := s.Names(); len(names) != 1 || names[0] != "t" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestMustRelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRelation on missing relation should panic")
+		}
+	}()
+	NewStore().MustRelation("missing")
+}
+
+// Property: hash index lookups return exactly the rows a full scan finds.
+func TestHashIndexMatchesScanProperty(t *testing.T) {
+	f := func(vals []int64, key int64) bool {
+		if len(vals) > 200 {
+			vals = vals[:200]
+		}
+		r := NewRelation("p", []string{"v"})
+		for _, v := range vals {
+			v %= 16 // force collisions
+			r.Append(expr.Row{expr.Int(v)})
+		}
+		key %= 16
+		r.BuildHashIndex(0)
+		want := 0
+		for _, row := range r.Rows {
+			if row[0].I == key {
+				want++
+			}
+		}
+		return len(r.HashLookup(0, key)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sorted index range lookups agree with a scan filter.
+func TestSortedIndexMatchesScanProperty(t *testing.T) {
+	f := func(vals []int64, a, b int64) bool {
+		if len(vals) > 200 {
+			vals = vals[:200]
+		}
+		if a > b {
+			a, b = b, a
+		}
+		r := NewRelation("p", []string{"v"})
+		for _, v := range vals {
+			r.Append(expr.Row{expr.Int(v % 64)})
+		}
+		a, b = a%64, b%64
+		if a > b {
+			a, b = b, a
+		}
+		r.BuildSortedIndex(0)
+		lo, hi := expr.Int(a), expr.Int(b)
+		want := 0
+		for _, row := range r.Rows {
+			if row[0].I >= a && row[0].I <= b {
+				want++
+			}
+		}
+		return len(r.RangeLookup(0, &lo, &hi)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

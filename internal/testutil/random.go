@@ -1,0 +1,89 @@
+package testutil
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/datagen"
+	"repro/internal/expr"
+	"repro/internal/query"
+)
+
+// RandomQuery generates a random valid SPJ query over the TPC-DS
+// catalog: nRels random relations joined by a random spanning tree on
+// random (type-compatible) columns, random filters, and d random epps.
+// The same seed always yields the same query, so failures reproduce.
+func RandomQuery(seed uint64, cat *catalog.Catalog, nRels, d int) (*query.Query, error) {
+	rng := datagen.NewRNG(seed)
+	tables := cat.Tables()
+	if nRels < 1 || nRels > len(tables) {
+		return nil, fmt.Errorf("testutil: nRels %d out of range", nRels)
+	}
+
+	q := &query.Query{Name: fmt.Sprintf("rand_%d", seed), Cat: cat}
+	for i := 0; i < nRels; i++ {
+		t := tables[rng.Intn(int64(len(tables)))]
+		q.Relations = append(q.Relations, query.Relation{
+			Table: t.Name,
+			Alias: fmt.Sprintf("r%d", i),
+		})
+	}
+
+	// Random spanning tree: relation i joins a random earlier relation.
+	for i := 1; i < nRels; i++ {
+		other := int(rng.Intn(int64(i)))
+		lc := randomColumn(rng, cat, q.Relations[i].Table)
+		rc := randomColumn(rng, cat, q.Relations[other].Table)
+		q.Joins = append(q.Joins, query.Join{
+			ID:      len(q.Joins),
+			LeftRel: i, RightRel: other,
+			LeftCol: lc, RightCol: rc,
+		})
+	}
+
+	// Random filters on ~half the relations (attribute columns only,
+	// so filters stay selective but non-empty).
+	for i := range q.Relations {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		t := cat.MustTable(q.Relations[i].Table)
+		for _, col := range t.Columns {
+			if col.Dist != catalog.Uniform && col.Dist != catalog.Zipf {
+				continue
+			}
+			mid := col.Min + (col.Max-col.Min)/2
+			ops := []expr.CmpOp{expr.LE, expr.GE, expr.LT, expr.GT}
+			q.Relations[i].Filters = append(q.Relations[i].Filters, query.FilterPred{
+				Column: col.Name,
+				Op:     ops[rng.Intn(int64(len(ops)))],
+				Value:  mid,
+			})
+			break
+		}
+	}
+
+	// Random epp subset of size d.
+	if d > len(q.Joins) {
+		return nil, fmt.Errorf("testutil: d=%d exceeds %d joins", d, len(q.Joins))
+	}
+	perm := make([]int, len(q.Joins))
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := len(perm) - 1; i > 0; i-- {
+		j := int(rng.Intn(int64(i + 1)))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	q.EPPs = append(q.EPPs, perm[:d]...)
+
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("testutil: generated invalid query: %w", err)
+	}
+	return q, nil
+}
+
+func randomColumn(rng *datagen.RNG, cat *catalog.Catalog, table string) string {
+	t := cat.MustTable(table)
+	return t.Columns[rng.Intn(int64(len(t.Columns)))].Name
+}

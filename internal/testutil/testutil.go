@@ -1,0 +1,83 @@
+// Package testutil builds small ESS spaces shared by the algorithm test
+// suites, so each package doesn't repeat the catalog/query/space
+// plumbing.
+package testutil
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/ess"
+	"repro/internal/optimizer"
+	"repro/internal/query"
+	"repro/internal/sqlparse"
+	"repro/internal/stats"
+)
+
+// Query2D is a three-relation TPC-DS join with two error-prone join
+// predicates (the paper's running EQ shape).
+const Query2D = `
+SELECT * FROM catalog_sales cs, date_dim d, customer c
+WHERE cs.cs_sold_date_sk = d.date_dim_sk
+  AND cs.cs_bill_customer_sk = c.c_customer_sk
+  AND d.d_year = 2000`
+
+// EPPs2D are the epp markings for Query2D.
+var EPPs2D = [][2]string{
+	{"cs.cs_sold_date_sk", "d.date_dim_sk"},
+	{"cs.cs_bill_customer_sk", "c.c_customer_sk"},
+}
+
+// Query3D is a four-relation star join with three epps.
+const Query3D = `
+SELECT * FROM store_sales ss, date_dim d, item i, store s
+WHERE ss.ss_sold_date_sk = d.date_dim_sk
+  AND ss.ss_item_sk = i.item_sk
+  AND ss.ss_store_sk = s.store_sk
+  AND d.d_moy = 5`
+
+// EPPs3D are the epp markings for Query3D.
+var EPPs3D = [][2]string{
+	{"ss.ss_sold_date_sk", "d.date_dim_sk"},
+	{"ss.ss_item_sk", "i.item_sk"},
+	{"ss.ss_store_sk", "s.store_sk"},
+}
+
+// MustQuery parses and marks a query against a fresh TPC-DS catalog.
+func MustQuery(t testing.TB, name, sql string, epps [][2]string) *query.Query {
+	t.Helper()
+	cat := catalog.TPCDS(1)
+	q, err := sqlparse.Parse(name, cat, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range epps {
+		if err := sqlparse.MarkEPP(q, e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return q
+}
+
+// BuildSpace constructs an ESS space for the query at the given
+// resolution using analytic statistics and default cost parameters.
+func BuildSpace(t testing.TB, q *query.Query, res int) *ess.Space {
+	t.Helper()
+	env := optimizer.BuildEnv(q, stats.FromCatalog(q.Cat))
+	s, err := ess.Build(q, env, cost.NewModel(cost.DefaultParams()), ess.Config{Res: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Space2D builds the standard 2-D test space.
+func Space2D(t testing.TB, res int) *ess.Space {
+	return BuildSpace(t, MustQuery(t, "2D_test", Query2D, EPPs2D), res)
+}
+
+// Space3D builds the standard 3-D test space.
+func Space3D(t testing.TB, res int) *ess.Space {
+	return BuildSpace(t, MustQuery(t, "3D_test", Query3D, EPPs3D), res)
+}

@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/query"
+)
+
+// SuggestEPPs implements the conservative epp-identification heuristic
+// of the paper's deployment discussion (§7): a join predicate is
+// flagged error-prone unless its selectivity is reliably estimable.
+// With this engine's statistics, the reliable case is a textbook
+// uniform foreign-key lookup — one side a serial primary key, the other
+// a uniformly-distributed FK column referencing that key — where the
+// 1/N estimate is exact. Everything else (skewed FKs, attribute-to-
+// attribute joins, cross-referencing keys) is flagged.
+func SuggestEPPs(q *query.Query) []int {
+	var out []int
+	for _, j := range q.Joins {
+		if !reliableJoin(q, j) {
+			out = append(out, j.ID)
+		}
+	}
+	return out
+}
+
+func reliableJoin(q *query.Query, j query.Join) bool {
+	lt := q.Cat.MustTable(q.Relations[j.LeftRel].Table)
+	rt := q.Cat.MustTable(q.Relations[j.RightRel].Table)
+	lc, rc := lt.Column(j.LeftCol), rt.Column(j.RightCol)
+	if lc == nil || rc == nil {
+		return false
+	}
+	return uniformFKOntoPK(lc, rc, rt) || uniformFKOntoPK(rc, lc, lt)
+}
+
+// uniformFKOntoPK reports whether fk is a uniformly distributed foreign
+// key referencing exactly the primary key pk of table pkTable.
+func uniformFKOntoPK(fk, pk *catalog.Column, pkTable *catalog.Table) bool {
+	if fk.Dist != catalog.FKUniform {
+		return false
+	}
+	if pk.Dist != catalog.Serial {
+		return false
+	}
+	return fk.Ref == pkTable.Name && pkTable.PrimaryKey() == pk
+}
+
+// MarkSuggestedEPPs applies SuggestEPPs to the query, setting its EPP
+// list in join order, and returns the chosen join IDs.
+func MarkSuggestedEPPs(q *query.Query) []int {
+	epps := SuggestEPPs(q)
+	q.EPPs = append([]int(nil), epps...)
+	return epps
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparse"
+)
+
+func TestSuggestEPPsFlagsSkewedAndAttrJoins(t *testing.T) {
+	cat := catalog.TPCDS(1)
+	// ss_sold_time_sk is a *uniform* FK onto time_dim's PK → reliable.
+	// ss_store_sk is FKZipf → error-prone.
+	q, err := sqlparse.Parse("t", cat, `
+SELECT * FROM store_sales ss, time_dim t, store s
+WHERE ss.ss_sold_time_sk = t.time_dim_sk
+  AND ss.ss_store_sk = s.store_sk`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epps := SuggestEPPs(q)
+	if len(epps) != 1 || epps[0] != 1 {
+		t.Fatalf("SuggestEPPs = %v, want just the skewed store join", epps)
+	}
+}
+
+func TestSuggestEPPsAttrAttrJoin(t *testing.T) {
+	cat := catalog.TPCDS(1)
+	// d_year vs c_birth_year is an attribute join: never reliable.
+	q, err := sqlparse.Parse("t", cat, `
+SELECT * FROM date_dim d, customer c
+WHERE d.d_year = c.c_birth_year`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epps := SuggestEPPs(q); len(epps) != 1 {
+		t.Fatalf("attribute join must be flagged, got %v", epps)
+	}
+}
+
+func TestSuggestEPPsReversedOrientation(t *testing.T) {
+	cat := catalog.TPCDS(1)
+	// PK on the left, uniform FK on the right: still reliable.
+	q, err := sqlparse.Parse("t", cat, `
+SELECT * FROM time_dim t, store_sales ss
+WHERE t.time_dim_sk = ss.ss_sold_time_sk`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epps := SuggestEPPs(q); len(epps) != 0 {
+		t.Fatalf("reversed reliable join flagged: %v", epps)
+	}
+}
+
+func TestMarkSuggestedEPPs(t *testing.T) {
+	cat := catalog.TPCDS(1)
+	q, err := sqlparse.Parse("t", cat, `
+SELECT * FROM store_sales ss, date_dim d, item i
+WHERE ss.ss_sold_date_sk = d.date_dim_sk
+  AND ss.ss_item_sk = i.item_sk`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MarkSuggestedEPPs(q)
+	// Both FKs are zipf-skewed → both error-prone.
+	if len(got) != 2 || q.D() != 2 {
+		t.Fatalf("MarkSuggestedEPPs = %v, D = %d", got, q.D())
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuggestedEPPsOnSuite(t *testing.T) {
+	// The heuristic certifies only uniform FK→PK lookups; the paper's
+	// declared epp sets are experiment choices and may include joins the
+	// heuristic would certify. Check that on every suite query the
+	// heuristic flags a non-empty, valid subset of the joins, and that
+	// every *skewed* declared epp is caught.
+	for _, spec := range Suite() {
+		q, err := spec.Load(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flagged := map[int]bool{}
+		for _, id := range SuggestEPPs(q) {
+			if id < 0 || id >= len(q.Joins) {
+				t.Fatalf("%s: flagged join %d out of range", spec.Name, id)
+			}
+			flagged[id] = true
+		}
+		if len(flagged) == 0 {
+			t.Errorf("%s: heuristic flagged nothing", spec.Name)
+		}
+		for _, id := range q.EPPs {
+			j := q.Joins[id]
+			lt := q.Cat.MustTable(q.Relations[j.LeftRel].Table)
+			rt := q.Cat.MustTable(q.Relations[j.RightRel].Table)
+			lc, rc := lt.Column(j.LeftCol), rt.Column(j.RightCol)
+			skewed := lc.Dist == catalog.FKZipf || rc.Dist == catalog.FKZipf ||
+				lc.Dist == catalog.Zipf || rc.Dist == catalog.Zipf
+			if skewed && !flagged[id] {
+				t.Errorf("%s: skewed epp join %d not flagged", spec.Name, id)
+			}
+		}
+	}
+}
