@@ -39,6 +39,7 @@ import (
 	"repro/internal/core/discovery"
 	"repro/internal/ess"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/plan"
 	"repro/internal/workload"
 )
@@ -59,6 +60,8 @@ func run(args []string) error {
 	queryName := fs.String("query", "4D_Q91", "query for the discover command")
 	alg := fs.String("alg", "spillbound", "algorithm for discover: planbouquet|spillbound|alignedbound")
 	qaFlag := fs.String("qa", "", "true selectivities for discover, comma-separated (e.g. 0.04,0.1)")
+	chaosSeed := fs.Uint64("chaos-seed", 0, "fault-injection seed for discover (with -chaos-rate)")
+	chaosRate := fs.Float64("chaos-rate", 0, "per-site fault probability in [0,1] for discover (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,7 +117,7 @@ func run(args []string) error {
 		}
 		return nil
 	case "discover":
-		return discover(h, *queryName, *alg, *qaFlag, *scale, *res)
+		return discover(*queryName, *alg, *qaFlag, *scale, *res, *chaosSeed, *chaosRate)
 	case "explain":
 		return explain(*queryName, *qaFlag, *scale, *res)
 	case "all":
@@ -209,8 +212,11 @@ func parseQA(space *ess.Space, qaFlag string) ([]int, error) {
 	return qaIdx, nil
 }
 
-// discover runs one discovery and prints its trace.
-func discover(h *experiments.Harness, name, algName, qaFlag string, scale float64, res int) error {
+// discover runs one discovery and prints its trace. With a nonzero
+// chaos rate, every fault-injection site is armed at that rate from the
+// seed's deterministic schedule, and the degradation/retry summary is
+// printed after the trace.
+func discover(name, algName, qaFlag string, scale float64, res int, chaosSeed uint64, chaosRate float64) error {
 	spec, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -226,6 +232,11 @@ func discover(h *experiments.Harness, name, algName, qaFlag string, scale float6
 	qa := int32(space.Grid.Linear(qaIdx))
 
 	sess := core.NewSession(space)
+	var chaos *faultinject.Injector
+	if chaosRate > 0 {
+		chaos = faultinject.NewUniform(chaosSeed, chaosRate)
+		sess.SetFaults(chaos)
+	}
 	out, err := sess.Discover(core.Algorithm(algName), qa)
 	if err != nil {
 		return err
@@ -247,5 +258,19 @@ func discover(h *experiments.Harness, name, algName, qaFlag string, scale float6
 	g, _ := sess.Guarantee(core.Algorithm(algName))
 	fmt.Printf("total cost %.4g, optimal %.4g, sub-optimality %.2f (guarantee %.1f)\n",
 		out.TotalCost, space.PointCost[qa], out.SubOpt(space.PointCost[qa]), g)
+	if chaos != nil {
+		fmt.Printf("chaos: seed=%d rate=%g, %d faults fired, %d retries, wasted cost %.4g\n",
+			chaosSeed, chaosRate, chaos.Count(), out.Retries, out.WastedCost)
+		if len(out.Degradations) == 0 {
+			fmt.Println("  no degradations")
+		}
+		for _, d := range out.Degradations {
+			if d.Exec > 0 {
+				fmt.Printf("  exec %d: %s (%s, wasted %.4g)\n", d.Exec, d.Kind, d.Detail, d.WastedCost)
+			} else {
+				fmt.Printf("  %s (%s)\n", d.Kind, d.Detail)
+			}
+		}
+	}
 	return nil
 }

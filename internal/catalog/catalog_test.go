@@ -170,8 +170,8 @@ func TestQualifiedColumn(t *testing.T) {
 }
 
 func TestTPCDSSchema(t *testing.T) {
-	c := TPCDS(1.0)
-	if err := c.Validate(); err != nil {
+	c, err := TPCDS(1.0)
+	if err != nil {
 		t.Fatalf("TPCDS catalog invalid: %v", err)
 	}
 	// Every table the paper's query suite mentions must exist.
@@ -196,8 +196,8 @@ func TestTPCDSSchema(t *testing.T) {
 }
 
 func TestIMDBSchema(t *testing.T) {
-	c := IMDB(1.0)
-	if err := c.Validate(); err != nil {
+	c, err := IMDB(1.0)
+	if err != nil {
 		t.Fatalf("IMDB catalog invalid: %v", err)
 	}
 	for _, name := range []string{"company_type", "info_type", "title", "movie_companies", "movie_info_idx"} {

@@ -1,5 +1,7 @@
 package catalog
 
+import "fmt"
+
 // TPCDS returns a TPC-DS-like schema at the given scale factor. The
 // table set covers every relation referenced by the paper's query suite
 // (TPC-DS queries 7, 15, 18, 19, 26, 27, 29, 84, 91, 96). Base
@@ -8,7 +10,7 @@ package catalog
 // scale) and small "dimension" tables. The absolute sizes are scaled
 // down ~100x from the benchmark spec so that real-execution experiments
 // run on a laptop; only relative sizes shape the plan space.
-func TPCDS(scale float64) *Catalog {
+func TPCDS(scale float64) (*Catalog, error) {
 	c := New("tpcds", scale)
 
 	dim := func(name string, rows int64, extra ...Column) {
@@ -136,16 +138,16 @@ func TPCDS(scale float64) *Catalog {
 	)
 
 	if err := c.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("catalog: tpcds schema invalid: %w", err)
 	}
-	return c
+	return c, nil
 }
 
 // IMDB returns a JOB-like (IMDB) schema sufficient for JOB query 1a,
 // which joins company_type ⋈ movie_companies ⋈ title ⋈ movie_info_idx ⋈
 // info_type. Cardinalities follow the real IMDB snapshot's relative
 // proportions, scaled down ~1000x.
-func IMDB(scale float64) *Catalog {
+func IMDB(scale float64) (*Catalog, error) {
 	c := New("imdb", scale)
 
 	c.AddTable(&Table{Name: "company_type", BaseRows: 4, Columns: []Column{
@@ -175,7 +177,7 @@ func IMDB(scale float64) *Catalog {
 	}})
 
 	if err := c.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("catalog: imdb schema invalid: %w", err)
 	}
-	return c
+	return c, nil
 }

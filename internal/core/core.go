@@ -21,8 +21,13 @@ import (
 	"repro/internal/core/discovery"
 	"repro/internal/core/spillbound"
 	"repro/internal/ess"
+	"repro/internal/faultinject"
 	"repro/internal/mso"
 )
+
+// Outcome is the result of one discovery run (see discovery.Outcome for
+// the trace, cost ledger, and degradation record).
+type Outcome = discovery.Outcome
 
 // Algorithm selects a query processing strategy.
 type Algorithm string
@@ -51,6 +56,10 @@ type Session struct {
 
 	lambda float64
 
+	// faults, when set, arms simulated discoveries with injected engine
+	// faults behind the resilient driver (chaos mode).
+	faults *faultinject.Injector
+
 	mu        sync.Mutex
 	reduction *ess.Reduction
 	planner   *alignedbound.Planner
@@ -73,6 +82,24 @@ func (s *Session) SetLambda(lambda float64) {
 		panic("core: SetLambda after the reduction was built")
 	}
 	s.lambda = lambda
+}
+
+// SetFaults arms (or with nil disarms) fault injection for this
+// session's simulated discoveries: Discover wraps the sim engine in a
+// FaultySim plus the resilient retry driver, and DiscoverWith applies
+// the AlignedBound→SpillBound planner fallback. The injector's schedule
+// is deterministic per seed, so chaos runs are reproducible.
+func (s *Session) SetFaults(in *faultinject.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = in
+}
+
+// Faults returns the session's armed injector (nil when disarmed).
+func (s *Session) Faults() *faultinject.Injector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
 }
 
 // Reduction returns the session's anorexic reduction, building it on
@@ -117,29 +144,83 @@ func (s *Session) Guarantee(alg Algorithm) (float64, error) {
 
 // Discover runs the algorithm for the query instance whose true
 // location is the grid point qa, using cost-model simulated execution.
+// With faults armed (SetFaults), the simulation runs behind the
+// fault-injecting engine and the resilient retry driver.
 func (s *Session) Discover(alg Algorithm, qa int32) (*discovery.Outcome, error) {
-	return s.DiscoverWith(alg, discovery.NewSimEngine(s.Space, qa))
+	sim := discovery.NewSimEngine(s.Space, qa)
+	if in := s.Faults(); in != nil {
+		r := discovery.NewResilient(discovery.NewFaultySim(sim, in), discovery.DefaultRetryPolicy).
+			WithJitter(in.Jitter)
+		return s.DiscoverWith(alg, r)
+	}
+	return s.DiscoverWith(alg, sim)
 }
 
 // DiscoverWith runs the algorithm against an arbitrary execution engine
-// (e.g. the real row-level executor).
+// (e.g. the real row-level executor, typically behind
+// discovery.NewResilient). When the engine is a *discovery.Resilient,
+// the degradations, retries, and wasted cost it recorded during the run
+// are attached to the returned Outcome.
 func (s *Session) DiscoverWith(alg Algorithm, eng discovery.Engine) (*discovery.Outcome, error) {
+	out, err := s.dispatch(alg, eng)
+	if r, ok := eng.(*discovery.Resilient); ok && out != nil {
+		degs, retries, wasted := r.Take()
+		out.Degradations = append(out.Degradations, degs...)
+		out.Retries += retries
+		out.WastedCost += wasted
+	}
+	return out, err
+}
+
+func (s *Session) dispatch(alg Algorithm, eng discovery.Engine) (*discovery.Outcome, error) {
 	switch alg {
 	case PlanBouquet:
 		return bouquet.Run(s.Space, s.Reduction(), eng)
 	case SpillBound:
 		return spillbound.Run(s.Space, eng)
 	case AlignedBound:
-		out, pen, err := alignedbound.Run(s.Space, s.Planner(), eng)
-		s.mu.Lock()
-		if pen > s.maxPenalty {
-			s.maxPenalty = pen
-		}
-		s.mu.Unlock()
-		return out, err
+		return s.runAligned(eng)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
 	}
+}
+
+// runAligned runs AlignedBound with the planner-failure degradation:
+// when the armed injector trips the alignment-planner site, or the
+// planner panics during a chaos run, the discovery falls back to
+// SpillBound — the algorithm AlignedBound refines — and the fallback is
+// recorded on the Outcome. Fault-free runs never mask planner panics.
+func (s *Session) runAligned(eng discovery.Engine) (out *discovery.Outcome, err error) {
+	in := s.Faults()
+	if ferr := in.Check(faultinject.SiteAlignPlanner); ferr != nil {
+		return s.alignFallback(eng, ferr.Error())
+	}
+	if in != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				out, err = s.alignFallback(eng, fmt.Sprintf("planner panic: %v", r))
+			}
+		}()
+	}
+	out, pen, err := alignedbound.Run(s.Space, s.Planner(), eng)
+	s.mu.Lock()
+	if pen > s.maxPenalty {
+		s.maxPenalty = pen
+	}
+	s.mu.Unlock()
+	return out, err
+}
+
+// alignFallback degrades an AlignedBound discovery to SpillBound,
+// stamping the Outcome with the "alignment-fallback" degradation.
+func (s *Session) alignFallback(eng discovery.Engine, detail string) (*discovery.Outcome, error) {
+	out, err := spillbound.Run(s.Space, eng)
+	if out != nil {
+		out.Degradations = append(out.Degradations, discovery.Degradation{
+			Kind: "alignment-fallback", Detail: detail,
+		})
+	}
+	return out, err
 }
 
 // MaxPenalty returns the largest AlignedBound partition penalty π*

@@ -62,15 +62,45 @@ type Step struct {
 	LearnedIdx int
 }
 
+// Degradation records one graceful fallback or retry the resilient
+// driver took during a discovery run. Fault-free runs have none; under
+// a fixed fault schedule the sequence is deterministic.
+type Degradation struct {
+	// Kind labels the rung of the degradation ladder: "retry" (transient
+	// fault, execution re-run), "exec-abandoned" (retries exhausted or
+	// persistent fault, execution treated as a kill), "lost-observation"
+	// (completed spill whose selectivity sample was dropped),
+	// "alignment-fallback" (AlignedBound handed over to SpillBound), or
+	// an executor-level note such as "indexscan→seqscan".
+	Kind string
+	// Exec is the 1-based ordinal of the engine execution the entry
+	// applies to, or 0 when not tied to a single execution.
+	Exec int
+	// Detail is the human-readable cause.
+	Detail string
+	// WastedCost is the cost consumed by abandoned work (0 when none).
+	WastedCost float64
+}
+
 // Outcome is the result of one discovery run.
 type Outcome struct {
 	// Steps is the full execution trace.
 	Steps []Step
-	// TotalCost is the summed cost of all executions.
+	// TotalCost is the summed cost of all executions, including retried
+	// and wasted work — the robustness ledger the MSO metrics price.
 	TotalCost float64
 	// Completed reports whether the query finished (always true for a
 	// correct algorithm; false signals an internal error).
 	Completed bool
+	// Degradations lists the fallbacks and retries taken, in order;
+	// empty for fault-free runs.
+	Degradations []Degradation
+	// Retries counts engine executions that were re-run after transient
+	// faults.
+	Retries int
+	// WastedCost totals the cost of abandoned execution attempts
+	// (already included in TotalCost).
+	WastedCost float64
 }
 
 // SubOpt returns the sub-optimality of the run against the optimal cost

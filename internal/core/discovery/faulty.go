@@ -1,0 +1,71 @@
+package discovery
+
+import (
+	"errors"
+
+	"repro/internal/faultinject"
+)
+
+// FaultySim is a SimEngine exposed through the FallibleEngine interface
+// with injector-driven engine faults: full and spill executions can fail
+// mid-flight (charging a deterministic fraction of the work they would
+// have done), completed spills can lose their selectivity observation,
+// and successful executions can pick up induced latency drift. With a
+// nil injector it behaves exactly like the wrapped SimEngine.
+//
+// Because the schedule is a pure function of the injector seed and the
+// per-site call sequence, two runs with the same seed fault at the same
+// executions — the property the chaos suite pins.
+type FaultySim struct {
+	sim *SimEngine
+	in  *faultinject.Injector
+}
+
+// NewFaultySim wraps the simulator with the injector.
+func NewFaultySim(sim *SimEngine, in *faultinject.Injector) *FaultySim {
+	return &FaultySim{sim: sim, in: in}
+}
+
+// ExecFull implements FallibleEngine. A fault aborts the execution
+// partway: the caller is billed a deterministic fraction of the cost
+// the attempt would have consumed, and learns nothing.
+func (f *FaultySim) ExecFull(planID int32, budget float64) (float64, bool, error) {
+	if ferr := f.in.Check(faultinject.SiteEngineFull); ferr != nil {
+		c, _ := f.sim.ExecFull(planID, budget)
+		return c * wasteOf(f.in, ferr), false, ferr
+	}
+	c, done := f.sim.ExecFull(planID, budget)
+	c += c * f.in.Drift(faultinject.SiteLatency)
+	return c, done, nil
+}
+
+// ExecSpill implements FallibleEngine. Beyond mid-flight aborts, a
+// completed spill can lose its observation (SiteSpillObs): the work is
+// fully billed but learnedIdx is -1 — the engine finished and then
+// dropped the sample.
+func (f *FaultySim) ExecSpill(planID int32, dim int, budget float64) (float64, bool, int, error) {
+	if ferr := f.in.Check(faultinject.SiteEngineSpill); ferr != nil {
+		c, _, _ := f.sim.ExecSpill(planID, dim, budget)
+		return c * wasteOf(f.in, ferr), false, -1, ferr
+	}
+	c, done, idx := f.sim.ExecSpill(planID, dim, budget)
+	c += c * f.in.Drift(faultinject.SiteLatency)
+	if done {
+		if ferr := f.in.Check(faultinject.SiteSpillObs); ferr != nil {
+			return c, false, -1, ferr
+		}
+	}
+	return c, done, idx, nil
+}
+
+// wasteOf returns the injector's deterministic waste fraction for the
+// fault carried by err (1 if err wraps no Fault — bill everything).
+func wasteOf(in *faultinject.Injector, err error) float64 {
+	var flt *faultinject.Fault
+	if errors.As(err, &flt) {
+		return in.WasteFraction(flt)
+	}
+	return 1
+}
+
+var _ FallibleEngine = (*FaultySim)(nil)

@@ -1,0 +1,185 @@
+package discovery
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// ErrObservationLost reports a spill-mode execution that completed but
+// whose run-time selectivity observation was dropped before the driver
+// could read it. It is not transient: the engine already did the work
+// once and lost the sample deterministically; the sound fallback is to
+// learn nothing and let later contours re-derive the selectivity.
+var ErrObservationLost = errors.New("discovery: spill observation lost")
+
+// FallibleEngine is an Engine whose executions can fail with engine
+// faults (storage errors, operator panics, lost observations, client
+// cancellations) in addition to clean budget kills. On error the cost
+// return must still report the work consumed by the failed attempt —
+// wasted work is billable — and learnedIdx must be the soundest bound
+// available (-1 when the fault revealed nothing).
+type FallibleEngine interface {
+	ExecFull(planID int32, budget float64) (costIncurred float64, completed bool, err error)
+	ExecSpill(planID int32, dim int, budget float64) (costIncurred float64, completed bool, learnedIdx int, err error)
+}
+
+// RetryPolicy caps the resilient driver's retries of transient faults.
+type RetryPolicy struct {
+	// MaxRetries bounds re-executions after the first attempt.
+	MaxRetries int
+	// BackoffBase is the first retry's backoff delay; each further retry
+	// doubles it up to BackoffCap.
+	BackoffBase time.Duration
+	// BackoffCap caps the exponential backoff delay.
+	BackoffCap time.Duration
+}
+
+// DefaultRetryPolicy mirrors the executor's policy constants at the
+// discovery layer.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxRetries:  3,
+	BackoffBase: 200 * time.Microsecond,
+	BackoffCap:  2 * time.Millisecond,
+}
+
+// Resilient adapts a FallibleEngine to the infallible Engine interface
+// the discovery algorithms drive: transient faults are retried with
+// capped exponential backoff and (deterministic) jitter, persistent
+// faults and exhausted retries degrade to a learning-free kill, and
+// every wasted cost unit is summed into the cost the algorithm charges
+// — so the MSO/ASO ledger pays the true price of robustness.
+type Resilient struct {
+	eng    FallibleEngine
+	policy RetryPolicy
+	jitter func(attempt int) float64
+
+	mu      sync.Mutex
+	degs    []Degradation
+	retries int
+	wasted  float64
+	execs   int
+}
+
+// NewResilient wraps the engine with the retry policy.
+func NewResilient(eng FallibleEngine, policy RetryPolicy) *Resilient {
+	return &Resilient{eng: eng, policy: policy}
+}
+
+// WithJitter installs a backoff jitter source in [0, 1) (for example
+// faultinject.Injector.Jitter, keeping chaos runs fully deterministic)
+// and returns the engine for chaining. Without one, backoff is
+// jitter-free.
+func (r *Resilient) WithJitter(f func(attempt int) float64) *Resilient {
+	r.jitter = f
+	return r
+}
+
+// ExecFull implements Engine with retries; on give-up the execution is
+// reported as a kill (completed=false), which every algorithm treats
+// soundly as "try the next plan / contour".
+func (r *Resilient) ExecFull(planID int32, budget float64) (float64, bool) {
+	exec := r.nextExec()
+	total := 0.0
+	for try := 0; ; try++ {
+		c, done, err := r.eng.ExecFull(planID, budget)
+		total += c
+		if err == nil {
+			return total, done
+		}
+		if !r.onFault(exec, try, c, err) {
+			return total, false
+		}
+	}
+}
+
+// ExecSpill implements Engine with retries; on give-up the soundest
+// bound from the last attempt is reported (usually -1: nothing new
+// learned) with completed=false.
+func (r *Resilient) ExecSpill(planID int32, dim int, budget float64) (float64, bool, int) {
+	exec := r.nextExec()
+	total := 0.0
+	for try := 0; ; try++ {
+		c, done, idx, err := r.eng.ExecSpill(planID, dim, budget)
+		total += c
+		if err == nil {
+			return total, done, idx
+		}
+		if !r.onFault(exec, try, c, err) {
+			return total, false, idx
+		}
+	}
+}
+
+// nextExec advances the execution ordinal used in degradation records.
+func (r *Resilient) nextExec() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.execs++
+	return r.execs
+}
+
+// onFault accounts a failed attempt and reports whether to retry.
+func (r *Resilient) onFault(exec, try int, cost float64, err error) bool {
+	r.mu.Lock()
+	r.wasted += cost
+	retry := faultinject.IsTransient(err) && try < r.policy.MaxRetries
+	kind := "retry"
+	if !retry {
+		kind = giveUpKind(err)
+	}
+	r.degs = append(r.degs, Degradation{
+		Kind: kind, Exec: exec, Detail: err.Error(), WastedCost: cost,
+	})
+	if retry {
+		r.retries++
+	}
+	r.mu.Unlock()
+	if retry {
+		r.backoff(try)
+	}
+	return retry
+}
+
+// giveUpKind labels the degradation taken when an execution is
+// abandoned.
+func giveUpKind(err error) string {
+	var f *faultinject.Fault
+	if errors.As(err, &f) && f.Site == faultinject.SiteSpillObs {
+		return "lost-observation"
+	}
+	if errors.Is(err, ErrObservationLost) {
+		return "lost-observation"
+	}
+	return "exec-abandoned"
+}
+
+// backoff sleeps the capped exponential delay for the attempt.
+func (r *Resilient) backoff(try int) {
+	d := r.policy.BackoffBase << uint(try)
+	if d > r.policy.BackoffCap {
+		d = r.policy.BackoffCap
+	}
+	if d <= 0 {
+		return
+	}
+	if r.jitter != nil {
+		d += time.Duration(float64(d) * r.jitter(try))
+	}
+	time.Sleep(d)
+}
+
+// Take returns the degradations, retry count, and wasted cost recorded
+// since the last Take, clearing them — the discovery driver attaches
+// them to the run's Outcome.
+func (r *Resilient) Take() (degs []Degradation, retries int, wasted float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	degs, retries, wasted = r.degs, r.retries, r.wasted
+	r.degs, r.retries, r.wasted, r.execs = nil, 0, 0, 0
+	return degs, retries, wasted
+}
+
+var _ Engine = (*Resilient)(nil)

@@ -246,7 +246,10 @@ func TestPopulateZipfSkewInFK(t *testing.T) {
 }
 
 func TestPopulateTPCDS(t *testing.T) {
-	cat := catalog.TPCDS(0.01)
+	cat, err := catalog.TPCDS(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
 	st, err := Populate(cat, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)

@@ -15,7 +15,10 @@ import (
 // buildSpace constructs a 2D space over a three-way TPC-DS join.
 func buildSpace(t testing.TB, res int) *Space {
 	t.Helper()
-	cat := catalog.TPCDS(1)
+	cat, err := catalog.TPCDS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	q, err := sqlparse.Parse("test2d", cat, `
 SELECT * FROM catalog_sales cs, date_dim d, customer c
 WHERE cs.cs_sold_date_sk = d.date_dim_sk
@@ -65,7 +68,10 @@ func TestBuildBasics(t *testing.T) {
 }
 
 func TestBuildRequiresEPPs(t *testing.T) {
-	cat := catalog.TPCDS(1)
+	cat, err := catalog.TPCDS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	q, err := sqlparse.Parse("noepp", cat, `SELECT * FROM store s`)
 	if err != nil {
 		t.Fatal(err)

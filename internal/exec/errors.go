@@ -1,0 +1,61 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/faultinject"
+)
+
+// OperatorError is the typed failure of an operator tree: every error an
+// execution can produce besides a budget kill — storage faults, index
+// probe failures, recovered operator panics, cancellations — is wrapped
+// in one, so callers can always distinguish "the engine failed" from
+// "the query was killed by policy" and can classify the failure for the
+// retry ladder.
+type OperatorError struct {
+	// Op names the operator (or executor stage) that failed.
+	Op string
+	// Err is the underlying cause.
+	Err error
+	// Panicked reports that the error was recovered from an operator
+	// panic rather than returned through the iterator protocol.
+	Panicked bool
+}
+
+// Error implements error.
+func (e *OperatorError) Error() string {
+	if e.Panicked {
+		return fmt.Sprintf("exec: %s panicked: %v", e.Op, e.Err)
+	}
+	return fmt.Sprintf("exec: %s failed: %v", e.Op, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As chains.
+func (e *OperatorError) Unwrap() error { return e.Err }
+
+// Transient reports whether the underlying cause is classified
+// transient (see faultinject.IsTransient); transient failures are
+// retried by the executor's retry policy.
+func (e *OperatorError) Transient() bool { return faultinject.IsTransient(e.Err) }
+
+// opError wraps err as an OperatorError unless it already is one (or is
+// nil), preserving the innermost operator attribution.
+func opError(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := err.(*OperatorError); ok {
+		return err
+	}
+	return &OperatorError{Op: op, Err: err}
+}
+
+// recoveredError converts a recovered panic value into a typed
+// *OperatorError, preserving fault classification when the panic value
+// is (or wraps) an injected fault.
+func recoveredError(op string, r interface{}) error {
+	if err, ok := r.(error); ok {
+		return &OperatorError{Op: op, Err: err, Panicked: true}
+	}
+	return &OperatorError{Op: op, Err: fmt.Errorf("%v", r), Panicked: true}
+}

@@ -11,13 +11,16 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"repro/internal/cost"
 	"repro/internal/expr"
+	"repro/internal/faultinject"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/storage"
@@ -27,12 +30,46 @@ import (
 // budget — the forced termination of §1.1.1.
 var ErrBudgetExceeded = errors.New("exec: cost budget exceeded")
 
+// Retry policy for faults classified transient (see the "Fault model &
+// degradation ladder" section of DESIGN.md). An execution that fails
+// with a transient fault is re-run up to MaxRetries times with capped
+// exponential backoff and deterministic jitter; every cost unit the
+// failed attempts consumed stays on the ledger (Result.WastedCost), so
+// MSO accounting reflects the true price of robustness.
+const (
+	// MaxRetries bounds the number of re-executions after the first
+	// attempt.
+	MaxRetries = 3
+	// BackoffBase is the first retry's backoff delay.
+	BackoffBase = 500 * time.Microsecond
+	// BackoffCap caps the exponential backoff delay.
+	BackoffCap = 4 * time.Millisecond
+)
+
 // Meter tracks metered cost against an optional budget.
+//
+// Charge semantics under kills and retries (pinned by the regression
+// test TestMeterClampAcrossKillRetryCycles):
+//
+//   - A killed execution costs exactly its budget: the Charge that
+//     crosses Budget clamps Used to Budget and returns
+//     ErrBudgetExceeded, and any further charges keep Used clamped, so
+//     no over-run is ever billed for a single attempt.
+//   - Retried work accumulates: every retry attempt runs on a fresh
+//     Meter and the executor sums all attempts into Result.Cost, so a
+//     budget-B execution that is killed once and retried twice bills up
+//     to 3B — wasted work is charged, never forgiven.
+//   - Induced latency drift accumulates separately in Drifted and never
+//     triggers a budget kill: kills are decisions on modeled work,
+//     drift is accounted (but unmodeled) slack.
 type Meter struct {
 	// Used is the cost consumed so far.
 	Used float64
 	// Budget caps Used; 0 means unlimited.
 	Budget float64
+	// Drifted is the induced-latency cost accounted on top of Used; it
+	// is billed to the caller but does not count toward the budget.
+	Drifted float64
 }
 
 // Charge adds units and fails with ErrBudgetExceeded past the budget.
@@ -44,6 +81,10 @@ func (m *Meter) Charge(units float64) error {
 	}
 	return nil
 }
+
+// AddDrift bills extra accounted cost without advancing the budget
+// clock (induced latency / meter drift).
+func (m *Meter) AddDrift(units float64) { m.Drifted += units }
 
 // JoinObs is the run-time selectivity observation of one join operator.
 type JoinObs struct {
@@ -62,12 +103,16 @@ func (o JoinObs) Sel() float64 {
 	return float64(o.OutRows) / (float64(o.LeftRows) * float64(o.RightRows))
 }
 
-// Result reports one (possibly budget-limited) execution.
+// Result reports one (possibly budget-limited, possibly retried)
+// execution.
 type Result struct {
 	// Rows is the number of rows the root produced before completion or
 	// termination.
 	Rows int64
-	// Cost is the metered cost consumed.
+	// Cost is the total accounted cost of the call: the final attempt's
+	// metered cost plus every failed attempt's cost (WastedCost) plus
+	// induced drift (Drift). This is the value the discovery ledger
+	// charges.
 	Cost float64
 	// Completed reports whether the plan ran to completion.
 	Completed bool
@@ -75,6 +120,17 @@ type Result struct {
 	// populated only for joins whose operators fully consumed their
 	// inputs (exact observations).
 	JoinSel map[int]float64
+	// Retries is the number of re-executions after transient faults.
+	Retries int
+	// WastedCost is the cost consumed by attempts that failed and were
+	// retried (included in Cost).
+	WastedCost float64
+	// Drift is the induced-latency cost accounted beyond the metered
+	// work (included in Cost; never triggers a budget kill).
+	Drift float64
+	// Degraded lists the graceful fallbacks and retries taken during
+	// the call, in order (e.g. "indexscan→seqscan rel=d").
+	Degraded []string
 }
 
 // Executor runs physical plans over a store.
@@ -82,6 +138,7 @@ type Executor struct {
 	q      *query.Query
 	store  *storage.Store
 	params cost.Params
+	faults *faultinject.Injector
 }
 
 // New creates an executor for the query over the store.
@@ -89,10 +146,24 @@ func New(q *query.Query, store *storage.Store, params cost.Params) *Executor {
 	return &Executor{q: q, store: store, params: params}
 }
 
+// WithFaults arms the executor with a fault injector (nil disarms) and
+// returns the executor for chaining.
+func (e *Executor) WithFaults(in *faultinject.Injector) *Executor {
+	e.faults = in
+	return e
+}
+
 // Run executes the plan with the budget (0 = unlimited), discarding
 // output rows (the OLAP experiments measure work, not result delivery).
 func (e *Executor) Run(root *plan.Node, budget float64) (*Result, error) {
-	return e.drive(root, budget)
+	return e.RunCtx(context.Background(), root, budget)
+}
+
+// RunCtx is Run with cancellation: the context is checked between
+// iterator steps, so a cancel or deadline tears the execution down
+// mid-stream with a typed *OperatorError wrapping the context error.
+func (e *Executor) RunCtx(ctx context.Context, root *plan.Node, budget float64) (*Result, error) {
+	return e.retry(ctx, func() (*Result, error) { return e.driveOnce(ctx, root, budget, false) })
 }
 
 // RunSpill executes the plan in spill-mode on the given join predicate:
@@ -100,25 +171,110 @@ func (e *Executor) Run(root *plan.Node, budget float64) (*Result, error) {
 // discarded (§3.1.2). The observed selectivity of the spilled join is
 // exact iff the subtree completed within budget.
 func (e *Executor) RunSpill(root *plan.Node, joinID int, budget float64) (*Result, error) {
+	return e.RunSpillCtx(context.Background(), root, joinID, budget)
+}
+
+// RunSpillCtx is RunSpill with cancellation (see RunCtx).
+func (e *Executor) RunSpillCtx(ctx context.Context, root *plan.Node, joinID int, budget float64) (*Result, error) {
 	sub := plan.SpillSubtree(root, joinID)
 	if sub == nil {
 		return nil, fmt.Errorf("exec: plan does not apply join %d", joinID)
 	}
-	return e.drive(sub, budget)
+	return e.retry(ctx, func() (*Result, error) { return e.driveOnce(ctx, sub, budget, true) })
 }
 
-func (e *Executor) drive(root *plan.Node, budget float64) (*Result, error) {
-	meter := &Meter{Budget: budget}
-	op, _, err := e.build(root, meter)
-	if err != nil {
-		return nil, err
+// retry drives attempts through the transient-fault retry policy:
+// capped exponential backoff with deterministic jitter, every failed
+// attempt's cost accumulated into the returned Result so the ledger
+// pays for wasted work. Non-transient errors, exhausted retries, and
+// cancellations surface immediately (with the cost consumed so far).
+func (e *Executor) retry(ctx context.Context, attempt func() (*Result, error)) (*Result, error) {
+	var wasted float64
+	var degraded []string
+	for try := 0; ; try++ {
+		res, err := attempt()
+		degraded = append(degraded, res.Degraded...)
+		res.Degraded = degraded
+		res.Retries = try
+		res.WastedCost = wasted
+		res.Cost += wasted
+		if err == nil {
+			return res, nil
+		}
+		wasted += res.Cost - res.WastedCost // this attempt's cost is now wasted
+		res.WastedCost = wasted
+		res.Cost = wasted
+		if !faultinject.IsTransient(err) || try >= MaxRetries || ctx.Err() != nil {
+			return res, err
+		}
+		degraded = append(degraded, fmt.Sprintf("retry#%d after %v", try+1, err))
+		if err := e.backoff(ctx, try); err != nil {
+			return res, opError("retry", err)
+		}
 	}
-	res := &Result{JoinSel: make(map[int]float64)}
+}
+
+// backoff sleeps the capped exponential delay for the attempt, with
+// jitter from the injector's deterministic schedule, honoring ctx.
+func (e *Executor) backoff(ctx context.Context, try int) error {
+	d := BackoffBase << uint(try)
+	if d > BackoffCap {
+		d = BackoffCap
+	}
+	d += time.Duration(float64(d) * e.faults.Jitter(try))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// cancelCheckMask batches context / fault-site checks in the drive loop
+// to one per 64 iterator steps.
+const cancelCheckMask = 63
+
+// driveOnce runs one execution attempt. It never panics: operator
+// panics are recovered and converted to typed *OperatorError values,
+// and the returned Result always carries the cost consumed so far, so
+// even failed attempts are billable.
+func (e *Executor) driveOnce(ctx context.Context, root *plan.Node, budget float64, spill bool) (res *Result, err error) {
+	meter := &Meter{Budget: budget}
+	res = &Result{JoinSel: make(map[int]float64)}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Cost = meter.Used + meter.Drifted
+			res.Drift = meter.Drifted
+			res.Completed = false
+			err = recoveredError(root.Signature(), r)
+		}
+	}()
+	op, _, err := e.build(root, meter, res)
+	if err != nil {
+		res.Cost = meter.Used + meter.Drifted
+		res.Drift = meter.Drifted
+		return res, opError("build", err)
+	}
+	steps := 0
 	err = func() error {
 		if err := op.Open(); err != nil {
 			return err
 		}
 		for {
+			if steps&cancelCheckMask == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return opError("cancel", cerr)
+				}
+				if ferr := e.faults.Check(faultinject.SiteOperatorPanic); ferr != nil {
+					panic(ferr)
+				}
+				if d := e.faults.Drift(faultinject.SiteLatency); d > 0 {
+					meter.AddDrift(d * e.params.Tuple)
+				}
+			}
+			steps++
 			_, err := op.Next()
 			if err == io.EOF {
 				return nil
@@ -130,19 +286,34 @@ func (e *Executor) drive(root *plan.Node, budget float64) (*Result, error) {
 		}
 	}()
 	cerr := op.Close()
-	res.Cost = meter.Used
+	res.Cost = meter.Used + meter.Drifted
+	res.Drift = meter.Drifted
 	switch {
 	case err == nil:
 		res.Completed = true
 	case errors.Is(err, ErrBudgetExceeded):
 		res.Completed = false
 	default:
-		return nil, err
+		return res, opError("iterate", err)
 	}
 	if cerr != nil {
-		return nil, cerr
+		return res, opError("close", cerr)
 	}
 	if res.Completed {
+		// Degradation ladder: a dropped spill observation. Transient drops
+		// go through the retry policy (the re-run can recover the sample);
+		// persistent drops keep the completed result but leave JoinSel
+		// empty, pushing the caller onto the no-information inference path.
+		if spill {
+			if ferr := e.faults.Check(faultinject.SiteSpillObs); ferr != nil {
+				if faultinject.IsTransient(ferr) {
+					return res, opError("spillobs", ferr)
+				}
+				res.Degraded = append(res.Degraded,
+					fmt.Sprintf("spill observation dropped (%v)", ferr))
+				return res, nil
+			}
+		}
 		collectObservations(op, res.JoinSel)
 	}
 	return res, nil
@@ -188,12 +359,14 @@ func concatSchema(l, r *schema) *schema {
 	return out
 }
 
-// build compiles a plan node into an operator tree.
-func (e *Executor) build(n *plan.Node, meter *Meter) (operator, *schema, error) {
+// build compiles a plan node into an operator tree. res collects
+// degradation notes taken during compilation (e.g. index→seq-scan
+// fallback on persistent index faults).
+func (e *Executor) build(n *plan.Node, meter *Meter, res *Result) (operator, *schema, error) {
 	if n.IsScan() {
-		return e.buildScan(n, meter)
+		return e.buildScan(n, meter, res)
 	}
-	return e.buildJoin(n, meter)
+	return e.buildJoin(n, meter, res)
 }
 
 func (e *Executor) relSchema(rel int) *schema {

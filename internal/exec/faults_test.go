@@ -1,0 +1,390 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/faultinject"
+	"repro/internal/plan"
+)
+
+// rates arms exactly the given sites.
+func rates(sites ...faultinject.Site) map[faultinject.Site]float64 {
+	m := make(map[faultinject.Site]float64, len(sites))
+	for _, s := range sites {
+		m[s] = 1.0
+	}
+	return m
+}
+
+// TestMeterClampAcrossKillRetryCycles pins the Charge semantics the
+// retry machinery depends on: each killed attempt bills exactly its
+// budget (never more, even when charges keep arriving after the kill),
+// and attempts accumulate — k kills plus a success bill k·B plus the
+// final attempt's true cost.
+func TestMeterClampAcrossKillRetryCycles(t *testing.T) {
+	const budget = 10.0
+	total := 0.0
+	for cycle := 0; cycle < 3; cycle++ {
+		m := &Meter{Budget: budget} // each retry attempt gets a fresh meter
+		var killed bool
+		for i := 0; i < 50; i++ {
+			if err := m.Charge(0.7); err != nil {
+				if err != ErrBudgetExceeded {
+					t.Fatalf("cycle %d: err = %v", cycle, err)
+				}
+				killed = true
+			}
+		}
+		if !killed {
+			t.Fatalf("cycle %d: 35 units must exceed budget %v", cycle, budget)
+		}
+		if m.Used != budget {
+			t.Fatalf("cycle %d: killed meter Used = %v, want exactly %v", cycle, m.Used, budget)
+		}
+		total += m.Used
+	}
+	// Final successful attempt under a fresh meter.
+	m := &Meter{Budget: budget}
+	if err := m.Charge(4); err != nil {
+		t.Fatal(err)
+	}
+	total += m.Used
+	if want := 3*budget + 4; total != want {
+		t.Fatalf("accumulated cost across kill/retry cycles = %v, want %v", total, want)
+	}
+	// Drift never advances the budget clock.
+	m.AddDrift(1e9)
+	if err := m.Charge(1); err != nil {
+		t.Fatalf("drift must not trigger a budget kill: %v", err)
+	}
+}
+
+// A build failure (index scan without a usable predicate) must surface
+// as a typed *OperatorError, not a panic, with the cost ledger intact.
+func TestBuildFailurePropagation(t *testing.T) {
+	f := newFixture(t)
+	q := f.parse(t, `SELECT * FROM dim d`)
+	e := New(q, f.store, cost.DefaultParams())
+	res, err := e.Run(plan.NewScan(0, plan.IndexScan), 0)
+	if err == nil {
+		t.Fatal("index scan without filters must fail to build")
+	}
+	var oe *OperatorError
+	if !errors.As(err, &oe) {
+		t.Fatalf("build failure not typed: %T %v", err, err)
+	}
+	if oe.Op != "build" {
+		t.Errorf("Op = %q, want build", oe.Op)
+	}
+	if res == nil || res.Completed {
+		t.Error("failed build must return an incomplete result")
+	}
+}
+
+// A transient fault on the very first Next must go through the retry
+// policy; with the fault capped at one firing, the retry succeeds and
+// the wasted attempt stays on the bill.
+func TestTransientNextFaultRetriedAndBilled(t *testing.T) {
+	f := newFixture(t)
+	q := f.parse(t, joinSQL)
+	p := twoRelPlans(q)["hash"]
+	clean, err := New(q, f.store, cost.DefaultParams()).Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a seed whose first scan check passes and second fires, so the
+	// failed attempt has consumed real work before faulting.
+	mkCfg := func(seed uint64) faultinject.Config {
+		return faultinject.Config{
+			Seed:       seed,
+			Rates:      map[faultinject.Site]float64{faultinject.SiteScanTuple: 0.5},
+			MaxPerSite: 1, // the fault clears after one firing
+		}
+	}
+	seed := uint64(0)
+	for ; seed < 5000; seed++ {
+		in := faultinject.New(mkCfg(seed))
+		if in.Check(faultinject.SiteScanTuple) == nil && in.Check(faultinject.SiteScanTuple) != nil {
+			break
+		}
+	}
+	if seed == 5000 {
+		t.Fatal("no seed with a seq-1 scan fault found")
+	}
+	e := New(q, f.store, cost.DefaultParams()).WithFaults(faultinject.New(mkCfg(seed)))
+	res, err := e.Run(p, 0)
+	if err != nil {
+		t.Fatalf("transient fault must be retried away: %v", err)
+	}
+	if !res.Completed || res.Rows != clean.Rows {
+		t.Fatalf("retried run = (%v rows, completed=%v), want clean result %v rows",
+			res.Rows, res.Completed, clean.Rows)
+	}
+	if res.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", res.Retries)
+	}
+	if res.WastedCost <= 0 {
+		t.Error("the failed attempt's cost must be billed as wasted")
+	}
+	if res.Cost < clean.Cost+res.WastedCost-1e-9 {
+		t.Errorf("Cost %v must include clean cost %v plus waste %v", res.Cost, clean.Cost, res.WastedCost)
+	}
+	found := false
+	for _, d := range res.Degraded {
+		if strings.HasPrefix(d, "retry#1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("retry not recorded in Degraded: %v", res.Degraded)
+	}
+}
+
+// A persistent fault exhausts no retries: the error surfaces at once,
+// typed, with the consumed cost reported.
+func TestPersistentNextFaultSurfacesTyped(t *testing.T) {
+	f := newFixture(t)
+	q := f.parse(t, joinSQL)
+	e := New(q, f.store, cost.DefaultParams()).WithFaults(faultinject.New(faultinject.Config{
+		Seed:           7,
+		Rates:          rates(faultinject.SiteScanTuple),
+		PersistentFrac: 1,
+	}))
+	res, err := e.Run(twoRelPlans(q)["hash"], 0)
+	if err == nil {
+		t.Fatal("persistent fault must fail the run")
+	}
+	var oe *OperatorError
+	if !errors.As(err, &oe) {
+		t.Fatalf("fault not typed: %T %v", err, err)
+	}
+	if faultinject.IsTransient(err) {
+		t.Error("persistent fault misclassified transient")
+	}
+	if res.Retries != 0 {
+		t.Errorf("persistent fault retried %d times", res.Retries)
+	}
+	if res.Completed {
+		t.Error("failed run must not report completion")
+	}
+}
+
+// An Open-time index probe fault (the build-time probe passed, the
+// operator's own probe failed) surfaces typed through the iterate path.
+func TestIndexOpenFaultPropagates(t *testing.T) {
+	f := newFixture(t)
+	q := f.parse(t, `SELECT * FROM dim d WHERE d.d_attr >= 3`)
+	// Find a seed whose schedule passes the build-time probe check (seq 0)
+	// and fires at the operator's Open (seq 1).
+	seed := uint64(0)
+	for ; seed < 5000; seed++ {
+		in := faultinject.New(faultinject.Config{
+			Seed:  seed,
+			Rates: map[faultinject.Site]float64{faultinject.SiteIndexProbe: 0.5},
+		})
+		if in.Check(faultinject.SiteIndexProbe) == nil && in.Check(faultinject.SiteIndexProbe) != nil {
+			break
+		}
+	}
+	if seed == 5000 {
+		t.Fatal("no seed with a seq-1 probe fault found")
+	}
+	e := New(q, f.store, cost.DefaultParams()).WithFaults(faultinject.New(faultinject.Config{
+		Seed:           seed,
+		Rates:          map[faultinject.Site]float64{faultinject.SiteIndexProbe: 0.5},
+		PersistentFrac: 1,
+	}))
+	_, err := e.Run(plan.NewScan(0, plan.IndexScan), 0)
+	if err == nil {
+		t.Fatal("Open-time probe fault must fail the run")
+	}
+	var oe *OperatorError
+	if !errors.As(err, &oe) || oe.Op != "indexscan" {
+		t.Fatalf("err = %v, want *OperatorError from indexscan", err)
+	}
+}
+
+// A persistent index fault at build time downgrades to a sequential
+// scan instead of failing — and the result matches the seq-scan run.
+func TestPersistentIndexFaultDegradesToSeqScan(t *testing.T) {
+	f := newFixture(t)
+	q := f.parse(t, `SELECT * FROM dim d WHERE d.d_attr >= 3`)
+	clean, err := New(q, f.store, cost.DefaultParams()).Run(plan.NewScan(0, plan.SeqScan), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(q, f.store, cost.DefaultParams()).WithFaults(faultinject.New(faultinject.Config{
+		Seed:           3,
+		Rates:          rates(faultinject.SiteIndexProbe),
+		PersistentFrac: 1,
+	}))
+	res, err := e.Run(plan.NewScan(0, plan.IndexScan), 0)
+	if err != nil {
+		t.Fatalf("degraded run must succeed: %v", err)
+	}
+	if res.Rows != clean.Rows {
+		t.Errorf("degraded rows %d != seq scan rows %d", res.Rows, clean.Rows)
+	}
+	found := false
+	for _, d := range res.Degraded {
+		if strings.Contains(d, "indexscan→seqscan") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("degradation not recorded: %v", res.Degraded)
+	}
+}
+
+// An injected operator panic must be recovered into a typed
+// *OperatorError with Panicked set — never escape to the caller.
+func TestOperatorPanicRecovered(t *testing.T) {
+	f := newFixture(t)
+	q := f.parse(t, joinSQL)
+	e := New(q, f.store, cost.DefaultParams()).WithFaults(faultinject.New(faultinject.Config{
+		Seed:           11,
+		Rates:          rates(faultinject.SiteOperatorPanic),
+		PersistentFrac: 1,
+	}))
+	res, err := e.Run(twoRelPlans(q)["hash"], 0)
+	if err == nil {
+		t.Fatal("injected panic must fail the run")
+	}
+	var oe *OperatorError
+	if !errors.As(err, &oe) {
+		t.Fatalf("panic not typed: %T %v", err, err)
+	}
+	if !oe.Panicked {
+		t.Error("Panicked flag not set on recovered panic")
+	}
+	if res.Completed {
+		t.Error("panicked run must not report completion")
+	}
+}
+
+// RunSpill with the spilled subtree faulting mid-stream: the error is
+// typed and the spilled join reports no exact observation.
+func TestRunSpillSubtreeFaultMidStream(t *testing.T) {
+	f := newFixture(t)
+	q := f.parse(t, `SELECT * FROM fact f, dim d, dim2 e
+		WHERE f.f_dim = d.d_id AND f.f_dim2 = e.e_id`)
+	inner := plan.NewJoin(plan.HashJoin, []int{0},
+		plan.NewScan(q.RelIndex("f"), plan.SeqScan),
+		plan.NewScan(q.RelIndex("d"), plan.SeqScan))
+	root := plan.NewJoin(plan.HashJoin, []int{1},
+		inner,
+		plan.NewScan(q.RelIndex("e"), plan.SeqScan))
+	e := New(q, f.store, cost.DefaultParams()).WithFaults(faultinject.New(faultinject.Config{
+		Seed:           5,
+		Rates:          rates(faultinject.SiteScanTuple),
+		PersistentFrac: 1,
+	}))
+	res, err := e.RunSpill(root, 0, 0)
+	if err == nil {
+		t.Fatal("mid-stream fault must fail the spill run")
+	}
+	var oe *OperatorError
+	if !errors.As(err, &oe) {
+		t.Fatalf("spill fault not typed: %T %v", err, err)
+	}
+	if len(res.JoinSel) != 0 {
+		t.Error("failed spill must not report exact selectivities")
+	}
+}
+
+// A persistently dropped spill observation keeps the completed result
+// but withholds the selectivity sample (the lost-observation rung).
+func TestSpillObservationDropped(t *testing.T) {
+	f := newFixture(t)
+	q := f.parse(t, `SELECT * FROM fact f, dim d, dim2 e
+		WHERE f.f_dim = d.d_id AND f.f_dim2 = e.e_id`)
+	inner := plan.NewJoin(plan.HashJoin, []int{0},
+		plan.NewScan(q.RelIndex("f"), plan.SeqScan),
+		plan.NewScan(q.RelIndex("d"), plan.SeqScan))
+	root := plan.NewJoin(plan.HashJoin, []int{1},
+		inner,
+		plan.NewScan(q.RelIndex("e"), plan.SeqScan))
+	e := New(q, f.store, cost.DefaultParams()).WithFaults(faultinject.New(faultinject.Config{
+		Seed:           5,
+		Rates:          rates(faultinject.SiteSpillObs),
+		PersistentFrac: 1,
+	}))
+	res, err := e.RunSpill(root, 0, 0)
+	if err != nil {
+		t.Fatalf("dropped observation must not fail the run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("run must still complete")
+	}
+	if len(res.JoinSel) != 0 {
+		t.Errorf("dropped observation still reported: %v", res.JoinSel)
+	}
+	found := false
+	for _, d := range res.Degraded {
+		if strings.Contains(d, "spill observation dropped") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("drop not recorded in Degraded: %v", res.Degraded)
+	}
+}
+
+// Latency drift inflates the bill but never the kill decision: a budget
+// that admits the modeled work still completes under drift, and the
+// drift shows up in Cost and Drift.
+func TestDriftBilledButNeverKills(t *testing.T) {
+	f := newFixture(t)
+	q := f.parse(t, joinSQL)
+	p := twoRelPlans(q)["hash"]
+	clean, err := New(q, f.store, cost.DefaultParams()).Run(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(q, f.store, cost.DefaultParams()).WithFaults(faultinject.New(faultinject.Config{
+		Seed:  13,
+		Rates: rates(faultinject.SiteLatency),
+	}))
+	res, err := e.Run(p, clean.Cost*1.001) // budget with no slack for drift
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("drift must not trigger a budget kill")
+	}
+	if res.Drift <= 0 {
+		t.Error("armed latency site produced no drift")
+	}
+	if math.Abs(res.Cost-(clean.Cost+res.Drift)) > 1e-9 {
+		t.Errorf("Cost %v != modeled %v + drift %v", res.Cost, clean.Cost, res.Drift)
+	}
+}
+
+// Context cancellation tears the execution down mid-stream with a typed
+// error wrapping context.Canceled.
+func TestRunCtxCancellation(t *testing.T) {
+	f := newFixture(t)
+	q := f.parse(t, joinSQL)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := New(q, f.store, cost.DefaultParams())
+	res, err := e.RunCtx(ctx, twoRelPlans(q)["hash"], 0)
+	if err == nil {
+		t.Fatal("canceled context must fail the run")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	var oe *OperatorError
+	if !errors.As(err, &oe) {
+		t.Fatalf("cancellation not typed: %T %v", err, err)
+	}
+	if res.Completed {
+		t.Error("canceled run must not report completion")
+	}
+}

@@ -49,14 +49,14 @@ func (jc *joinCols) residualsMatch(l, r expr.Row) bool {
 	return true
 }
 
-func (e *Executor) buildJoin(n *plan.Node, meter *Meter) (operator, *schema, error) {
-	lop, ls, err := e.build(n.Left, meter)
+func (e *Executor) buildJoin(n *plan.Node, meter *Meter, res *Result) (operator, *schema, error) {
+	lop, ls, err := e.build(n.Left, meter, res)
 	if err != nil {
 		return nil, nil, err
 	}
 	switch n.Join.Method {
 	case plan.HashJoin, plan.MergeJoin, plan.NLJoin:
-		rop, rs, err := e.build(n.Right, meter)
+		rop, rs, err := e.build(n.Right, meter, res)
 		if err != nil {
 			return nil, nil, err
 		}

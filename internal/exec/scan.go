@@ -5,12 +5,13 @@ import (
 	"io"
 
 	"repro/internal/expr"
+	"repro/internal/faultinject"
 	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/storage"
 )
 
-func (e *Executor) buildScan(n *plan.Node, meter *Meter) (operator, *schema, error) {
+func (e *Executor) buildScan(n *plan.Node, meter *Meter, res *Result) (operator, *schema, error) {
 	rel := n.Scan.Rel
 	r := &e.q.Relations[rel]
 	relation := e.store.Relation(r.Table)
@@ -18,15 +19,30 @@ func (e *Executor) buildScan(n *plan.Node, meter *Meter) (operator, *schema, err
 		return nil, nil, fmt.Errorf("exec: store missing relation %s", r.Table)
 	}
 	sch := e.relSchema(rel)
-	switch n.Scan.Method {
-	case plan.SeqScan:
+	seq := func() (operator, *schema, error) {
 		return &seqScan{
 			rel:     relation,
 			filters: e.compileFilters(rel, -1),
 			meter:   meter,
 			params:  e,
 		}, sch, nil
+	}
+	switch n.Scan.Method {
+	case plan.SeqScan:
+		return seq()
 	case plan.IndexScan:
+		// Degradation ladder rung 1: a persistent index-probe fault
+		// downgrades the access path to a sequential scan — slower but
+		// index-free — instead of failing the execution. Transient probe
+		// faults surface as errors and go through the retry policy.
+		if ferr := e.faults.Check(faultinject.SiteIndexProbe); ferr != nil {
+			if faultinject.IsTransient(ferr) {
+				return nil, nil, opError("indexscan", ferr)
+			}
+			res.Degraded = append(res.Degraded,
+				fmt.Sprintf("indexscan→seqscan rel=%s (%v)", r.Alias, ferr))
+			return seq()
+		}
 		op, err := e.buildIndexScan(rel, relation, meter)
 		if err != nil {
 			return nil, nil, err
@@ -53,6 +69,11 @@ func (s *seqScan) Open() error {
 
 func (s *seqScan) Next() (expr.Row, error) {
 	for s.pos < len(s.rel.Rows) {
+		if s.pos&cancelCheckMask == 0 {
+			if ferr := s.params.faults.Check(faultinject.SiteScanTuple); ferr != nil {
+				return nil, opError("seqscan", ferr)
+			}
+		}
 		row := s.rel.Rows[s.pos]
 		s.pos++
 		if err := s.meter.Charge(s.params.params.SeqTuple); err != nil {
@@ -150,6 +171,9 @@ type indexScan struct {
 func (s *indexScan) Open() error {
 	s.pos = 0
 	s.opened = true
+	if ferr := s.params.faults.Check(faultinject.SiteIndexProbe); ferr != nil {
+		return opError("indexscan", ferr)
+	}
 	return s.meter.Charge(s.params.params.IdxDescend * log2g(float64(s.rel.NumRows())))
 }
 

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"repro/internal/core/discovery"
 	"repro/internal/ess"
 	"repro/internal/exec"
@@ -13,6 +11,12 @@ import (
 // are really killed when the meter passes the budget, and selectivities
 // are really observed by the operator monitors. This is the engine mode
 // of the paper's wall-clock experiment (§6.3).
+//
+// It is a discovery.FallibleEngine: executor failures (injected faults,
+// panics, cancellations) surface as errors with the consumed cost, and
+// a completed spill whose selectivity observation was dropped reports
+// discovery.ErrObservationLost — wrap with discovery.NewResilient to
+// drive the infallible algorithm interface.
 type RealEngine struct {
 	s  *ess.Space
 	ex *exec.Executor
@@ -32,34 +36,38 @@ func NewRealEngine(s *ess.Space, ex *exec.Executor) *RealEngine {
 	return &RealEngine{s: s, ex: ex, ev: s.NewEvaluator(), learned: learned}
 }
 
-// ExecFull implements discovery.Engine with a real budgeted execution.
-func (e *RealEngine) ExecFull(planID int32, budget float64) (float64, bool) {
+// ExecFull implements discovery.FallibleEngine with a real budgeted
+// execution. On failure the cost the attempt consumed is still billed.
+func (e *RealEngine) ExecFull(planID int32, budget float64) (float64, bool, error) {
 	res, err := e.ex.Run(e.s.Plans[planID].Root, budget)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: executor failure: %v", err))
+		return res.Cost, false, err
 	}
-	return res.Cost, res.Completed
+	return res.Cost, res.Completed, nil
 }
 
-// ExecSpill implements discovery.Engine with a real spill-mode run. On
-// completion the spilled join's monitored selectivity is snapped to the
-// grid; on a kill, the guaranteed learning bound is derived from the
-// metered budget through the cost model (which the executor's meter
-// matches by construction).
-func (e *RealEngine) ExecSpill(planID int32, dim int, budget float64) (float64, bool, int) {
+// ExecSpill implements discovery.FallibleEngine with a real spill-mode
+// run. On completion the spilled join's monitored selectivity is snapped
+// to the grid; a completed run whose observation was dropped reports
+// ErrObservationLost (nothing learned — treating it as a kill that
+// raises no bound is the only sound reading, since the subtree finished
+// under budget). On a kill, the guaranteed learning bound is derived
+// from the metered budget through the cost model (which the executor's
+// meter matches by construction).
+func (e *RealEngine) ExecSpill(planID int32, dim int, budget float64) (float64, bool, int, error) {
 	joinID := e.s.Q.EPPs[dim]
 	res, err := e.ex.RunSpill(e.s.Plans[planID].Root, joinID, budget)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: executor failure: %v", err))
+		return res.Cost, false, -1, err
 	}
 	if res.Completed {
 		sel, ok := res.JoinSel[joinID]
 		if !ok {
-			panic("experiments: completed spill without selectivity observation")
+			return res.Cost, false, -1, discovery.ErrObservationLost
 		}
 		idx := e.s.Grid.NearestIndex(sel)
 		e.learned[dim] = idx
-		return res.Cost, true, idx
+		return res.Cost, true, idx, nil
 	}
 	// Reference point: learned dims at their values, the rest at the
 	// origin — the spill subtree's cost depends only on the learned
@@ -72,7 +80,7 @@ func (e *RealEngine) ExecSpill(planID int32, dim int, budget float64) (float64, 
 	}
 	ref := int32(e.s.Grid.Linear(coords))
 	idx := e.ev.MaxSelIndexWithin(planID, ref, dim, budget)
-	return res.Cost, false, idx
+	return res.Cost, false, idx, nil
 }
 
-var _ discovery.Engine = (*RealEngine)(nil)
+var _ discovery.FallibleEngine = (*RealEngine)(nil)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/core/discovery"
 	"repro/internal/cost"
 	"repro/internal/datagen"
 	"repro/internal/ess"
@@ -93,14 +94,17 @@ func (h *Harness) Table3WallClock() (*Report, error) {
 		return nil, err
 	}
 
-	// SpillBound over real executions.
+	// SpillBound over real executions, behind the resilient driver so
+	// executor faults degrade instead of aborting the experiment.
 	sess := core.NewSession(space)
-	sbOut, err := sess.DiscoverWith(core.SpillBound, NewRealEngine(space, executor))
+	sbOut, err := sess.DiscoverWith(core.SpillBound,
+		discovery.NewResilient(NewRealEngine(space, executor), discovery.DefaultRetryPolicy))
 	if err != nil {
 		return nil, err
 	}
 	// AlignedBound over real executions (fresh engine: state is per-run).
-	abOut, err := sess.DiscoverWith(core.AlignedBound, NewRealEngine(space, executor))
+	abOut, err := sess.DiscoverWith(core.AlignedBound,
+		discovery.NewResilient(NewRealEngine(space, executor), discovery.DefaultRetryPolicy))
 	if err != nil {
 		return nil, err
 	}

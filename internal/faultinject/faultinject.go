@@ -1,0 +1,293 @@
+// Package faultinject provides a deterministic, seed-driven fault
+// injector for chaos-testing the robust query processing stack. Faults
+// are decided at named sites (storage access paths, executor operators,
+// engine-level executions, the alignment planner) by a pure function of
+// (seed, site, per-site sequence number), so a single uint64 seed
+// reproduces the complete fault schedule bit for bit — the property the
+// chaos suite's determinism assertions rely on.
+//
+// The injector is a leaf dependency: it imports only the standard
+// library, so every layer of the engine (exec, discovery, core) can hook
+// into it without import cycles. All methods are safe on a nil receiver
+// (they report "no fault"), so call sites need no nil guards, and are
+// safe for concurrent use.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Site identifies one injection point in the engine.
+type Site string
+
+// The injection sites wired into the stack.
+const (
+	// SiteScanTuple faults a sequential-scan tuple read (transient
+	// storage error surfaced mid-stream).
+	SiteScanTuple Site = "scan.tuple"
+	// SiteIndexProbe faults an index-scan probe; persistent probe faults
+	// trigger the index→seq-scan degradation ladder.
+	SiteIndexProbe Site = "index.probe"
+	// SiteOperatorPanic makes an operator panic mid-iteration; the
+	// executor must convert it into a typed *exec.OperatorError.
+	SiteOperatorPanic Site = "operator.panic"
+	// SiteSpillObs drops the selectivity observation of a completed
+	// spill-mode execution (the run-time monitor loses its sample).
+	SiteSpillObs Site = "spill.obs"
+	// SiteLatency induces meter drift: extra accounted cost units beyond
+	// the modeled work (simulated latency).
+	SiteLatency Site = "latency"
+	// SiteEngineFull faults a full (non-spill) engine execution partway.
+	SiteEngineFull Site = "engine.full"
+	// SiteEngineSpill faults a spill-mode engine execution partway.
+	SiteEngineSpill Site = "engine.spill"
+	// SiteAlignPlanner faults the AlignedBound alignment planner,
+	// triggering the AlignedBound→SpillBound fallback.
+	SiteAlignPlanner Site = "planner.align"
+)
+
+// Sites lists every known injection site (the -chaos-rate flag arms all
+// of them uniformly).
+func Sites() []Site {
+	return []Site{
+		SiteScanTuple, SiteIndexProbe, SiteOperatorPanic, SiteSpillObs,
+		SiteLatency, SiteEngineFull, SiteEngineSpill, SiteAlignPlanner,
+	}
+}
+
+// Class classifies a fault for the retry policy.
+type Class int
+
+const (
+	// Transient faults are expected to clear on retry (momentary storage
+	// hiccups, lost observations); the stack retries them with backoff.
+	Transient Class = iota
+	// Persistent faults will recur on retry; the stack degrades instead
+	// (index→seq scan, learning-free spill, AlignedBound→SpillBound).
+	Persistent
+)
+
+// String returns the class label used in degradation records.
+func (c Class) String() string {
+	if c == Persistent {
+		return "persistent"
+	}
+	return "transient"
+}
+
+// Fault is one injected fault. It implements error so it can propagate
+// through ordinary error paths, and carries its retry classification.
+type Fault struct {
+	// Site is the injection point that fired.
+	Site Site
+	// Class is the retry classification.
+	Class Class
+	// Seq is the per-site sequence number at which the fault fired.
+	Seq uint64
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faultinject: %s fault at %s (seq %d)", f.Class, f.Site, f.Seq)
+}
+
+// Transient reports whether retrying may clear the fault. The executor
+// and the resilient discovery driver test for this interface (rather
+// than this concrete type) when deciding whether to retry.
+func (f *Fault) Transient() bool { return f.Class == Transient }
+
+// Config parameterizes an injector.
+type Config struct {
+	// Seed drives every fault decision; the same seed yields the same
+	// schedule for the same call sequence.
+	Seed uint64
+	// Rates maps each site to its per-check fault probability in [0, 1].
+	// Absent sites never fault.
+	Rates map[Site]float64
+	// PersistentFrac is the fraction of fired faults classified
+	// Persistent (default 0: all faults transient).
+	PersistentFrac float64
+	// DriftMax bounds the per-event meter drift fraction returned by
+	// Drift (default 0.25).
+	DriftMax float64
+	// MaxPerSite caps the number of faults a site fires (0 = unlimited).
+	// Tests use 1 to model a fault that clears on the first retry.
+	MaxPerSite uint64
+}
+
+// Injector decides faults deterministically from a seed. The zero value
+// and the nil pointer both inject nothing.
+type Injector struct {
+	cfg Config
+
+	mu    sync.Mutex
+	seq   map[Site]uint64
+	hits  map[Site]uint64
+	fired []Fault
+}
+
+// New creates an injector from the config.
+func New(cfg Config) *Injector {
+	if cfg.DriftMax == 0 {
+		cfg.DriftMax = 0.25
+	}
+	return &Injector{cfg: cfg, seq: make(map[Site]uint64), hits: make(map[Site]uint64)}
+}
+
+// NewUniform creates an injector firing every site at the same rate —
+// the shape behind the rqp -chaos-seed/-chaos-rate flags.
+func NewUniform(seed uint64, rate float64) *Injector {
+	rates := make(map[Site]float64, len(Sites()))
+	for _, s := range Sites() {
+		rates[s] = rate
+	}
+	return New(Config{Seed: seed, Rates: rates})
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// high-quality bijective hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashSite folds a site name into 64 bits (FNV-1a).
+func hashSite(s Site) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// unit maps the decision hash for (seed, site, seq, salt) to [0, 1).
+func (in *Injector) unit(site Site, seq, salt uint64) float64 {
+	x := splitmix64(in.cfg.Seed ^ hashSite(site) ^ splitmix64(seq) ^ salt)
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Check advances the site's sequence and returns a *Fault if the
+// schedule fires there, nil otherwise.
+func (in *Injector) Check(site Site) error {
+	if in == nil {
+		return nil
+	}
+	rate := in.cfg.Rates[site]
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	seq := in.seq[site]
+	in.seq[site] = seq + 1
+	if rate <= 0 || in.unit(site, seq, 0) >= rate {
+		return nil
+	}
+	if in.cfg.MaxPerSite > 0 && in.hits[site] >= in.cfg.MaxPerSite {
+		return nil
+	}
+	in.hits[site]++
+	f := Fault{Site: site, Class: Transient, Seq: seq}
+	if in.cfg.PersistentFrac > 0 && in.unit(site, seq, 0x5bf03635) < in.cfg.PersistentFrac {
+		f.Class = Persistent
+	}
+	in.fired = append(in.fired, f)
+	return &f
+}
+
+// Trip is Check for sites whose fault is not an error (e.g. a panic
+// decision); it reports whether the site fired.
+func (in *Injector) Trip(site Site) bool { return in.Check(site) != nil }
+
+// Drift advances the latency schedule and returns the extra accounted
+// cost fraction in (0, DriftMax] for this event, or 0 when the site does
+// not fire.
+func (in *Injector) Drift(site Site) float64 {
+	if in == nil {
+		return 0
+	}
+	err := in.Check(site)
+	if err == nil {
+		return 0
+	}
+	f := err.(*Fault)
+	u := in.unit(site, f.Seq, 0x7d1f29a3)
+	return in.cfg.DriftMax * (u + 1) / 2 // (0, DriftMax], never exactly 0
+}
+
+// WasteFraction returns the deterministic fraction of an execution's
+// budget wasted before the given fault struck (how far the execution got
+// before failing), in [0.1, 0.9].
+func (in *Injector) WasteFraction(f *Fault) float64 {
+	if in == nil || f == nil {
+		return 0
+	}
+	u := in.unit(f.Site, f.Seq, 0x11c98f2b)
+	return 0.1 + 0.8*u
+}
+
+// Jitter returns a deterministic backoff jitter factor in [0, 1) for the
+// given retry attempt, so even sleep durations replay identically.
+func (in *Injector) Jitter(attempt int) float64 {
+	if in == nil {
+		return 0
+	}
+	return in.unit("jitter", uint64(attempt), 0x3c6ef372)
+}
+
+// Fired returns a copy of the fault log in firing order.
+func (in *Injector) Fired() []Fault {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Fault(nil), in.fired...)
+}
+
+// Count returns the number of faults fired so far (all sites).
+func (in *Injector) Count() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.fired)
+}
+
+// Reset clears the sequence counters and the fault log, so the same
+// injector replays its schedule from the beginning.
+func (in *Injector) Reset() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seq = make(map[Site]uint64)
+	in.hits = make(map[Site]uint64)
+	in.fired = nil
+}
+
+// transienter is the classification interface faults expose.
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether err (or an error it wraps) is classified
+// transient. Unclassified errors are not transient: retrying an unknown
+// failure is how outages amplify.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(transienter); ok {
+			return t.Transient()
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

@@ -1,0 +1,211 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// The same seed must replay the identical fault schedule.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []Fault {
+		in := New(Config{Seed: 42, Rates: map[Site]float64{
+			SiteScanTuple:  0.3,
+			SiteEngineFull: 0.5,
+			SiteSpillObs:   0.1,
+		}, PersistentFrac: 0.4})
+		for i := 0; i < 200; i++ {
+			in.Check(SiteScanTuple)
+			in.Check(SiteEngineFull)
+			in.Check(SiteSpillObs)
+		}
+		return in.Fired()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no faults fired at substantial rates")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("schedules differ: %d vs %d faults", len(a), len(b))
+	}
+}
+
+// Different seeds must produce different schedules.
+func TestSeedChangesSchedule(t *testing.T) {
+	fire := func(seed uint64) []Fault {
+		in := New(Config{Seed: seed, Rates: map[Site]float64{SiteScanTuple: 0.5}})
+		for i := 0; i < 100; i++ {
+			in.Check(SiteScanTuple)
+		}
+		return in.Fired()
+	}
+	if reflect.DeepEqual(fire(1), fire(2)) {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+// The empirical firing rate must track the configured rate.
+func TestRateIsRespected(t *testing.T) {
+	for _, rate := range []float64{0, 0.1, 0.5, 1} {
+		in := New(Config{Seed: 7, Rates: map[Site]float64{SiteEngineFull: rate}})
+		n := 5000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if in.Check(SiteEngineFull) != nil {
+				hits++
+			}
+		}
+		got := float64(hits) / float64(n)
+		if got < rate-0.05 || got > rate+0.05 {
+			t.Errorf("rate %v: empirical %v", rate, got)
+		}
+	}
+}
+
+// An unarmed site must never fire.
+func TestUnarmedSiteNeverFires(t *testing.T) {
+	in := New(Config{Seed: 3, Rates: map[Site]float64{SiteScanTuple: 1}})
+	for i := 0; i < 100; i++ {
+		if err := in.Check(SiteIndexProbe); err != nil {
+			t.Fatal("unarmed site fired:", err)
+		}
+	}
+}
+
+// PersistentFrac must split classifications, and both classes must
+// round-trip through IsTransient (including wrapped).
+func TestClassification(t *testing.T) {
+	in := New(Config{Seed: 11, Rates: map[Site]float64{SiteScanTuple: 1}, PersistentFrac: 0.5})
+	var tr, pe int
+	for i := 0; i < 400; i++ {
+		err := in.Check(SiteScanTuple)
+		if err == nil {
+			t.Fatal("rate-1 site did not fire")
+		}
+		wrapped := fmt.Errorf("outer: %w", err)
+		if IsTransient(err) != IsTransient(wrapped) {
+			t.Fatal("wrapping changed classification")
+		}
+		if IsTransient(err) {
+			tr++
+		} else {
+			pe++
+		}
+	}
+	if tr == 0 || pe == 0 {
+		t.Fatalf("classification not split: %d transient, %d persistent", tr, pe)
+	}
+}
+
+// MaxPerSite must cap firing, modelling faults that clear on retry.
+func TestMaxPerSite(t *testing.T) {
+	in := New(Config{Seed: 5, Rates: map[Site]float64{SiteScanTuple: 1}, MaxPerSite: 2})
+	hits := 0
+	for i := 0; i < 50; i++ {
+		if in.Check(SiteScanTuple) != nil {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Fatalf("MaxPerSite=2 fired %d times", hits)
+	}
+}
+
+// Drift must return 0 when unarmed and values in (0, DriftMax] when it
+// fires; the full sequence must be seed-deterministic.
+func TestDrift(t *testing.T) {
+	seq := func() []float64 {
+		in := New(Config{Seed: 13, Rates: map[Site]float64{SiteLatency: 0.5}, DriftMax: 0.25})
+		var out []float64
+		for i := 0; i < 100; i++ {
+			out = append(out, in.Drift(SiteLatency))
+		}
+		return out
+	}
+	a, b := seq(), b2(seq)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("drift sequence not deterministic")
+	}
+	fired := 0
+	for _, d := range a {
+		if d < 0 || d > 0.25 {
+			t.Fatalf("drift %v outside [0, 0.25]", d)
+		}
+		if d > 0 {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("drift never fired at rate 0.5")
+	}
+}
+
+func b2(f func() []float64) []float64 { return f() }
+
+// A nil injector must be inert everywhere.
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Check(SiteScanTuple) != nil || in.Trip(SiteOperatorPanic) ||
+		in.Drift(SiteLatency) != 0 || in.Count() != 0 || in.Fired() != nil ||
+		in.Jitter(3) != 0 || in.WasteFraction(nil) != 0 {
+		t.Fatal("nil injector injected something")
+	}
+	in.Reset() // must not panic
+}
+
+// Reset must replay the schedule from the start.
+func TestResetReplays(t *testing.T) {
+	in := New(Config{Seed: 21, Rates: map[Site]float64{SiteEngineSpill: 0.5}})
+	first := make([]bool, 50)
+	for i := range first {
+		first[i] = in.Check(SiteEngineSpill) != nil
+	}
+	in.Reset()
+	for i := range first {
+		if got := in.Check(SiteEngineSpill) != nil; got != first[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}
+
+// IsTransient must be false for unclassified errors and respect custom
+// classifications.
+func TestIsTransient(t *testing.T) {
+	if IsTransient(errors.New("plain")) {
+		t.Fatal("plain error classified transient")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil classified transient")
+	}
+	f := &Fault{Site: SiteScanTuple, Class: Transient}
+	if !IsTransient(fmt.Errorf("a: %w", fmt.Errorf("b: %w", f))) {
+		t.Fatal("doubly wrapped transient fault not detected")
+	}
+	p := &Fault{Site: SiteScanTuple, Class: Persistent}
+	if IsTransient(p) {
+		t.Fatal("persistent fault classified transient")
+	}
+}
+
+// Concurrent use must be safe (run with -race) and lose no decisions.
+func TestConcurrentChecks(t *testing.T) {
+	in := New(Config{Seed: 9, Rates: map[Site]float64{SiteScanTuple: 0.5}})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				in.Check(SiteScanTuple)
+				in.Drift(SiteLatency)
+			}
+		}()
+	}
+	wg.Wait()
+	// 8*500 checks at rate 0.5: the log must hold roughly half.
+	if c := in.Count(); c < 1500 || c > 2500 {
+		t.Fatalf("unexpected fault count %d", c)
+	}
+}

@@ -14,7 +14,10 @@ import (
 
 func setup(t *testing.T, sql string, epps [][2]string) (*query.Query, *cost.Env, *Optimizer) {
 	t.Helper()
-	cat := catalog.TPCDS(1)
+	cat, err := catalog.TPCDS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	q, err := sqlparse.Parse("t", cat, sql)
 	if err != nil {
 		t.Fatal(err)
@@ -247,7 +250,10 @@ WHERE ss.ss_sold_date_sk = d.date_dim_sk
 }
 
 func TestIndexScanChosenForSelectiveFilter(t *testing.T) {
-	cat := catalog.TPCDS(1)
+	cat, err := catalog.TPCDS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	q, err := sqlparse.Parse("t", cat, `SELECT * FROM store_sales ss, date_dim d
 		WHERE ss.ss_sold_date_sk = d.date_dim_sk AND d.d_dom = 3 AND d.d_moy = 5 AND d.d_year = 2000`)
 	if err != nil {
@@ -304,7 +310,10 @@ func TestSetEPPSelDimensionMismatchPanics(t *testing.T) {
 }
 
 func TestFilteredRowsFloorAtOne(t *testing.T) {
-	cat := catalog.TPCDS(1)
+	cat, err := catalog.TPCDS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	q, err := sqlparse.Parse("t", cat, `SELECT * FROM date_dim d WHERE d.d_year = 2000 AND d.d_moy = 1 AND d.d_dom = 1 AND d.d_qoy = 4`)
 	if err != nil {
 		t.Fatal(err)

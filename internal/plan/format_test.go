@@ -10,7 +10,10 @@ import (
 )
 
 func formatQuery() *query.Query {
-	cat := catalog.TPCDS(1)
+	cat, err := catalog.TPCDS(1)
+	if err != nil {
+		panic(err)
+	}
 	q := &query.Query{
 		Name: "fmt",
 		Cat:  cat,

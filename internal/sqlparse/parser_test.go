@@ -8,7 +8,13 @@ import (
 	"repro/internal/expr"
 )
 
-func cat() *catalog.Catalog { return catalog.TPCDS(1) }
+func cat() *catalog.Catalog {
+	c, err := catalog.TPCDS(1)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
 
 const eq = `
 SELECT *

@@ -27,7 +27,10 @@ import (
 // buildRandomSpace makes a small ESS for a random query.
 func buildRandomSpace(t *testing.T, seed uint64, nRels, d, res int) *ess.Space {
 	t.Helper()
-	cat := catalog.TPCDS(0.2)
+	cat, err := catalog.TPCDS(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	q, err := testutil.RandomQuery(seed, cat, nRels, d)
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +89,10 @@ func TestRandomQueriesAllAlgorithmsComplete(t *testing.T) {
 // The DP optimizer must never be beaten by exhaustive enumeration on
 // random small queries.
 func TestRandomQueriesOptimalityVsBruteForce(t *testing.T) {
-	cat := catalog.TPCDS(0.2)
+	cat, err := catalog.TPCDS(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	model := cost.NewModel(cost.DefaultParams())
 	for seed := uint64(40); seed <= 60; seed++ {
 		q, err := testutil.RandomQuery(seed, cat, 3, 1)
@@ -181,7 +187,10 @@ func bruteForceBest(q *query.Query, env *cost.Env, model *cost.Model) float64 {
 // optimizer's plan and a reference nested-loops plan on random queries
 // with real data.
 func TestRandomQueriesExecutorAgreement(t *testing.T) {
-	cat := catalog.TPCDS(0.05)
+	cat, err := catalog.TPCDS(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
 	store, err := datagen.Populate(cat, datagen.Options{Seed: 999, BuildIndexes: true})
 	if err != nil {
 		t.Fatal(err)

@@ -47,7 +47,10 @@ var EPPs3D = [][2]string{
 // MustQuery parses and marks a query against a fresh TPC-DS catalog.
 func MustQuery(t testing.TB, name, sql string, epps [][2]string) *query.Query {
 	t.Helper()
-	cat := catalog.TPCDS(1)
+	cat, err := catalog.TPCDS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	q, err := sqlparse.Parse(name, cat, sql)
 	if err != nil {
 		t.Fatal(err)

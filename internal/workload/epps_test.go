@@ -8,7 +8,10 @@ import (
 )
 
 func TestSuggestEPPsFlagsSkewedAndAttrJoins(t *testing.T) {
-	cat := catalog.TPCDS(1)
+	cat, err := catalog.TPCDS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// ss_sold_time_sk is a *uniform* FK onto time_dim's PK → reliable.
 	// ss_store_sk is FKZipf → error-prone.
 	q, err := sqlparse.Parse("t", cat, `
@@ -25,7 +28,10 @@ WHERE ss.ss_sold_time_sk = t.time_dim_sk
 }
 
 func TestSuggestEPPsAttrAttrJoin(t *testing.T) {
-	cat := catalog.TPCDS(1)
+	cat, err := catalog.TPCDS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// d_year vs c_birth_year is an attribute join: never reliable.
 	q, err := sqlparse.Parse("t", cat, `
 SELECT * FROM date_dim d, customer c
@@ -39,7 +45,10 @@ WHERE d.d_year = c.c_birth_year`)
 }
 
 func TestSuggestEPPsReversedOrientation(t *testing.T) {
-	cat := catalog.TPCDS(1)
+	cat, err := catalog.TPCDS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// PK on the left, uniform FK on the right: still reliable.
 	q, err := sqlparse.Parse("t", cat, `
 SELECT * FROM time_dim t, store_sales ss
@@ -53,7 +62,10 @@ WHERE t.time_dim_sk = ss.ss_sold_time_sk`)
 }
 
 func TestMarkSuggestedEPPs(t *testing.T) {
-	cat := catalog.TPCDS(1)
+	cat, err := catalog.TPCDS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	q, err := sqlparse.Parse("t", cat, `
 SELECT * FROM store_sales ss, date_dim d, item i
 WHERE ss.ss_sold_date_sk = d.date_dim_sk

@@ -39,14 +39,20 @@ type Spec struct {
 // Load binds the spec against a fresh catalog at the given scale and
 // returns the validated query.
 func (s Spec) Load(scale float64) (*query.Query, error) {
-	var cat *catalog.Catalog
+	var (
+		cat *catalog.Catalog
+		err error
+	)
 	switch s.Schema {
 	case "tpcds":
-		cat = catalog.TPCDS(scale)
+		cat, err = catalog.TPCDS(scale)
 	case "imdb":
-		cat = catalog.IMDB(scale)
+		cat, err = catalog.IMDB(scale)
 	default:
 		return nil, fmt.Errorf("workload: unknown schema %q", s.Schema)
+	}
+	if err != nil {
+		return nil, err
 	}
 	q, err := sqlparse.Parse(s.Name, cat, s.SQL)
 	if err != nil {
