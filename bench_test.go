@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/core/discovery"
+	"repro/internal/ess"
 	"repro/internal/experiments"
 	"repro/internal/mso"
 	"repro/internal/workload"
@@ -195,6 +196,59 @@ func BenchmarkSpaceBuild2DQ91(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := spec.Space(1.0, 12); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpaceBuild6D compiles the 6D_Q91 space at res 5 (15625
+// points) and reports the exact-DP invocation profile of the sweep.
+func BenchmarkSpaceBuild6D(b *testing.B) {
+	spec, err := workload.ByName("6D_Q91")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st ess.SweepStats
+	for i := 0; i < b.N; i++ {
+		s, err := spec.Space(1.0, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = s.Stats
+	}
+	b.ReportMetric(float64(st.DPCalls), "DP-calls")
+	b.ReportMetric(st.DPReduction(), "DP-reduction")
+	b.ReportMetric(st.FallbackRate(), "fallback-rate")
+}
+
+// BenchmarkSpaceBuild6DExact is the one-DP-per-point reference for
+// BenchmarkSpaceBuild6D on the same optimizer substrate.
+func BenchmarkSpaceBuild6DExact(b *testing.B) {
+	spec, err := workload.ByName("6D_Q91")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.SpaceWith(1.0, ess.Config{Res: 5, Exact: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContours isolates iso-cost contour extraction on a built 2D
+// space.
+func BenchmarkContours(b *testing.B) {
+	spec, err := workload.ByName("2D_Q91")
+	if err != nil {
+		b.Fatal(err)
+	}
+	space, err := spec.Space(1.0, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cs := space.RecomputeContours(); len(cs) == 0 {
+			b.Fatal("no contours")
 		}
 	}
 }

@@ -1,0 +1,189 @@
+// Command benchdiff records `go test -bench` results into a JSON
+// ledger and reports deltas against the previous recorded run, so perf
+// regressions in the ESS compilation path show up in review instead of
+// in production. The checked-in ledger is BENCH_ess.json at the repo
+// root.
+//
+// Usage:
+//
+//	go test -bench 'SpaceBuild|Discover|Contours|MSOSweep' -benchtime 3x . |
+//	    go run ./cmd/benchdiff -label pr2 -out BENCH_ess.json
+//	go run ./cmd/benchdiff -in bench.txt -label seed -out BENCH_ess.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one benchmark's result within a run.
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds extra b.ReportMetric values by unit (e.g.
+	// "DP-calls", "MSOe").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Run is one labeled benchmark invocation.
+type Run struct {
+	Label      string           `json:"label"`
+	RecordedAt string           `json:"recorded_at"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Ledger is the on-disk history.
+type Ledger struct {
+	Runs []Run `json:"runs"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	label := fs.String("label", "", "label for this run (required)")
+	out := fs.String("out", "BENCH_ess.json", "JSON ledger to append to")
+	in := fs.String("in", "-", "benchmark output to parse (- = stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *label == "" {
+		return fmt.Errorf("-label is required")
+	}
+
+	src := stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	benches, err := parseBench(src)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	ledger, err := load(*out)
+	if err != nil {
+		return err
+	}
+	if len(ledger.Runs) > 0 {
+		diff(stdout, ledger.Runs[len(ledger.Runs)-1], benches, *label)
+	}
+	ledger.Runs = append(ledger.Runs, Run{
+		Label:      *label,
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: benches,
+	})
+	return save(*out, ledger)
+}
+
+// parseBench extracts "BenchmarkName-P  N  v unit [v unit]..." lines.
+func parseBench(r io.Reader) (map[string]Entry, error) {
+	out := map[string]Entry{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e := Entry{Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				e.NsPerOp = v
+			} else {
+				e.Metrics[fields[i+1]] = v
+			}
+		}
+		if len(e.Metrics) == 0 {
+			e.Metrics = nil
+		}
+		out[name] = e
+	}
+	return out, sc.Err()
+}
+
+// diff prints the per-benchmark speedup of new results over the
+// previous run.
+func diff(w io.Writer, prev Run, benches map[string]Entry, label string) {
+	names := make([]string, 0, len(benches))
+	for n := range benches {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-28s %14s %14s %9s\n", "benchmark", prev.Label, label, "speedup")
+	for _, n := range names {
+		cur := benches[n]
+		old, ok := prev.Benchmarks[n]
+		if !ok || old.NsPerOp == 0 {
+			fmt.Fprintf(w, "%-28s %14s %14s %9s\n", n, "-", fmtNs(cur.NsPerOp), "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %14s %14s %8.2fx\n",
+			n, fmtNs(old.NsPerOp), fmtNs(cur.NsPerOp), old.NsPerOp/cur.NsPerOp)
+	}
+}
+
+// fmtNs renders nanoseconds human-readably.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func load(path string) (*Ledger, error) {
+	var l Ledger
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &l, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &l, nil
+}
+
+func save(path string, l *Ledger) error {
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

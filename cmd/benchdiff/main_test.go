@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkSpaceBuild2DQ91-8      3   31300000 ns/op
+BenchmarkSpaceBuild6D           3  293000000 ns/op   1220 DP-calls   12.81 DP-reduction
+BenchmarkMSOSweepSpillBound-8   3     335000 ns/op   2.894 MSOe
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks: %v", len(benches), benches)
+	}
+	if b := benches["SpaceBuild2DQ91"]; b.NsPerOp != 31300000 {
+		t.Errorf("2D ns/op = %v", b.NsPerOp)
+	}
+	if b := benches["SpaceBuild6D"]; b.Metrics["DP-calls"] != 1220 || b.Metrics["DP-reduction"] != 12.81 {
+		t.Errorf("6D metrics = %v", b.Metrics)
+	}
+	if b := benches["MSOSweepSpillBound"]; b.Metrics["MSOe"] != 2.894 {
+		t.Errorf("MSOe = %v", b.Metrics)
+	}
+}
+
+func TestRunAppendsAndDiffs(t *testing.T) {
+	out := t.TempDir() + "/bench.json"
+	var sink strings.Builder
+	if err := run([]string{"-label", "before", "-out", out}, strings.NewReader(sample), &sink); err != nil {
+		t.Fatal(err)
+	}
+	after := strings.Replace(sample, "31300000", "4500000", 1)
+	sink.Reset()
+	if err := run([]string{"-label", "after", "-out", out}, strings.NewReader(after), &sink); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sink.String(), "6.96x") {
+		t.Errorf("diff output missing speedup:\n%s", sink.String())
+	}
+	l, err := load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Runs) != 2 || l.Runs[0].Label != "before" || l.Runs[1].Label != "after" {
+		t.Fatalf("ledger runs = %+v", l.Runs)
+	}
+}
+
+func TestRunRejectsMissingLabelAndEmptyInput(t *testing.T) {
+	var sink strings.Builder
+	if err := run([]string{"-out", os.DevNull}, strings.NewReader(sample), &sink); err == nil {
+		t.Error("missing -label should error")
+	}
+	if err := run([]string{"-label", "x", "-out", os.DevNull}, strings.NewReader("PASS\n"), &sink); err == nil {
+		t.Error("empty input should error")
+	}
+}

@@ -24,6 +24,7 @@
 //	ablations          design-choice ablation studies
 //	discover           single discovery trace (-query, -alg, -qa)
 //	explain            optimal plan + pipelines at -qa (-query)
+//	mso                MSO/ASO sweep for one query (-query, -alg, -stride)
 //	list               available workload queries
 //	all                everything above except ablations
 package main
@@ -32,6 +33,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -40,6 +44,7 @@ import (
 	"repro/internal/ess"
 	"repro/internal/experiments"
 	"repro/internal/faultinject"
+	"repro/internal/mso"
 	"repro/internal/plan"
 	"repro/internal/workload"
 )
@@ -51,17 +56,34 @@ func main() {
 	}
 }
 
+// sweepCfg carries the POSP sweep tuning flags to space builds.
+type sweepCfg struct {
+	res    int
+	exact  bool
+	theta  float64
+	coarse int
+}
+
+func (c sweepCfg) config() ess.Config {
+	return ess.Config{Res: c.res, Exact: c.exact, Theta: c.theta, CoarseStep: c.coarse}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("rqp", flag.ContinueOnError)
 	scale := fs.Float64("scale", 1.0, "catalog scale factor")
 	res := fs.Int("res", 0, "grid resolution override (0 = per-query default)")
-	stride := fs.Int("stride", 3, "5D/6D MSO sweep stride")
+	stride := fs.Int("stride", 3, "5D/6D MSO sweep stride (also the mso command's stride)")
 	lambda := fs.Float64("lambda", 0.2, "PlanBouquet anorexic reduction threshold")
 	queryName := fs.String("query", "4D_Q91", "query for the discover command")
 	alg := fs.String("alg", "spillbound", "algorithm for discover: planbouquet|spillbound|alignedbound")
 	qaFlag := fs.String("qa", "", "true selectivities for discover, comma-separated (e.g. 0.04,0.1)")
 	chaosSeed := fs.Uint64("chaos-seed", 0, "fault-injection seed for discover (with -chaos-rate)")
 	chaosRate := fs.Float64("chaos-rate", 0, "per-site fault probability in [0,1] for discover (0 = off)")
+	exact := fs.Bool("exact", false, "force the exact one-DP-per-point POSP sweep")
+	theta := fs.Float64("theta", 0, "recost fallback gate width (0 = default, <0 = exact)")
+	coarse := fs.Int("coarse", 0, "phase-1 coarse lattice stride (0 = default)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,8 +100,36 @@ func run(args []string) error {
 		}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rqp: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rqp: memprofile:", err)
+			}
+		}()
+	}
+
+	cfg := sweepCfg{res: *res, exact: *exact, theta: *theta, coarse: *coarse}
 	h := experiments.New(experiments.Options{
 		Scale: *scale, Res: *res, Lambda: *lambda, StrideHighD: *stride,
+		Exact: *exact, Theta: *theta,
 	})
 
 	type exp struct {
@@ -117,9 +167,11 @@ func run(args []string) error {
 		}
 		return nil
 	case "discover":
-		return discover(*queryName, *alg, *qaFlag, *scale, *res, *chaosSeed, *chaosRate)
+		return discover(*queryName, *alg, *qaFlag, *scale, cfg, *chaosSeed, *chaosRate)
 	case "explain":
-		return explain(*queryName, *qaFlag, *scale, *res)
+		return explain(*queryName, *qaFlag, *scale, cfg)
+	case "mso":
+		return msoSweep(*queryName, *alg, *scale, cfg, *stride)
 	case "all":
 		for _, e := range table {
 			if err := render(e.run); err != nil {
@@ -153,14 +205,71 @@ func render(f func() (*experiments.Report, error)) error {
 	return nil
 }
 
-// explain prints the optimal plan and its pipeline decomposition at the
-// given selectivities.
-func explain(name, qaFlag string, scale float64, res int) error {
+// printSweepStats reports how the space was compiled: exact DP calls
+// versus recost-settled points (see ess.SweepStats).
+func printSweepStats(space *ess.Space) {
+	st := space.Stats
+	if st.RecostPoints == 0 && st.Fallbacks == 0 {
+		fmt.Printf("sweep: exact, %d DP calls, %d plans\n", st.DPCalls, len(space.Plans))
+		return
+	}
+	fmt.Printf("sweep: %d points, %d DP calls (%.1fx reduction: %d lattice, %d fallback, %d repair), %d recost-settled (%d recosts), fallback rate %.2f, %d plans\n",
+		st.Points, st.DPCalls, st.DPReduction(), st.LatticeDP, st.Fallbacks,
+		st.Repairs, st.RecostPoints, st.RecostCalls, st.FallbackRate(), len(space.Plans))
+}
+
+// memSummary prints a one-line allocation/GC profile of the run so far,
+// from runtime/metrics.
+func memSummary() {
+	samples := []metrics.Sample{
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+	}
+	metrics.Read(samples)
+	v := func(i int) uint64 {
+		if samples[i].Value.Kind() == metrics.KindUint64 {
+			return samples[i].Value.Uint64()
+		}
+		return 0
+	}
+	fmt.Printf("runtime: %.1f MiB allocated, %d GC cycles, %.1f MiB live heap\n",
+		float64(v(0))/(1<<20), v(1), float64(v(2))/(1<<20))
+}
+
+// msoSweep runs a full MSO/ASO sweep for one query and reports the
+// guarantee alongside the empirical result.
+func msoSweep(name, algName string, scale float64, cfg sweepCfg, stride int) error {
 	spec, err := workload.ByName(name)
 	if err != nil {
 		return err
 	}
-	space, err := spec.Space(scale, res)
+	space, err := spec.SpaceWith(scale, cfg.config())
+	if err != nil {
+		return err
+	}
+	sess := core.NewSession(space)
+	res, err := sess.MSO(core.Algorithm(algName), mso.Options{Stride: stride})
+	if err != nil {
+		return err
+	}
+	g, _ := sess.Guarantee(core.Algorithm(algName))
+	sel := space.Grid.Sel(int(res.ArgMax), nil)
+	fmt.Printf("%s via %s: MSOe %.4f (guarantee %.1f), ASO %.4f over %d locations, worst at %v\n",
+		name, algName, res.MSO, g, res.ASO, len(res.Points), sel)
+	printSweepStats(space)
+	memSummary()
+	return nil
+}
+
+// explain prints the optimal plan and its pipeline decomposition at the
+// given selectivities.
+func explain(name, qaFlag string, scale float64, cfg sweepCfg) error {
+	spec, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	space, err := spec.SpaceWith(scale, cfg.config())
 	if err != nil {
 		return err
 	}
@@ -216,12 +325,12 @@ func parseQA(space *ess.Space, qaFlag string) ([]int, error) {
 // chaos rate, every fault-injection site is armed at that rate from the
 // seed's deterministic schedule, and the degradation/retry summary is
 // printed after the trace.
-func discover(name, algName, qaFlag string, scale float64, res int, chaosSeed uint64, chaosRate float64) error {
+func discover(name, algName, qaFlag string, scale float64, cfg sweepCfg, chaosSeed uint64, chaosRate float64) error {
 	spec, err := workload.ByName(name)
 	if err != nil {
 		return err
 	}
-	space, err := spec.Space(scale, res)
+	space, err := spec.SpaceWith(scale, cfg.config())
 	if err != nil {
 		return err
 	}
@@ -258,6 +367,8 @@ func discover(name, algName, qaFlag string, scale float64, res int, chaosSeed ui
 	g, _ := sess.Guarantee(core.Algorithm(algName))
 	fmt.Printf("total cost %.4g, optimal %.4g, sub-optimality %.2f (guarantee %.1f)\n",
 		out.TotalCost, space.PointCost[qa], out.SubOpt(space.PointCost[qa]), g)
+	printSweepStats(space)
+	memSummary()
 	if chaos != nil {
 		fmt.Printf("chaos: seed=%d rate=%g, %d faults fired, %d retries, wasted cost %.4g\n",
 			chaosSeed, chaosRate, chaos.Count(), out.Retries, out.WastedCost)

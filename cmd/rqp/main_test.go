@@ -94,6 +94,48 @@ func TestRunDiscoverErrors(t *testing.T) {
 	}
 }
 
+func TestRunMSO(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-res", "6", "-stride", "2", "mso", "-query", "2D_Q91"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"2D_Q91 via spillbound: MSOe", "ASO", "sweep:", "runtime:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mso output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMSOExactSweep(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-res", "5", "-exact", "mso", "-query", "EQ", "-alg", "planbouquet"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sweep: exact") {
+		t.Errorf("exact sweep not reported:\n%s", out)
+	}
+}
+
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.prof", dir+"/mem.prof"
+	_, err := capture(t, func() error {
+		return run([]string{"-res", "5", "-cpuprofile", cpu, "-memprofile", mem, "discover", "-query", "EQ"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}
+
 func TestRunExplain(t *testing.T) {
 	out, err := capture(t, func() error {
 		return run([]string{"-res", "6", "explain", "-query", "2D_Q91", "-qa", "0.01,0.1"})

@@ -99,6 +99,15 @@ func (g *Grid) Step(lin, d int) int {
 	return lin + g.strides[d]
 }
 
+// StepDown returns the linear index of the point one grid step back
+// along dimension d from lin, or -1 if that would leave the grid.
+func (g *Grid) StepDown(lin, d int) int {
+	if g.Coord(lin, d) == 0 {
+		return -1
+	}
+	return lin - g.strides[d]
+}
+
 // Sel fills sel with the selectivity values at the linear point.
 func (g *Grid) Sel(lin int, sel []float64) []float64 {
 	if sel == nil {

@@ -1,15 +1,32 @@
 package ess
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/cost"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/query"
+)
+
+const (
+	// DefaultTheta is the recost acceptance threshold θ used when
+	// Config.Theta is left zero.
+	DefaultTheta = 0.05
+	// DefaultCoarseStep is the phase-1 sub-lattice stride used when
+	// Config.CoarseStep is left zero. At stride 2 every off-lattice point
+	// is one grid step from solved corners on each dimension, which keeps
+	// the recost candidates tight on the geometric grid.
+	DefaultCoarseStep = 2
+	// ThetaExact (any Theta ≤ 0) disables recost acceptance entirely, so
+	// every grid point is settled by the exact DP — equivalent to
+	// Config.Exact, and guaranteed to reproduce the exact surface.
+	ThetaExact = -1
 )
 
 // Config controls ESS construction.
@@ -23,6 +40,19 @@ type Config struct {
 	CostRatio float64
 	// Workers bounds the parallelism of the POSP sweep (default NumCPU).
 	Workers int
+	// Exact forces the classic one-DP-per-point sweep, bypassing the
+	// recost-first pipeline.
+	Exact bool
+	// Theta is the recost acceptance threshold: an off-lattice point is
+	// settled without the DP only when the best pooled recost beats the
+	// runner-up by a factor ≥ 1+Theta (and the surrounding lattice
+	// corners agree on the winner). Zero means DefaultTheta; negative
+	// (ThetaExact) disables recost acceptance, forcing the exact sweep.
+	Theta float64
+	// CoarseStep is the phase-1 sub-lattice stride k: the exact DP runs
+	// on every k-th grid index per dimension (corners always included).
+	// Zero means DefaultCoarseStep; values ≤ 1 force the exact sweep.
+	CoarseStep int
 }
 
 func (c Config) withDefaults() Config {
@@ -34,6 +64,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.NumCPU()
+	}
+	if c.Theta == 0 {
+		c.Theta = DefaultTheta
+	}
+	if c.CoarseStep == 0 {
+		c.CoarseStep = DefaultCoarseStep
 	}
 	return c
 }
@@ -84,6 +120,8 @@ type Space struct {
 	Cmin, Cmax float64
 	// CostRatio is the contour spacing used.
 	CostRatio float64
+	// Stats reports the work profile of the sweep that built the space.
+	Stats SweepStats
 
 	opt *optimizer.Optimizer
 
@@ -128,74 +166,6 @@ func Build(q *query.Query, baseEnv *cost.Env, model *cost.Model, cfg Config) (*S
 	return s, nil
 }
 
-// sweep runs the POSP enumeration across the grid in parallel.
-func (s *Space) sweep(cfg Config) error {
-	g := s.Grid
-	n := g.NumPoints()
-	workers := cfg.Workers
-	if workers > n {
-		workers = n
-	}
-	sigID := make(map[string]int32)
-	var poolMu sync.Mutex
-	intern := func(root *plan.Node) int32 {
-		sig := root.Signature()
-		poolMu.Lock()
-		defer poolMu.Unlock()
-		if id, ok := sigID[sig]; ok {
-			return id
-		}
-		id := int32(len(s.Plans))
-		s.Plans = append(s.Plans, &PlanInfo{ID: int(id), Root: root, Sig: sig})
-		sigID[sig] = id
-		return id
-	}
-
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	errs := make([]error, workers)
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			env := s.BaseEnv.Clone()
-			sel := make([]float64, g.D)
-			local := make(map[string]int32) // worker-local sig cache
-			for pt := lo; pt < hi; pt++ {
-				g.Sel(pt, sel)
-				optimizer.SetEPPSel(env, s.Q, sel)
-				best := s.opt.Best(env)
-				if best == nil {
-					errs[w] = fmt.Errorf("ess: optimizer found no plan at point %d", pt)
-					return
-				}
-				sig := best.Root.Signature()
-				id, ok := local[sig]
-				if !ok {
-					id = intern(best.Root)
-					local[sig] = id
-				}
-				s.PointPlan[pt] = id
-				s.PointCost[pt] = best.Cost
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 func (s *Space) allPoints() []int32 {
 	pts := make([]int32, s.Grid.NumPoints())
 	for i := range pts {
@@ -220,6 +190,14 @@ func (s *Space) ContourCosts() []float64 {
 
 // contoursOn computes the iso-cost contours restricted to the given
 // point set, with successor checks along freeDims only (nil = all).
+//
+// A point sits on contour i exactly when its cost is within budget b_i
+// while the cheapest freeDims-successor exceeds b_i — so its membership
+// is a contiguous budget interval [cost(pt), minSucc(pt)). One binary
+// search per endpoint places each point in all of its contours directly:
+// O(n log m + output) instead of the per-contour full rescan, and since
+// the points are visited in ascending order the member lists come out
+// sorted without a per-contour pass.
 func (s *Space) contoursOn(pts []int32, freeDims []int) []Contour {
 	if freeDims == nil {
 		freeDims = make([]int, s.Grid.D)
@@ -228,29 +206,36 @@ func (s *Space) contoursOn(pts []int32, freeDims []int) []Contour {
 		}
 	}
 	costs := s.ContourCosts()
-	out := make([]Contour, len(costs))
 	const eps = 1e-9
+	budgets := make([]float64, len(costs))
+	out := make([]Contour, len(costs))
 	for i, cc := range costs {
-		budget := cc * (1 + eps)
-		var members []int32
-		for _, pt := range pts {
-			if s.PointCost[pt] > budget {
-				continue
-			}
-			maximal := true
-			for _, d := range freeDims {
-				if nxt := s.Grid.Step(int(pt), d); nxt >= 0 && s.PointCost[nxt] <= budget {
-					maximal = false
-					break
-				}
-			}
-			if maximal {
-				members = append(members, pt)
+		budgets[i] = cc * (1 + eps)
+		out[i] = Contour{Index: i + 1, Cost: cc}
+	}
+	for _, pt := range pts {
+		lo := sort.SearchFloat64s(budgets, s.PointCost[pt])
+		if lo == len(budgets) {
+			continue
+		}
+		minSucc := math.Inf(1)
+		for _, d := range freeDims {
+			if nxt := s.Grid.Step(int(pt), d); nxt >= 0 && s.PointCost[nxt] < minSucc {
+				minSucc = s.PointCost[nxt]
 			}
 		}
-		out[i] = Contour{Index: i + 1, Cost: cc, Points: members}
+		for i := lo; i < len(budgets) && budgets[i] < minSucc; i++ {
+			out[i].Points = append(out[i].Points, pt)
+		}
 	}
 	return out
+}
+
+// RecomputeContours rebuilds the full-grid contour set from the current
+// cost surface (exposed for benchmarking and tools).
+func (s *Space) RecomputeContours() []Contour {
+	s.Contours = s.contoursOn(s.allPoints(), nil)
+	return s.Contours
 }
 
 // ContoursFor returns the iso-cost contours of the slice where the
@@ -291,10 +276,14 @@ func (s *Space) ContoursFor(learned []int) []Contour {
 	return c
 }
 
+// sliceKey encodes a learned-dimension vector as a cache key. Varint
+// encoding is self-delimiting, so high grid indexes cannot collide the
+// way single-byte encodings do (byte(v+1) maps 255 and -1 to the same
+// key).
 func sliceKey(learned []int) string {
-	b := make([]byte, 0, len(learned)*3)
+	b := make([]byte, 0, len(learned)*2)
 	for _, v := range learned {
-		b = append(b, byte(v+1), ',')
+		b = binary.AppendVarint(b, int64(v))
 	}
 	return string(b)
 }

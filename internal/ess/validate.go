@@ -1,0 +1,49 @@
+package ess
+
+import (
+	"fmt"
+
+	"repro/internal/optimizer"
+)
+
+// Validate re-optimizes every grid point exactly and checks the built
+// surface against the true optimum: PointCost may never undercut it, and
+// may exceed it by at most a relative factor theta. With theta <= 0 the
+// check is strict — cost bitwise equal and the recorded plan's signature
+// identical to the DP winner's. Intended for small grids (it costs one
+// exact sweep); the recost pipeline's acceptance rule is designed to
+// keep surfaces within its Config.Theta of exact.
+func (s *Space) Validate(theta float64) error {
+	runner := s.opt.NewRunner()
+	env := s.BaseEnv.Clone()
+	sel := make([]float64, s.Grid.D)
+	n := s.Grid.NumPoints()
+	for pt := 0; pt < n; pt++ {
+		s.Grid.Sel(pt, sel)
+		optimizer.SetEPPSel(env, s.Q, sel)
+		best := runner.Best(env)
+		if best == nil {
+			return fmt.Errorf("ess: validate: no plan at point %d", pt)
+		}
+		got := s.PointCost[pt]
+		if theta <= 0 {
+			if got != best.Cost {
+				return fmt.Errorf("ess: validate: point %d cost %v != exact %v", pt, got, best.Cost)
+			}
+			if sig := best.Root.Signature(); s.Plans[s.PointPlan[pt]].Sig != sig {
+				return fmt.Errorf("ess: validate: point %d plan %s != exact %s",
+					pt, s.Plans[s.PointPlan[pt]].Sig, sig)
+			}
+			continue
+		}
+		if got < best.Cost*(1-1e-9) {
+			return fmt.Errorf("ess: validate: point %d cost %v below optimum %v (recost surface must upper-bound)",
+				pt, got, best.Cost)
+		}
+		if got > best.Cost*(1+theta)*(1+1e-9) {
+			return fmt.Errorf("ess: validate: point %d cost %v exceeds optimum %v by more than theta=%v",
+				pt, got, best.Cost, theta)
+		}
+	}
+	return nil
+}

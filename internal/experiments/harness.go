@@ -21,6 +21,12 @@ type Options struct {
 	// StrideHighD samples every n-th location in 5D/6D MSO sweeps to
 	// bound runtime (default 3; 1 = exhaustive).
 	StrideHighD int
+	// Exact forces the exact one-DP-per-point POSP sweep when building
+	// search spaces instead of the recost-first pipeline.
+	Exact bool
+	// Theta is the recost sweep's fallback gate width (0 = ess default;
+	// ess.ThetaExact disables recosting).
+	Theta float64
 }
 
 func (o Options) withDefaults() Options {
@@ -63,7 +69,9 @@ func (h *Harness) space(spec workload.Spec) (*ess.Space, error) {
 	if s, ok := h.spaces[spec.Name]; ok {
 		return s, nil
 	}
-	s, err := spec.Space(h.Opts.Scale, h.Opts.Res)
+	s, err := spec.SpaceWith(h.Opts.Scale, ess.Config{
+		Res: h.Opts.Res, Exact: h.Opts.Exact, Theta: h.Opts.Theta,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: building %s: %w", spec.Name, err)
 	}

@@ -1,0 +1,241 @@
+package optimizer
+
+import (
+	"math/bits"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+)
+
+// Runner owns reusable DP state for repeated Best invocations against
+// environments that differ only in join selectivities — the POSP sweep
+// pattern, where SetEPPSel repositions one shared env across the grid.
+// It cuts the two hot costs of the naive search: per-candidate subtree
+// re-costing (replaced by cost.Model.JoinCost composition over the DP
+// table) and per-call heap allocation (DP nodes, specs, and candidates
+// come from arenas recycled between calls; only the winning plan is
+// deep-copied out). Results are bit-identical to Optimizer.Best.
+//
+// A Runner is not safe for concurrent use; create one per goroutine.
+// The scan-candidate cache assumes the env's RawRows, FilteredRows, and
+// IndexSel stay fixed across calls (scan costs do not depend on
+// JoinSel), which SetEPPSel preserves.
+type Runner struct {
+	o *Optimizer
+
+	// table holds the cheapest candidate per relation subset.
+	table []*cand
+
+	// scanReady guards the per-relation scan-candidate cache.
+	scanReady  bool
+	scanMethod []plan.ScanMethod
+	scanRes    []cost.Result
+
+	nodes arena[plan.Node]
+	scans arena[plan.ScanSpec]
+	joins arena[plan.JoinSpec]
+	cands arena[cand]
+	ints  intSlab
+}
+
+// NewRunner returns a fresh runner over the optimizer's query and model.
+func (o *Optimizer) NewRunner() *Runner { return &Runner{o: o} }
+
+// Best returns the cost-optimal plan under env, bit-identical to
+// Optimizer.Best. The returned plan shares no memory with the runner.
+func (r *Runner) Best(env *cost.Env) *Plan {
+	o := r.o
+	n := len(o.q.Relations)
+	full := uint32(1)<<uint(n) - 1
+	if r.table == nil {
+		r.table = make([]*cand, full+1)
+	} else {
+		clear(r.table)
+	}
+	r.nodes.reset()
+	r.scans.reset()
+	r.joins.reset()
+	r.cands.reset()
+	r.ints.reset()
+	if !r.scanReady {
+		r.primeScans(env)
+	}
+
+	for rel := 0; rel < n; rel++ {
+		node := r.newScan(rel)
+		res := r.scanRes[rel]
+		c := r.cands.alloc()
+		c.node, c.cost, c.rows, c.spillJoin = node, res.Cost, res.Rows, -1
+		r.table[1<<uint(rel)] = c
+	}
+
+	for mask := uint32(1); mask <= full; mask++ {
+		if bits.OnesCount32(mask) < 2 {
+			continue
+		}
+		var best *cand
+		// Enumerate proper submask splits; both orientations appear.
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			other := mask ^ sub
+			if sub > other {
+				continue // each unordered split once; orientations handled below
+			}
+			l, rr := r.table[sub], r.table[other]
+			if l == nil || rr == nil {
+				continue
+			}
+			ids := r.crossingJoins(sub, other)
+			if len(ids) == 0 {
+				continue // avoid cross products
+			}
+			best = r.emit(best, l, rr, ids, env)
+			best = r.emit(best, rr, l, ids, env)
+		}
+		r.table[mask] = best
+	}
+
+	b := r.table[full]
+	if b == nil {
+		return nil
+	}
+	return &Plan{Root: b.node.Clone(), Cost: b.cost, Rows: b.rows}
+}
+
+// primeScans fills the per-relation access-path cache, mirroring
+// scanCands' seq-vs-index choice.
+func (r *Runner) primeScans(env *cost.Env) {
+	o := r.o
+	n := len(o.q.Relations)
+	r.scanMethod = make([]plan.ScanMethod, n)
+	r.scanRes = make([]cost.Result, n)
+	for rel := 0; rel < n; rel++ {
+		seq := o.model.Cost(plan.NewScan(rel, plan.SeqScan), env)
+		method, res := plan.SeqScan, seq
+		if o.hasFilter[rel] {
+			if idx := o.model.Cost(plan.NewScan(rel, plan.IndexScan), env); idx.Cost < seq.Cost {
+				method, res = plan.IndexScan, idx
+			}
+		}
+		r.scanMethod[rel] = method
+		r.scanRes[rel] = res
+	}
+	r.scanReady = true
+}
+
+// emit folds the physical joins of (l outer, rr inner) into the running
+// best, matching emitJoins' method order and tie-breaks.
+func (r *Runner) emit(best, l, rr *cand, ids []int, env *cost.Env) *cand {
+	methods := [...]plan.JoinMethod{plan.HashJoin, plan.MergeJoin, plan.IndexNLJoin, plan.NLJoin}
+	for _, m := range methods {
+		if m == plan.IndexNLJoin && !rr.node.IsScan() {
+			continue
+		}
+		node := r.newJoin(m, ids, l.node, rr.node)
+		res := r.o.model.JoinCost(node,
+			cost.Result{Rows: l.rows, Cost: l.cost},
+			cost.Result{Rows: rr.rows, Cost: rr.cost}, env)
+		c := r.cands.alloc()
+		c.node, c.cost, c.rows, c.spillJoin = node, res.Cost, res.Rows, -1
+		if best == nil || better(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+func (r *Runner) newScan(rel int) *plan.Node {
+	spec := r.scans.alloc()
+	spec.Rel, spec.Method = rel, r.scanMethod[rel]
+	n := r.nodes.alloc()
+	n.Scan = spec
+	n.Rels = 1 << uint(rel)
+	return n
+}
+
+func (r *Runner) newJoin(m plan.JoinMethod, ids []int, left, right *plan.Node) *plan.Node {
+	spec := r.joins.alloc()
+	spec.Method, spec.JoinIDs = m, ids
+	n := r.nodes.alloc()
+	n.Join = spec
+	n.Left, n.Right = left, right
+	n.Rels = left.Rels | right.Rels
+	return n
+}
+
+// crossingJoins is Optimizer.crossingJoins with the result in the int
+// slab instead of the heap.
+func (r *Runner) crossingJoins(a, b uint32) []int {
+	o := r.o
+	cnt := 0
+	for _, e := range o.edges {
+		am, bm := uint32(1)<<uint(e.a), uint32(1)<<uint(e.b)
+		if (am&a != 0 && bm&b != 0) || (am&b != 0 && bm&a != 0) {
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return nil
+	}
+	ids := r.ints.alloc(cnt)
+	i := 0
+	for _, e := range o.edges {
+		am, bm := uint32(1)<<uint(e.a), uint32(1)<<uint(e.b)
+		if (am&a != 0 && bm&b != 0) || (am&b != 0 && bm&a != 0) {
+			ids[i] = e.joinID
+			i++
+		}
+	}
+	return ids
+}
+
+// arenaChunk is the per-chunk element count of the DP arenas. Chunks are
+// never moved or freed, so pointers into them stay valid until reset.
+const arenaChunk = 512
+
+// arena is a chunked bump allocator whose allocations live until reset.
+type arena[T any] struct {
+	chunks  [][]T
+	ci, off int
+}
+
+func (a *arena[T]) alloc() *T {
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]T, arenaChunk))
+	}
+	p := &a.chunks[a.ci][a.off]
+	a.off++
+	if a.off == arenaChunk {
+		a.ci++
+		a.off = 0
+	}
+	var zero T
+	*p = zero
+	return p
+}
+
+func (a *arena[T]) reset() { a.ci, a.off = 0, 0 }
+
+// intSlab bump-allocates small []int values (join ID lists) out of
+// fixed-size chunks.
+type intSlab struct {
+	chunks  [][]int
+	ci, off int
+}
+
+func (s *intSlab) alloc(n int) []int {
+	if n > arenaChunk {
+		return make([]int, n) // oversized: fall back to the heap
+	}
+	if s.ci < len(s.chunks) && s.off+n > arenaChunk {
+		s.ci++
+		s.off = 0
+	}
+	if s.ci == len(s.chunks) {
+		s.chunks = append(s.chunks, make([]int, arenaChunk))
+	}
+	out := s.chunks[s.ci][s.off : s.off+n : s.off+n]
+	s.off += n
+	return out
+}
+
+func (s *intSlab) reset() { s.ci, s.off = 0, 0 }

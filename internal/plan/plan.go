@@ -119,6 +119,30 @@ func NewJoin(m JoinMethod, joinIDs []int, left, right *Node) *Node {
 	}
 }
 
+// Clone returns a deep copy of the plan tree sharing no memory with the
+// original. Used to copy arena-allocated DP winners onto the heap before
+// the arena is recycled.
+func (n *Node) Clone() *Node {
+	out := &Node{Rels: n.Rels}
+	if n.Scan != nil {
+		sc := *n.Scan
+		out.Scan = &sc
+	}
+	if n.Join != nil {
+		out.Join = &JoinSpec{
+			Method:  n.Join.Method,
+			JoinIDs: append([]int(nil), n.Join.JoinIDs...),
+		}
+	}
+	if n.Left != nil {
+		out.Left = n.Left.Clone()
+	}
+	if n.Right != nil {
+		out.Right = n.Right.Clone()
+	}
+	return out
+}
+
 // Signature returns a canonical string identifying the plan's structure
 // (operators, methods, join order). Two plans with equal signatures are
 // the same plan for POSP bookkeeping.

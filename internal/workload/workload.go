@@ -73,15 +73,22 @@ func (s Spec) Load(scale float64) (*query.Query, error) {
 // statistics, default cost parameters, and the spec's resolution
 // (overridable via res > 0).
 func (s Spec) Space(scale float64, res int) (*ess.Space, error) {
+	return s.SpaceWith(scale, ess.Config{Res: res})
+}
+
+// SpaceWith is Space with full control over the ESS build configuration
+// (sweep mode, θ, coarse stride, workers). A non-positive Res falls back
+// to the spec's default resolution.
+func (s Spec) SpaceWith(scale float64, cfg ess.Config) (*ess.Space, error) {
 	q, err := s.Load(scale)
 	if err != nil {
 		return nil, err
 	}
-	if res <= 0 {
-		res = s.Res
+	if cfg.Res <= 0 {
+		cfg.Res = s.Res
 	}
 	env := optimizer.BuildEnv(q, stats.FromCatalog(q.Cat))
-	return ess.Build(q, env, cost.NewModel(cost.DefaultParams()), ess.Config{Res: res})
+	return ess.Build(q, env, cost.NewModel(cost.DefaultParams()), cfg)
 }
 
 // q91SQL is the shared 7-relation Q91 body (call-center returns join).
