@@ -25,6 +25,8 @@
 //	discover           single discovery trace (-query, -alg, -qa)
 //	explain            optimal plan + pipelines at -qa (-query)
 //	mso                MSO/ASO sweep for one query (-query, -alg, -stride)
+//	throughput         concurrent discovery throughput (-parallel, -runs,
+//	                   -exec-latency); emits benchdiff-parsable lines
 //	list               available workload queries
 //	all                everything above except ablations
 package main
@@ -38,6 +40,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/core/discovery"
@@ -79,6 +82,9 @@ func run(args []string) error {
 	qaFlag := fs.String("qa", "", "true selectivities for discover, comma-separated (e.g. 0.04,0.1)")
 	chaosSeed := fs.Uint64("chaos-seed", 0, "fault-injection seed for discover (with -chaos-rate)")
 	chaosRate := fs.Float64("chaos-rate", 0, "per-site fault probability in [0,1] for discover (0 = off)")
+	parallel := fs.String("parallel", "1", "worker counts for throughput, comma-separated (e.g. 1,16)")
+	runs := fs.Int("runs", 64, "total discoveries per throughput configuration")
+	execLatency := fs.Duration("exec-latency", 0, "simulated per-execution engine latency for throughput (e.g. 2ms)")
 	exact := fs.Bool("exact", false, "force the exact one-DP-per-point POSP sweep")
 	theta := fs.Float64("theta", 0, "recost fallback gate width (0 = default, <0 = exact)")
 	coarse := fs.Int("coarse", 0, "phase-1 coarse lattice stride (0 = default)")
@@ -172,6 +178,9 @@ func run(args []string) error {
 		return explain(*queryName, *qaFlag, *scale, cfg)
 	case "mso":
 		return msoSweep(*queryName, *alg, *scale, cfg, *stride)
+	case "throughput":
+		return throughput(*queryName, *alg, *scale, cfg, *parallel, *runs,
+			*execLatency, *chaosSeed, *chaosRate)
 	case "all":
 		for _, e := range table {
 			if err := render(e.run); err != nil {
@@ -210,12 +219,12 @@ func render(f func() (*experiments.Report, error)) error {
 func printSweepStats(space *ess.Space) {
 	st := space.Stats
 	if st.RecostPoints == 0 && st.Fallbacks == 0 {
-		fmt.Printf("sweep: exact, %d DP calls, %d plans\n", st.DPCalls, len(space.Plans))
+		fmt.Printf("sweep: exact, %d DP calls, %d plans\n", st.DPCalls, space.NumPlans())
 		return
 	}
 	fmt.Printf("sweep: %d points, %d DP calls (%.1fx reduction: %d lattice, %d fallback, %d repair), %d recost-settled (%d recosts), fallback rate %.2f, %d plans\n",
 		st.Points, st.DPCalls, st.DPReduction(), st.LatticeDP, st.Fallbacks,
-		st.Repairs, st.RecostPoints, st.RecostCalls, st.FallbackRate(), len(space.Plans))
+		st.Repairs, st.RecostPoints, st.RecostCalls, st.FallbackRate(), space.NumPlans())
 }
 
 // memSummary prints a one-line allocation/GC profile of the run so far,
@@ -279,7 +288,7 @@ func explain(name, qaFlag string, scale float64, cfg sweepCfg) error {
 	}
 	qa := space.Grid.Linear(qaIdx)
 	pid := space.PointPlan[qa]
-	root := space.Plans[pid].Root
+	root := space.Plan(pid).Root
 	sel := space.Grid.Sel(qa, nil)
 	fmt.Printf("%s: optimal plan P%d at selectivities %v (cost %.4g)\n\n",
 		name, pid, sel, space.PointCost[qa])
@@ -319,6 +328,64 @@ func parseQA(space *ess.Space, qaFlag string) ([]int, error) {
 		qaIdx = append(qaIdx, space.Grid.NearestIndex(v))
 	}
 	return qaIdx, nil
+}
+
+// throughput compiles one space, then drives -runs concurrent
+// discoveries over it at each -parallel level and prints aggregate
+// latency/throughput, one benchdiff-parsable Benchmark line per level
+// (pipe into `go run ./cmd/benchdiff -out BENCH_concurrency.json`).
+func throughput(name, algName string, scale float64, cfg sweepCfg, parallelFlag string,
+	runs int, execLatency time.Duration, chaosSeed uint64, chaosRate float64) error {
+	spec, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	var levels []int
+	for _, p := range strings.Split(parallelFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -parallel value %q", p)
+		}
+		levels = append(levels, n)
+	}
+	space, err := spec.SpaceWith(scale, cfg.config())
+	if err != nil {
+		return err
+	}
+	compiled, err := core.Compile(space, core.CompileOptions{PrimeAlignment: true})
+	if err != nil {
+		return err
+	}
+	var faults *faultinject.Injector
+	if chaosRate > 0 {
+		faults = faultinject.NewUniform(chaosSeed, chaosRate)
+	}
+	fmt.Printf("%s via %s: %d discoveries per level, exec latency %v, chaos rate %g\n",
+		name, algName, runs, execLatency, chaosRate)
+	var base float64
+	for _, p := range levels {
+		res, err := experiments.Throughput(compiled, experiments.ThroughputOptions{
+			Algorithm: core.Algorithm(algName), Parallel: p, Runs: runs,
+			ExecLatency: execLatency, Faults: faults,
+		})
+		if err != nil {
+			return err
+		}
+		speedup := ""
+		if base == 0 {
+			base = res.DiscoveriesPerSec
+		} else if base > 0 {
+			speedup = fmt.Sprintf("  (%.2fx vs parallel=%d)", res.DiscoveriesPerSec/base, levels[0])
+		}
+		fmt.Printf("  parallel=%-3d wall %-10v %8.1f disc/s  mean %-10v p95 %-10v max %v%s\n",
+			p, res.Wall.Round(time.Millisecond), res.DiscoveriesPerSec,
+			res.MeanLatency.Round(time.Microsecond), res.P95.Round(time.Microsecond),
+			res.MaxLatency.Round(time.Microsecond), speedup)
+		fmt.Printf("BenchmarkThroughput/%s/parallel=%d %d %.0f ns/op %.1f disc/s %.0f p95-ns %d steps\n",
+			name, p, runs, float64(res.Wall.Nanoseconds())/float64(runs),
+			res.DiscoveriesPerSec, float64(res.P95.Nanoseconds()), res.TotalSteps)
+	}
+	return nil
 }
 
 // discover runs one discovery and prints its trace. With a nonzero

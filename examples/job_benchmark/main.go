@@ -23,7 +23,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("ESS: %d locations, %d POSP plans, %d contours\n\n",
-		space.Grid.NumPoints(), len(space.Plans), len(space.Contours))
+		space.Grid.NumPoints(), space.NumPlans(), len(space.Contours))
 
 	sess := core.NewSession(space)
 	native := sess.NativeWorstCaseMSO(mso.Options{})

@@ -26,7 +26,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("ESS: %d locations, %d POSP plans, %d iso-cost contours, cost range [%.3g, %.3g]\n\n",
-		space.Grid.NumPoints(), len(space.Plans), len(space.Contours), space.Cmin, space.Cmax)
+		space.Grid.NumPoints(), space.NumPlans(), len(space.Contours), space.Cmin, space.Cmax)
 
 	// 3. Pretend the query's true selectivities are (0.02, 0.3) — far
 	//    from what any estimator would guess.
@@ -35,9 +35,17 @@ func main() {
 		space.Grid.NearestIndex(0.3),
 	}))
 
-	// 4. Run SpillBound: selectivities are discovered, not estimated.
-	sess := core.NewSession(space)
-	out, err := sess.Discover(core.SpillBound, qa)
+	// 4. Compile once, run many: Compile freezes the anorexic reduction
+	//    and alignment planner into an immutable artifact; every
+	//    discovery then gets its own cheap Run, so any number can share
+	//    the artifact concurrently.
+	compiled, err := core.Compile(space, core.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Run SpillBound: selectivities are discovered, not estimated.
+	out, err := compiled.NewRun().Discover(core.SpillBound, qa)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,9 +58,9 @@ func main() {
 			i+1, st.Contour, st.PlanID, mode, st.Budget, st.Cost, st.Completed)
 	}
 
-	// 5. The whole point: bounded sub-optimality, known upfront from D.
+	// 6. The whole point: bounded sub-optimality, known upfront from D.
 	opt := space.PointCost[qa]
-	g, _ := sess.Guarantee(core.SpillBound)
+	g, _ := compiled.Guarantee(core.SpillBound)
 	fmt.Printf("\ntotal cost %.4g vs optimal %.4g → sub-optimality %.2f (guarantee D²+3D = %.0f)\n",
 		out.TotalCost, opt, out.SubOpt(opt), g)
 }

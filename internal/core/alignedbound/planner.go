@@ -1,6 +1,7 @@
 package alignedbound
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sync"
@@ -42,6 +43,13 @@ type Decision struct {
 // Planner computes and caches alignment decisions. Decisions depend only
 // on the contour and the learned-dimension slice, so they are shared
 // across discovery runs (and across goroutines in MSO sweeps).
+//
+// The planner's replacement candidates are frozen at construction to
+// the space's compile-time plan pool: plans interned at run time (by
+// this or any concurrent planner) never enter the candidate set, so a
+// decision is a pure function of the cost surface, the base pool, and
+// the (slice, contour) key — identical no matter how many runs race to
+// compute it.
 type Planner struct {
 	// S is the search space.
 	S *ess.Space
@@ -49,6 +57,8 @@ type Planner struct {
 	// POSP pool lacks a plan spilling on the needed dimension cheaply —
 	// the engine hook of §6.1.
 	UseOptimizer bool
+
+	pool []*ess.PlanInfo // frozen compile-time candidate pool
 
 	mu    sync.Mutex
 	cache map[decisionKey]*Decision
@@ -62,7 +72,23 @@ type decisionKey struct {
 
 // NewPlanner creates a planner over the space with optimizer probes on.
 func NewPlanner(s *ess.Space) *Planner {
-	return &Planner{S: s, UseOptimizer: true, cache: make(map[decisionKey]*Decision), ev: s.NewEvaluator()}
+	return &Planner{
+		S: s, UseOptimizer: true, pool: s.BasePlans(),
+		cache: make(map[decisionKey]*Decision), ev: s.NewEvaluator(),
+	}
+}
+
+// Prime precomputes the root-slice decision of every contour, so
+// concurrent runs start from a warm cache instead of serializing on the
+// planner mutex while it fills.
+func (p *Planner) Prime() {
+	learned := make([]int, p.S.Grid.D)
+	for d := range learned {
+		learned[d] = -1
+	}
+	for ci := range p.S.ContoursFor(learned) {
+		p.Decide(learned, ci)
+	}
 }
 
 // Decide returns the alignment decision for the contour of the slice
@@ -79,10 +105,13 @@ func (p *Planner) Decide(learned []int, contourIdx int) *Decision {
 	return d
 }
 
+// sliceKeyOf encodes a learned-dimension vector as a cache key. Varint
+// encoding is self-delimiting, so high grid indexes cannot collide the
+// way the single-byte encoding did (byte(v+1) maps 255 and -1 alike).
 func sliceKeyOf(learned []int) string {
 	b := make([]byte, 0, len(learned)*2)
 	for _, v := range learned {
-		b = append(b, byte(v+1))
+		b = binary.AppendVarint(b, int64(v))
 	}
 	return string(b)
 }
@@ -289,11 +318,12 @@ func (p *Planner) induceAlignment(ic *ess.Contour, geo *geometry, remMask uint16
 		}
 	}
 
-	// Candidate pool plans spilling on dim.
+	// Candidate plans spilling on dim, drawn from the frozen
+	// compile-time pool only (see the Planner doc).
 	var pool []int32
-	for pid := range s.Plans {
-		if s.SpillDim(int32(pid), remMask) == dim {
-			pool = append(pool, int32(pid))
+	for _, pi := range p.pool {
+		if s.SpillDim(int32(pi.ID), remMask) == dim {
+			pool = append(pool, int32(pi.ID))
 		}
 	}
 	for _, q := range locs {

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core/alignedbound"
+	"repro/internal/core/bouquet"
+	"repro/internal/core/discovery"
+	"repro/internal/core/spillbound"
+	"repro/internal/ess"
+	"repro/internal/mso"
+)
+
+// CompileOptions parameterizes Compile.
+type CompileOptions struct {
+	// Lambda is the anorexic-reduction threshold; 0 means DefaultLambda.
+	// (Use Session.SetLambda for an explicit λ = 0 reduction.)
+	Lambda float64
+	// PrimeAlignment additionally precomputes the alignment planner's
+	// root-slice decisions, so concurrent AlignedBound runs start from a
+	// warm cache instead of serializing on the planner mutex.
+	PrimeAlignment bool
+}
+
+// Compiled is the immutable compile-time artifact of a search space:
+// the anorexic reduction, the contour set (already on the Space), and
+// the alignment planner with its candidate pool frozen. Building it is
+// the expensive, once-per-workload step; afterwards any number of
+// concurrent Runs — and the MSO sweep's worker pool — share one
+// Compiled without synchronization on the discovery hot path.
+type Compiled struct {
+	// Space is the underlying search space.
+	Space *ess.Space
+	// Lambda is the anorexic-reduction threshold the artifact was
+	// compiled with.
+	Lambda float64
+
+	reduction *ess.Reduction
+	planner   *alignedbound.Planner
+}
+
+// Compile eagerly builds the compile-time artifact for the space.
+func Compile(space *ess.Space, opts CompileOptions) (*Compiled, error) {
+	lambda := opts.Lambda
+	if lambda == 0 {
+		lambda = DefaultLambda
+	}
+	c, err := newCompiled(space, lambda)
+	if err != nil {
+		return nil, err
+	}
+	if opts.PrimeAlignment {
+		c.planner.Prime()
+	}
+	return c, nil
+}
+
+// errSetLambdaAfterCompile reports the Session misuse that used to
+// panic: rethresholding after the reduction was built.
+var errSetLambdaAfterCompile = errors.New("core: SetLambda after the reduction was built")
+
+// validateLambda rejects thresholds the reduction cannot honor.
+func validateLambda(lambda float64) (float64, error) {
+	if lambda < 0 || math.IsNaN(lambda) {
+		return 0, fmt.Errorf("core: invalid anorexic reduction threshold λ=%v", lambda)
+	}
+	return lambda, nil
+}
+
+func newCompiled(space *ess.Space, lambda float64) (*Compiled, error) {
+	if _, err := validateLambda(lambda); err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		Space:     space,
+		Lambda:    lambda,
+		reduction: space.Reduce(lambda),
+		planner:   alignedbound.NewPlanner(space),
+	}, nil
+}
+
+// Reduction returns the compiled anorexic reduction.
+func (c *Compiled) Reduction() *ess.Reduction { return c.reduction }
+
+// Planner returns the compiled alignment planner. Its decision cache
+// fills on demand and is shared by every run over this artifact.
+func (c *Compiled) Planner() *alignedbound.Planner { return c.planner }
+
+// Guarantee returns the MSO guarantee of the algorithm on this query:
+// the a-priori bound the paper proves. For AlignedBound the upper end
+// of its range is returned (use alignedbound.GuaranteeRange for both).
+func (c *Compiled) Guarantee(alg Algorithm) (float64, error) {
+	d := c.Space.Grid.D
+	switch alg {
+	case PlanBouquet:
+		return bouquet.Guarantee(c.reduction), nil
+	case SpillBound:
+		return spillbound.Guarantee(d), nil
+	case AlignedBound:
+		_, hi := alignedbound.GuaranteeRange(d)
+		return hi, nil
+	default:
+		return 0, fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+}
+
+// MSO exhaustively (or strided) evaluates the algorithm's empirical MSO
+// and ASO over the grid, one fresh Run per location, all sharing this
+// artifact.
+func (c *Compiled) MSO(alg Algorithm, opts mso.Options) (*mso.Result, error) {
+	return mso.Sweep(c.Space, func(qa int32) (*discovery.Outcome, error) {
+		return c.NewRun().Discover(alg, qa)
+	}, opts)
+}
+
+// NativeWorstCaseMSO evaluates the traditional optimizer's worst-case
+// MSO (Eq. 2) on this space.
+func (c *Compiled) NativeWorstCaseMSO(opts mso.Options) *mso.Result {
+	return mso.NativeWorstCase(c.Space, opts)
+}

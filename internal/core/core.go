@@ -1,25 +1,29 @@
 // Package core is the public façade of the robust query processing
 // library: it wires the ESS search space to the three discovery
 // algorithms — PlanBouquet (baseline), SpillBound, and AlignedBound —
-// and to the MSO evaluation harness, behind a single Session type.
+// and to the MSO evaluation harness.
+//
+// The API splits compile time from run time: Compile produces an
+// immutable *Compiled artifact (anorexic reduction, contours, alignment
+// planner) that any number of concurrent *Run values share, each Run
+// holding only per-discovery mutable state. Session remains as a thin
+// compatibility wrapper that compiles lazily and drives one Run per
+// discovery.
 //
 // Typical use:
 //
 //	spec, _ := workload.ByName("4D_Q91")
 //	space, _ := spec.Space(1.0, 0)
-//	sess := core.NewSession(space)
-//	out, _ := sess.Discover(core.SpillBound, qa)
+//	compiled, _ := core.Compile(space, core.CompileOptions{})
+//	out, _ := compiled.NewRun().Discover(core.SpillBound, qa)
 //	fmt.Println(out.SubOpt(space.PointCost[qa]))
 package core
 
 import (
-	"fmt"
 	"sync"
 
 	"repro/internal/core/alignedbound"
-	"repro/internal/core/bouquet"
 	"repro/internal/core/discovery"
-	"repro/internal/core/spillbound"
 	"repro/internal/ess"
 	"repro/internal/faultinject"
 	"repro/internal/mso"
@@ -47,24 +51,24 @@ const (
 // paper's experiments.
 const DefaultLambda = 0.2
 
-// Session bundles a built search space with the per-algorithm state
-// (anorexic reduction for PlanBouquet, alignment planner for
-// AlignedBound), constructed lazily and reused across discoveries.
+// Session is the pre-split convenience façade: a search space plus a
+// lazily built Compiled artifact and session-wide accumulators, all
+// behind one mutex. It remains safe for concurrent use, but new code
+// (and anything latency-sensitive) should Compile once and create a Run
+// per discovery instead.
 type Session struct {
 	// Space is the ESS search space the session operates on.
 	Space *ess.Space
 
+	mu     sync.Mutex
 	lambda float64
-
 	// faults, when set, arms simulated discoveries with injected engine
 	// faults behind the resilient driver (chaos mode).
-	faults *faultinject.Injector
-
-	mu        sync.Mutex
-	reduction *ess.Reduction
-	planner   *alignedbound.Planner
+	faults   *faultinject.Injector
+	compiled *Compiled
 	// maxPenalty tracks the largest AlignedBound partition penalty
-	// observed across this session's runs (Table 4).
+	// observed across this session's runs (Table 4). Each run reports
+	// its own penalty on the Outcome; the session folds them here.
 	maxPenalty float64
 }
 
@@ -73,22 +77,30 @@ func NewSession(space *ess.Space) *Session {
 	return &Session{Space: space, lambda: DefaultLambda}
 }
 
-// SetLambda overrides the anorexic reduction threshold; it must be
-// called before the first PlanBouquet discovery.
-func (s *Session) SetLambda(lambda float64) {
+// SetLambda overrides the anorexic reduction threshold. It returns an
+// error if the session has already compiled its artifact (the reduction
+// is built eagerly at first use and cannot be rethresholded) or if the
+// threshold is invalid.
+func (s *Session) SetLambda(lambda float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.reduction != nil {
-		panic("core: SetLambda after the reduction was built")
+	if s.compiled != nil {
+		return errSetLambdaAfterCompile
+	}
+	if _, err := validateLambda(lambda); err != nil {
+		return err
 	}
 	s.lambda = lambda
+	return nil
 }
 
 // SetFaults arms (or with nil disarms) fault injection for this
 // session's simulated discoveries: Discover wraps the sim engine in a
 // FaultySim plus the resilient retry driver, and DiscoverWith applies
 // the AlignedBound→SpillBound planner fallback. The injector's schedule
-// is deterministic per seed, so chaos runs are reproducible.
+// is deterministic per seed, so chaos runs are reproducible. The
+// session hands the injector to every run as-is (no substream forking),
+// so sequential chaos runs consume one continuous schedule.
 func (s *Session) SetFaults(in *faultinject.Injector) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -102,43 +114,55 @@ func (s *Session) Faults() *faultinject.Injector {
 	return s.faults
 }
 
-// Reduction returns the session's anorexic reduction, building it on
+// Compiled returns the session's compiled artifact, building it on
 // first use.
-func (s *Session) Reduction() *ess.Reduction {
+func (s *Session) Compiled() *Compiled {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.reduction == nil {
-		s.reduction = s.Space.Reduce(s.lambda)
-	}
-	return s.reduction
+	return s.ensureCompiled()
 }
 
-// Planner returns the session's AlignedBound planner, building it on
-// first use.
-func (s *Session) Planner() *alignedbound.Planner {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.planner == nil {
-		s.planner = alignedbound.NewPlanner(s.Space)
+// ensureCompiled builds the artifact lazily; callers hold s.mu.
+func (s *Session) ensureCompiled() *Compiled {
+	if s.compiled == nil {
+		c, err := newCompiled(s.Space, s.lambda)
+		if err != nil {
+			// SetLambda validated the threshold, so this is unreachable.
+			panic(err)
+		}
+		s.compiled = c
 	}
-	return s.planner
+	return s.compiled
 }
+
+// Reduction returns the session's anorexic reduction, compiling on
+// first use.
+func (s *Session) Reduction() *ess.Reduction { return s.Compiled().Reduction() }
+
+// Planner returns the session's AlignedBound planner, compiling on
+// first use.
+func (s *Session) Planner() *alignedbound.Planner { return s.Compiled().Planner() }
 
 // Guarantee returns the MSO guarantee of the algorithm on this query:
 // the a-priori bound the paper proves. For AlignedBound the upper end
 // of its range is returned (use alignedbound.GuaranteeRange for both).
 func (s *Session) Guarantee(alg Algorithm) (float64, error) {
-	d := s.Space.Grid.D
-	switch alg {
-	case PlanBouquet:
-		return bouquet.Guarantee(s.Reduction()), nil
-	case SpillBound:
-		return spillbound.Guarantee(d), nil
-	case AlignedBound:
-		_, hi := alignedbound.GuaranteeRange(d)
-		return hi, nil
-	default:
-		return 0, fmt.Errorf("core: unknown algorithm %q", alg)
+	return s.Compiled().Guarantee(alg)
+}
+
+// newRun creates a run carrying the session's armed injector.
+func (s *Session) newRun() *Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ensureCompiled().NewRun().WithFaults(s.faults)
+}
+
+// fold accumulates a finished run's penalty into the session ledger.
+func (s *Session) fold(r *Run) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p := r.MaxPenalty(); p > s.maxPenalty {
+		s.maxPenalty = p
 	}
 }
 
@@ -147,13 +171,10 @@ func (s *Session) Guarantee(alg Algorithm) (float64, error) {
 // With faults armed (SetFaults), the simulation runs behind the
 // fault-injecting engine and the resilient retry driver.
 func (s *Session) Discover(alg Algorithm, qa int32) (*discovery.Outcome, error) {
-	sim := discovery.NewSimEngine(s.Space, qa)
-	if in := s.Faults(); in != nil {
-		r := discovery.NewResilient(discovery.NewFaultySim(sim, in), discovery.DefaultRetryPolicy).
-			WithJitter(in.Jitter)
-		return s.DiscoverWith(alg, r)
-	}
-	return s.DiscoverWith(alg, sim)
+	r := s.newRun()
+	out, err := r.Discover(alg, qa)
+	s.fold(r)
+	return out, err
 }
 
 // DiscoverWith runs the algorithm against an arbitrary execution engine
@@ -162,64 +183,9 @@ func (s *Session) Discover(alg Algorithm, qa int32) (*discovery.Outcome, error) 
 // the degradations, retries, and wasted cost it recorded during the run
 // are attached to the returned Outcome.
 func (s *Session) DiscoverWith(alg Algorithm, eng discovery.Engine) (*discovery.Outcome, error) {
-	out, err := s.dispatch(alg, eng)
-	if r, ok := eng.(*discovery.Resilient); ok && out != nil {
-		degs, retries, wasted := r.Take()
-		out.Degradations = append(out.Degradations, degs...)
-		out.Retries += retries
-		out.WastedCost += wasted
-	}
-	return out, err
-}
-
-func (s *Session) dispatch(alg Algorithm, eng discovery.Engine) (*discovery.Outcome, error) {
-	switch alg {
-	case PlanBouquet:
-		return bouquet.Run(s.Space, s.Reduction(), eng)
-	case SpillBound:
-		return spillbound.Run(s.Space, eng)
-	case AlignedBound:
-		return s.runAligned(eng)
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
-	}
-}
-
-// runAligned runs AlignedBound with the planner-failure degradation:
-// when the armed injector trips the alignment-planner site, or the
-// planner panics during a chaos run, the discovery falls back to
-// SpillBound — the algorithm AlignedBound refines — and the fallback is
-// recorded on the Outcome. Fault-free runs never mask planner panics.
-func (s *Session) runAligned(eng discovery.Engine) (out *discovery.Outcome, err error) {
-	in := s.Faults()
-	if ferr := in.Check(faultinject.SiteAlignPlanner); ferr != nil {
-		return s.alignFallback(eng, ferr.Error())
-	}
-	if in != nil {
-		defer func() {
-			if r := recover(); r != nil {
-				out, err = s.alignFallback(eng, fmt.Sprintf("planner panic: %v", r))
-			}
-		}()
-	}
-	out, pen, err := alignedbound.Run(s.Space, s.Planner(), eng)
-	s.mu.Lock()
-	if pen > s.maxPenalty {
-		s.maxPenalty = pen
-	}
-	s.mu.Unlock()
-	return out, err
-}
-
-// alignFallback degrades an AlignedBound discovery to SpillBound,
-// stamping the Outcome with the "alignment-fallback" degradation.
-func (s *Session) alignFallback(eng discovery.Engine, detail string) (*discovery.Outcome, error) {
-	out, err := spillbound.Run(s.Space, eng)
-	if out != nil {
-		out.Degradations = append(out.Degradations, discovery.Degradation{
-			Kind: "alignment-fallback", Detail: detail,
-		})
-	}
+	r := s.newRun()
+	out, err := r.DiscoverWith(alg, eng)
+	s.fold(r)
 	return out, err
 }
 
@@ -235,16 +201,11 @@ func (s *Session) MaxPenalty() float64 {
 // MSO exhaustively (or strided) evaluates the algorithm's empirical MSO
 // and ASO over the grid.
 func (s *Session) MSO(alg Algorithm, opts mso.Options) (*mso.Result, error) {
-	// Prime lazily-built shared state before the parallel sweep.
-	switch alg {
-	case PlanBouquet:
-		s.Reduction()
-	case AlignedBound:
-		s.Planner()
-	}
-	return mso.Sweep(s.Space, func(qa int32) (*discovery.Outcome, error) {
+	s.Compiled() // compile outside the sweep's worker pool
+	res, err := mso.Sweep(s.Space, func(qa int32) (*discovery.Outcome, error) {
 		return s.Discover(alg, qa)
 	}, opts)
+	return res, err
 }
 
 // NativeWorstCaseMSO evaluates the traditional optimizer's worst-case

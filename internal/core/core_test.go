@@ -82,17 +82,22 @@ func TestSessionMSOOrdering(t *testing.T) {
 func TestSetLambda(t *testing.T) {
 	s := testutil.Space2D(t, 8)
 	sess := NewSession(s)
-	sess.SetLambda(0.5)
+	if err := sess.SetLambda(0.5); err != nil {
+		t.Fatal(err)
+	}
 	red := sess.Reduction()
 	if red.Lambda != 0.5 {
 		t.Fatalf("lambda = %v", red.Lambda)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("SetLambda after reduction should panic")
-		}
-	}()
-	sess.SetLambda(0.1)
+	if err := sess.SetLambda(0.1); err == nil {
+		t.Fatal("SetLambda after the reduction was built should error")
+	}
+	if red2 := sess.Reduction(); red2.Lambda != 0.5 {
+		t.Fatalf("rejected SetLambda must not change the reduction (lambda = %v)", red2.Lambda)
+	}
+	if err := NewSession(s).SetLambda(-0.5); err == nil {
+		t.Fatal("negative lambda should error")
+	}
 }
 
 func TestMaxPenaltyZeroBeforeABRuns(t *testing.T) {

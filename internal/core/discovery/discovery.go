@@ -101,6 +101,11 @@ type Outcome struct {
 	// WastedCost totals the cost of abandoned execution attempts
 	// (already included in TotalCost).
 	WastedCost float64
+	// AlignPenalty is the maximum partition penalty π* an AlignedBound
+	// run paid (1 when only natively aligned contours were used, 0 for
+	// other algorithms). Carried on the outcome so concurrent runs need
+	// no shared accumulator.
+	AlignPenalty float64
 }
 
 // SubOpt returns the sub-optimality of the run against the optimal cost

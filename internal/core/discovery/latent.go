@@ -1,0 +1,71 @@
+package discovery
+
+import "time"
+
+// Latent wraps an Engine with a fixed wall-clock delay per budgeted
+// execution, modeling the I/O-bound engine of a deployed discovery
+// service: in production the executions run on a remote database
+// engine, so a discovery spends its time waiting on them, and N
+// concurrent discoveries overlap those waits. The throughput harness
+// (experiments.Throughput, rqp throughput) uses this to measure
+// concurrency scaling honestly on any core count.
+type Latent struct {
+	eng   Engine
+	delay time.Duration
+}
+
+// NewLatent wraps the engine; every ExecFull/ExecSpill sleeps delay
+// before delegating. A zero or negative delay disables the sleep.
+func NewLatent(eng Engine, delay time.Duration) *Latent {
+	return &Latent{eng: eng, delay: delay}
+}
+
+func (l *Latent) wait() {
+	if l.delay > 0 {
+		time.Sleep(l.delay)
+	}
+}
+
+// ExecFull implements Engine.
+func (l *Latent) ExecFull(planID int32, budget float64) (float64, bool) {
+	l.wait()
+	return l.eng.ExecFull(planID, budget)
+}
+
+// ExecSpill implements Engine.
+func (l *Latent) ExecSpill(planID int32, dim int, budget float64) (float64, bool, int) {
+	l.wait()
+	return l.eng.ExecSpill(planID, dim, budget)
+}
+
+// LatentFallible is Latent for FallibleEngines. Placing the delay
+// inside the resilient driver means every retry pays it too — exactly
+// what re-running a remote execution costs.
+type LatentFallible struct {
+	eng   FallibleEngine
+	delay time.Duration
+}
+
+// NewLatentFallible wraps the fallible engine; every ExecFull/ExecSpill
+// sleeps delay before delegating.
+func NewLatentFallible(eng FallibleEngine, delay time.Duration) *LatentFallible {
+	return &LatentFallible{eng: eng, delay: delay}
+}
+
+func (l *LatentFallible) wait() {
+	if l.delay > 0 {
+		time.Sleep(l.delay)
+	}
+}
+
+// ExecFull implements FallibleEngine.
+func (l *LatentFallible) ExecFull(planID int32, budget float64) (float64, bool, error) {
+	l.wait()
+	return l.eng.ExecFull(planID, budget)
+}
+
+// ExecSpill implements FallibleEngine.
+func (l *LatentFallible) ExecSpill(planID int32, dim int, budget float64) (float64, bool, int, error) {
+	l.wait()
+	return l.eng.ExecSpill(planID, dim, budget)
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/core/alignedbound"
+	"repro/internal/core/bouquet"
+	"repro/internal/core/discovery"
+	"repro/internal/core/spillbound"
+	"repro/internal/faultinject"
+)
+
+// Run holds the mutable state of one discovery over a shared Compiled
+// artifact: the armed fault injector (if any) and the run's penalty
+// ledger. A Run is cheap to create and single-goroutine by design —
+// concurrent discoveries each get their own Run, typically with their
+// own forked fault substream (faultinject.Injector.Fork), and share
+// everything else through the immutable Compiled.
+type Run struct {
+	c          *Compiled
+	faults     *faultinject.Injector
+	maxPenalty float64
+}
+
+// NewRun creates a fresh run over the compiled artifact.
+func (c *Compiled) NewRun() *Run { return &Run{c: c} }
+
+// Compiled returns the artifact the run executes against.
+func (r *Run) Compiled() *Compiled { return r.c }
+
+// WithFaults arms (or with nil disarms) fault injection for this run's
+// simulated discoveries and returns the run. For concurrent chaos runs
+// pass each run its own substream — base.Fork(runID) — so every run's
+// schedule is deterministic regardless of interleaving.
+func (r *Run) WithFaults(in *faultinject.Injector) *Run {
+	r.faults = in
+	return r
+}
+
+// Faults returns the run's armed injector (nil when disarmed).
+func (r *Run) Faults() *faultinject.Injector { return r.faults }
+
+// MaxPenalty returns the largest AlignedBound partition penalty π*
+// observed so far by this run (1 if only aligned contours were used; 0
+// if AlignedBound never ran).
+func (r *Run) MaxPenalty() float64 { return r.maxPenalty }
+
+// Discover runs the algorithm for the query instance whose true
+// location is the grid point qa, using cost-model simulated execution.
+// With faults armed (WithFaults), the simulation runs behind the
+// fault-injecting engine and the resilient retry driver.
+func (r *Run) Discover(alg Algorithm, qa int32) (*discovery.Outcome, error) {
+	sim := discovery.NewSimEngine(r.c.Space, qa)
+	if in := r.faults; in != nil {
+		res := discovery.NewResilient(discovery.NewFaultySim(sim, in), discovery.DefaultRetryPolicy).
+			WithJitter(in.Jitter)
+		return r.DiscoverWith(alg, res)
+	}
+	return r.DiscoverWith(alg, sim)
+}
+
+// DiscoverWith runs the algorithm against an arbitrary execution engine
+// (e.g. the real row-level executor, typically behind
+// discovery.NewResilient). When the engine is a *discovery.Resilient,
+// the degradations, retries, and wasted cost it recorded during the run
+// are attached to the returned Outcome.
+func (r *Run) DiscoverWith(alg Algorithm, eng discovery.Engine) (*discovery.Outcome, error) {
+	out, err := r.dispatch(alg, eng)
+	if res, ok := eng.(*discovery.Resilient); ok && out != nil {
+		degs, retries, wasted := res.Take()
+		out.Degradations = append(out.Degradations, degs...)
+		out.Retries += retries
+		out.WastedCost += wasted
+	}
+	return out, err
+}
+
+func (r *Run) dispatch(alg Algorithm, eng discovery.Engine) (*discovery.Outcome, error) {
+	switch alg {
+	case PlanBouquet:
+		return bouquet.Run(r.c.Space, r.c.reduction, eng)
+	case SpillBound:
+		return spillbound.Run(r.c.Space, eng)
+	case AlignedBound:
+		return r.runAligned(eng)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+}
+
+// runAligned runs AlignedBound with the planner-failure degradation:
+// when the armed injector trips the alignment-planner site, or the
+// planner panics during a chaos run, the discovery falls back to
+// SpillBound — the algorithm AlignedBound refines — and the fallback is
+// recorded on the Outcome. Fault-free runs never mask planner panics.
+func (r *Run) runAligned(eng discovery.Engine) (out *discovery.Outcome, err error) {
+	in := r.faults
+	if ferr := in.Check(faultinject.SiteAlignPlanner); ferr != nil {
+		return r.alignFallback(eng, ferr.Error())
+	}
+	if in != nil {
+		defer func() {
+			if rec := recover(); rec != nil {
+				out, err = r.alignFallback(eng, fmt.Sprintf("planner panic: %v", rec))
+			}
+		}()
+	}
+	out, pen, err := alignedbound.Run(r.c.Space, r.c.planner, eng)
+	if out != nil {
+		out.AlignPenalty = pen
+	}
+	if pen > r.maxPenalty {
+		r.maxPenalty = pen
+	}
+	return out, err
+}
+
+// alignFallback degrades an AlignedBound discovery to SpillBound,
+// stamping the Outcome with the "alignment-fallback" degradation.
+func (r *Run) alignFallback(eng discovery.Engine, detail string) (*discovery.Outcome, error) {
+	out, err := spillbound.Run(r.c.Space, eng)
+	if out != nil {
+		out.Degradations = append(out.Degradations, discovery.Degradation{
+			Kind: "alignment-fallback", Detail: detail,
+		})
+	}
+	return out, err
+}

@@ -45,8 +45,8 @@ func TestThetaExactMatchesExactAcrossWorkloads(t *testing.T) {
 				if exact.PointCost[pt] != zero.PointCost[pt] {
 					t.Fatalf("point %d cost %v != %v", pt, exact.PointCost[pt], zero.PointCost[pt])
 				}
-				es := exact.Plans[exact.PointPlan[pt]].Sig
-				zs := zero.Plans[zero.PointPlan[pt]].Sig
+				es := exact.Plan(exact.PointPlan[pt]).Sig
+				zs := zero.Plan(zero.PointPlan[pt]).Sig
 				if es != zs {
 					t.Fatalf("point %d plan %s != %s", pt, es, zs)
 				}

@@ -37,7 +37,7 @@ func (s *Space) Save(w io.Writer) error {
 		PointPlan: s.PointPlan,
 		PointCost: s.PointCost,
 	}
-	for _, p := range s.Plans {
+	for _, p := range s.Plans() {
 		dto.PlanRoots = append(dto.PlanRoots, p.Root)
 	}
 	return gob.NewEncoder(w).Encode(&dto)
@@ -63,26 +63,27 @@ func Load(r io.Reader, q *query.Query, baseEnv *cost.Env, model *cost.Model) (*S
 		return nil, fmt.Errorf("ess: saved point arrays inconsistent with grid")
 	}
 	s := &Space{
-		Q:          q,
-		Grid:       g,
-		Model:      model,
-		BaseEnv:    baseEnv,
-		PointPlan:  dto.PointPlan,
-		PointCost:  dto.PointCost,
-		CostRatio:  dto.CostRatio,
-		opt:        optimizer.New(q, model),
-		sliceCache: make(map[string][]Contour),
-		spillCache: make(map[spillKey]int),
+		Q:         q,
+		Grid:      g,
+		Model:     model,
+		BaseEnv:   baseEnv,
+		PointPlan: dto.PointPlan,
+		PointCost: dto.PointCost,
+		CostRatio: dto.CostRatio,
+		opt:       optimizer.New(q, model),
+		planSig:   make(map[string]int32),
 	}
+	pool := make([]*PlanInfo, 0, len(dto.PlanRoots))
 	for i, root := range dto.PlanRoots {
 		if err := root.Validate(); err != nil {
 			return nil, fmt.Errorf("ess: saved plan %d invalid: %w", i, err)
 		}
-		s.Plans = append(s.Plans, &PlanInfo{ID: i, Root: root, Sig: root.Signature()})
+		pool = append(pool, &PlanInfo{ID: i, Root: root, Sig: root.Signature()})
 	}
+	s.publishPlans(pool)
 	for _, pid := range s.PointPlan {
-		if int(pid) >= len(s.Plans) {
-			return nil, fmt.Errorf("ess: saved point references plan %d of %d", pid, len(s.Plans))
+		if int(pid) >= len(pool) {
+			return nil, fmt.Errorf("ess: saved point references plan %d of %d", pid, len(pool))
 		}
 	}
 	s.Cmin = s.PointCost[g.Origin()]

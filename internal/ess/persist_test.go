@@ -23,11 +23,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if loaded.Grid.NumPoints() != s.Grid.NumPoints() || loaded.Grid.D != s.Grid.D {
 		t.Fatal("grid shape mismatch")
 	}
-	if len(loaded.Plans) != len(s.Plans) {
-		t.Fatalf("plan pool %d != %d", len(loaded.Plans), len(s.Plans))
+	if loaded.NumPlans() != s.NumPlans() {
+		t.Fatalf("plan pool %d != %d", loaded.NumPlans(), s.NumPlans())
 	}
-	for i := range s.Plans {
-		if loaded.Plans[i].Sig != s.Plans[i].Sig {
+	for i := range s.Plans() {
+		if loaded.Plans()[i].Sig != s.Plans()[i].Sig {
 			t.Fatalf("plan %d signature differs", i)
 		}
 	}

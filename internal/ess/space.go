@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cost"
 	"repro/internal/optimizer"
@@ -76,12 +77,17 @@ func (c Config) withDefaults() Config {
 
 // PlanInfo is one POSP plan in the pool.
 type PlanInfo struct {
-	// ID is the plan's index in Space.Plans.
+	// ID is the plan's index in the pool.
 	ID int
 	// Root is the plan tree.
 	Root *plan.Node
 	// Sig is the canonical signature.
 	Sig string
+
+	// spill[remMask] is the ESS dimension the plan spills on given the
+	// bitmask of still-unlearned dimensions (-1 = none). Precomputed when
+	// the plan enters the pool so SpillDim is a lock-free table read.
+	spill []int8
 }
 
 // Contour is one iso-cost contour: the discrete skyline of the
@@ -99,6 +105,14 @@ type Contour struct {
 
 // Space is the constructed search space: the tuples <q, Pq, Cost(Pq,q)>
 // of §2.2 for every grid location, the plan pool, and the contours.
+//
+// After Build returns the space is immutable apart from two
+// concurrency-safe extension points: AddPlan interns runtime plans into
+// a copy-on-write pool, and ContoursFor memoizes slice contours in a
+// sync.Map. Every read path (Plans, Plan, SpillDim, ContoursFor,
+// Evaluator) is lock-free, so any number of discovery runs can share
+// one Space. RecomputeContours is the one exception — it rewrites the
+// surface in place for benchmarks and must not race discoveries.
 type Space struct {
 	// Q is the underlying query.
 	Q *query.Query
@@ -108,8 +122,6 @@ type Space struct {
 	Model *cost.Model
 	// BaseEnv is the costing environment with non-epp quantities fixed.
 	BaseEnv *cost.Env
-	// Plans is the POSP plan pool.
-	Plans []*PlanInfo
 	// PointPlan maps each grid point to its optimal plan's ID.
 	PointPlan []int32
 	// PointCost maps each grid point to its optimal cost.
@@ -125,14 +137,20 @@ type Space struct {
 
 	opt *optimizer.Optimizer
 
-	mu         sync.Mutex
-	sliceCache map[string][]Contour
-	spillCache map[spillKey]int
-}
+	// The plan pool is copy-on-write: readers load the current immutable
+	// snapshot without locking; writers append under planMu and publish a
+	// new slice. basePlans is the pool size when Build (or Load)
+	// published it — the frozen compile-time prefix; entries past it were
+	// interned at run time.
+	plans     atomic.Pointer[[]*PlanInfo]
+	planMu    sync.Mutex
+	planSig   map[string]int32
+	basePlans int
 
-type spillKey struct {
-	planID  int32
-	remMask uint16
+	// slices caches per-slice contour sets (sliceKey → []Contour). The
+	// values are pure functions of the immutable cost surface, so a
+	// racing double-compute is benign; LoadOrStore keeps one winner.
+	slices sync.Map
 }
 
 // Build optimizes every grid location and assembles the space.
@@ -143,17 +161,18 @@ func Build(q *query.Query, baseEnv *cost.Env, model *cost.Model, cfg Config) (*S
 	}
 	g := NewGrid(q.D(), cfg.Res, cfg.SelMin)
 	s := &Space{
-		Q:          q,
-		Grid:       g,
-		Model:      model,
-		BaseEnv:    baseEnv,
-		PointPlan:  make([]int32, g.NumPoints()),
-		PointCost:  make([]float64, g.NumPoints()),
-		CostRatio:  cfg.CostRatio,
-		opt:        optimizer.New(q, model),
-		sliceCache: make(map[string][]Contour),
-		spillCache: make(map[spillKey]int),
+		Q:         q,
+		Grid:      g,
+		Model:     model,
+		BaseEnv:   baseEnv,
+		PointPlan: make([]int32, g.NumPoints()),
+		PointCost: make([]float64, g.NumPoints()),
+		CostRatio: cfg.CostRatio,
+		opt:       optimizer.New(q, model),
+		planSig:   make(map[string]int32),
 	}
+	empty := make([]*PlanInfo, 0)
+	s.plans.Store(&empty)
 	if err := s.sweep(cfg); err != nil {
 		return nil, err
 	}
@@ -172,6 +191,44 @@ func (s *Space) allPoints() []int32 {
 		pts[i] = int32(i)
 	}
 	return pts
+}
+
+// Plans returns the current plan-pool snapshot. The returned slice is
+// never mutated — runtime interning publishes a new snapshot instead of
+// growing this one — so it is safe to iterate without locking.
+func (s *Space) Plans() []*PlanInfo { return *s.plans.Load() }
+
+// Plan returns the pool entry with the given ID.
+func (s *Space) Plan(id int32) *PlanInfo { return (*s.plans.Load())[id] }
+
+// NumPlans returns the current pool size.
+func (s *Space) NumPlans() int { return len(*s.plans.Load()) }
+
+// BasePlans returns the compile-time plan pool: the pool exactly as
+// Build (or Load) published it, excluding plans interned at run time.
+// The prefix is frozen, so concurrent callers that must agree on a
+// candidate set (e.g. alignment planners) all see the same plans
+// regardless of what other runs have interned since.
+func (s *Space) BasePlans() []*PlanInfo { return (*s.plans.Load())[:s.basePlans] }
+
+// publishPlans installs the built pool: it precomputes each plan's
+// spill table, indexes signatures for AddPlan interning, and freezes
+// the compile-time prefix.
+func (s *Space) publishPlans(plans []*PlanInfo) {
+	for _, p := range plans {
+		if p.spill == nil {
+			p.spill = s.spillTable(p.Root)
+		}
+	}
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	s.planSig = make(map[string]int32, len(plans))
+	for _, p := range plans {
+		s.planSig[p.Sig] = int32(p.ID)
+	}
+	s.basePlans = len(plans)
+	snapshot := plans
+	s.plans.Store(&snapshot)
 }
 
 // ContourCosts returns the budget sequence CC_1..CC_m: Cmin, then
@@ -232,7 +289,8 @@ func (s *Space) contoursOn(pts []int32, freeDims []int) []Contour {
 }
 
 // RecomputeContours rebuilds the full-grid contour set from the current
-// cost surface (exposed for benchmarking and tools).
+// cost surface (exposed for benchmarking and tools). It mutates the
+// space and must not run concurrently with discoveries.
 func (s *Space) RecomputeContours() []Contour {
 	s.Contours = s.contoursOn(s.allPoints(), nil)
 	return s.Contours
@@ -241,7 +299,8 @@ func (s *Space) RecomputeContours() []Contour {
 // ContoursFor returns the iso-cost contours of the slice where the
 // learned dimensions (learned[d] ≥ 0) are pinned to their grid indexes.
 // With nothing learned this is the precomputed full-grid contour set.
-// Results are cached per slice.
+// Results are memoized per slice; hits are lock-free, and a racing miss
+// merely recomputes the same pure function of the cost surface.
 func (s *Space) ContoursFor(learned []int) []Contour {
 	all := true
 	for _, v := range learned {
@@ -254,12 +313,9 @@ func (s *Space) ContoursFor(learned []int) []Contour {
 		return s.Contours
 	}
 	key := sliceKey(learned)
-	s.mu.Lock()
-	if c, ok := s.sliceCache[key]; ok {
-		s.mu.Unlock()
-		return c
+	if c, ok := s.slices.Load(key); ok {
+		return c.([]Contour)
 	}
-	s.mu.Unlock()
 
 	pts := s.slicePoints(learned)
 	var free []int
@@ -268,12 +324,8 @@ func (s *Space) ContoursFor(learned []int) []Contour {
 			free = append(free, d)
 		}
 	}
-	c := s.contoursOn(pts, free)
-
-	s.mu.Lock()
-	s.sliceCache[key] = c
-	s.mu.Unlock()
-	return c
+	c, _ := s.slices.LoadOrStore(key, s.contoursOn(pts, free))
+	return c.([]Contour)
 }
 
 // sliceKey encodes a learned-dimension vector as a cache key. Varint
@@ -329,51 +381,60 @@ func (s *Space) slicePoints(learned []int) []int32 {
 	return pts
 }
 
-// SpillDim returns the ESS dimension the plan spills on given the set of
-// still-unlearned dimensions (bitmask over dims), or -1. Results are
-// memoized — spill-node identification is structural, not location-
-// dependent.
-func (s *Space) SpillDim(planID int32, remMask uint16) int {
-	key := spillKey{planID: planID, remMask: remMask}
-	s.mu.Lock()
-	if d, ok := s.spillCache[key]; ok {
-		s.mu.Unlock()
-		return d
-	}
-	s.mu.Unlock()
-
-	remaining := make(map[int]bool, s.Q.D())
-	for d, joinID := range s.Q.EPPs {
-		if remMask&(1<<uint(d)) != 0 {
-			remaining[joinID] = true
+// spillTable computes, for every bitmask of still-unlearned dimensions,
+// the ESS dimension the plan spills on (-1 = none). Spill-node
+// identification is structural, not location-dependent, so the table
+// depends only on the plan tree.
+func (s *Space) spillTable(root *plan.Node) []int8 {
+	d := s.Grid.D
+	tab := make([]int8, 1<<uint(d))
+	remaining := make(map[int]bool, d)
+	for mask := range tab {
+		for k := range remaining {
+			delete(remaining, k)
 		}
+		for dim, joinID := range s.Q.EPPs {
+			if mask&(1<<uint(dim)) != 0 {
+				remaining[joinID] = true
+			}
+		}
+		dim := -1
+		if joinID := plan.SpillJoin(root, remaining); joinID >= 0 {
+			dim = s.Q.EPPDim(joinID)
+		}
+		tab[mask] = int8(dim)
 	}
-	joinID := plan.SpillJoin(s.Plans[planID].Root, remaining)
-	dim := -1
-	if joinID >= 0 {
-		dim = s.Q.EPPDim(joinID)
-	}
+	return tab
+}
 
-	s.mu.Lock()
-	s.spillCache[key] = dim
-	s.mu.Unlock()
-	return dim
+// SpillDim returns the ESS dimension the plan spills on given the set of
+// still-unlearned dimensions (bitmask over dims), or -1. The table is
+// precomputed when the plan enters the pool, so this is a lock-free
+// read.
+func (s *Space) SpillDim(planID int32, remMask uint16) int {
+	p := s.Plan(planID)
+	return int(p.spill[int(remMask)&(len(p.spill)-1)])
 }
 
 // AddPlan interns an externally produced plan (e.g. an AlignedBound
 // replacement from the per-spill-class optimizer search) into the pool
-// and returns its ID.
+// and returns its ID. Interning is keyed by canonical signature, so the
+// same plan receives the same ID no matter which run interns it first —
+// concurrent discoveries stay comparable step-for-step.
 func (s *Space) AddPlan(root *plan.Node) int32 {
 	sig := root.Signature()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, p := range s.Plans {
-		if p.Sig == sig {
-			return int32(p.ID)
-		}
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	if id, ok := s.planSig[sig]; ok {
+		return id
 	}
-	id := int32(len(s.Plans))
-	s.Plans = append(s.Plans, &PlanInfo{ID: int(id), Root: root, Sig: sig})
+	cur := *s.plans.Load()
+	id := int32(len(cur))
+	next := make([]*PlanInfo, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = &PlanInfo{ID: int(id), Root: root, Sig: sig, spill: s.spillTable(root)}
+	s.plans.Store(&next)
+	s.planSig[sig] = id
 	return id
 }
 
@@ -403,7 +464,7 @@ func (e *Evaluator) Env(pt int32) *cost.Env {
 
 // PlanCost recosts pool plan planID at the grid point.
 func (e *Evaluator) PlanCost(planID, pt int32) float64 {
-	return e.s.Model.Cost(e.s.Plans[planID].Root, e.Env(pt)).Cost
+	return e.s.Model.Cost(e.s.Plan(planID).Root, e.Env(pt)).Cost
 }
 
 // SpillCost costs the spill-mode execution of the plan on the given ESS
@@ -411,7 +472,7 @@ func (e *Evaluator) PlanCost(planID, pt int32) float64 {
 // node, §3.1.2).
 func (e *Evaluator) SpillCost(planID, pt int32, dim int) float64 {
 	joinID := e.s.Q.EPPs[dim]
-	res, ok := e.s.Model.SpillCost(e.s.Plans[planID].Root, joinID, e.Env(pt))
+	res, ok := e.s.Model.SpillCost(e.s.Plan(planID).Root, joinID, e.Env(pt))
 	if !ok {
 		return math.Inf(1)
 	}

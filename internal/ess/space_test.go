@@ -50,8 +50,8 @@ func TestBuildBasics(t *testing.T) {
 	if s.Grid.NumPoints() != 144 {
 		t.Fatalf("points = %d", s.Grid.NumPoints())
 	}
-	if len(s.Plans) < 2 {
-		t.Errorf("POSP should contain multiple plans, got %d", len(s.Plans))
+	if s.NumPlans() < 2 {
+		t.Errorf("POSP should contain multiple plans, got %d", s.NumPlans())
 	}
 	if s.Cmin <= 0 || s.Cmax <= s.Cmin {
 		t.Fatalf("Cmin=%v Cmax=%v", s.Cmin, s.Cmax)
@@ -61,7 +61,7 @@ func TestBuildBasics(t *testing.T) {
 		if s.PointCost[pt] < s.Cmin-1e-9 || s.PointCost[pt] > s.Cmax+1e-9 {
 			t.Fatalf("point %d cost %v outside [Cmin,Cmax]", pt, s.PointCost[pt])
 		}
-		if int(s.PointPlan[pt]) >= len(s.Plans) {
+		if int(s.PointPlan[pt]) >= s.NumPlans() {
 			t.Fatalf("point %d has invalid plan id", pt)
 		}
 	}
@@ -198,7 +198,7 @@ func TestEvaluatorOptimality(t *testing.T) {
 	s := buildSpace(t, 8)
 	ev := s.NewEvaluator()
 	for pt := int32(0); pt < int32(s.Grid.NumPoints()); pt++ {
-		for pid := range s.Plans {
+		for pid := range s.Plans() {
 			if ev.PlanCost(int32(pid), pt) < s.PointCost[pt]*(1-1e-9) {
 				t.Fatalf("plan %d beats optimal at point %d", pid, pt)
 			}
@@ -223,7 +223,7 @@ func TestSpillCostBelowFullCost(t *testing.T) {
 func TestSpillDimCoversAllPlans(t *testing.T) {
 	s := buildSpace(t, 8)
 	full := uint16(1<<uint(s.Grid.D)) - 1
-	for pid := range s.Plans {
+	for pid := range s.Plans() {
 		d := s.SpillDim(int32(pid), full)
 		if d < 0 || d >= s.Grid.D {
 			t.Fatalf("plan %d: spill dim %d with all epps remaining", pid, d)
@@ -324,19 +324,19 @@ func TestSliceContourDominatesSliceHypograph(t *testing.T) {
 
 func TestAddPlanDedup(t *testing.T) {
 	s := buildSpace(t, 8)
-	existing := s.Plans[0]
+	existing := s.Plans()[0]
 	if got := s.AddPlan(existing.Root); got != 0 {
 		t.Fatalf("AddPlan of existing = %d, want 0", got)
 	}
-	n := len(s.Plans)
+	n := s.NumPlans()
 	// A fresh structure extends the pool.
 	q := s.Q
 	_ = q
-	root := s.Plans[len(s.Plans)-1].Root
-	if got := s.AddPlan(root); int(got) != len(s.Plans)-1 {
+	root := s.Plans()[s.NumPlans()-1].Root
+	if got := s.AddPlan(root); int(got) != s.NumPlans()-1 {
 		t.Error("AddPlan dedup by signature broken")
 	}
-	if len(s.Plans) != n {
+	if s.NumPlans() != n {
 		t.Error("AddPlan must not duplicate")
 	}
 }

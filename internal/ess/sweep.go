@@ -105,8 +105,11 @@ type sweeper struct {
 	s   *Space
 	cfg Config
 
+	// The sweep owns a private, mutable pool; Space.publishPlans installs
+	// it as the immutable snapshot once the sweep is done.
 	poolMu sync.Mutex
 	sigID  map[string]*PlanInfo
+	plans  []*PlanInfo
 
 	// exact marks points settled by the DP (vs. recost).
 	exact []bool
@@ -142,15 +145,15 @@ func (sw *sweeper) intern(sig string, root func() *PlanInfo) *PlanInfo {
 		return p
 	}
 	info := root()
-	info.ID = len(sw.s.Plans)
-	sw.s.Plans = append(sw.s.Plans, info)
+	info.ID = len(sw.plans)
+	sw.plans = append(sw.plans, info)
 	sw.sigID[sig] = info
 	return info
 }
 
 // solve runs the exact DP at pt, records the optimum, and returns the
 // interned pool entry. The returned pointer is safe to hold while other
-// workers grow s.Plans.
+// workers grow the pool.
 func (sw *sweeper) solve(w *sweepWorker, pt int32) (*PlanInfo, error) {
 	s := sw.s
 	s.Grid.Sel(int(pt), w.sel)
@@ -188,6 +191,7 @@ func (s *Space) sweep(cfg Config) error {
 	if err != nil {
 		return err
 	}
+	s.publishPlans(sw.plans)
 	s.Stats.Points = s.Grid.NumPoints()
 	s.Stats.DPCalls = int(sw.dpCalls.Load())
 	s.Stats.RecostPoints = int(sw.recostPts.Load())
@@ -364,7 +368,7 @@ func (sw *sweeper) runRecost() error {
 // fixpoint. Exact points are never displaced — no plan strictly beats
 // an exact optimum — so only recost-settled points move, monotonically
 // downward toward the true pool minimum. Runs sequentially after the
-// parallel phases, so reads of s.Plans and the surface are safe.
+// parallel phases, so reads of the pool and the surface are safe.
 func (sw *sweeper) relax(w *sweepWorker) {
 	s := sw.s
 	g := s.Grid
@@ -392,7 +396,7 @@ func (sw *sweeper) relax(w *sweepWorker) {
 						w.position(s, int32(pt))
 						positioned = true
 					}
-					if c := sw.planAt(w, s.Plans[np]); c < cur {
+					if c := sw.planAt(w, sw.plans[np]); c < cur {
 						cur, curPlan = c, np
 						s.PointCost[pt] = c
 						s.PointPlan[pt] = np
@@ -441,7 +445,7 @@ func (sw *sweeper) recostCell(w *sweepWorker, lat *lattice, cell []int) error {
 
 	// Seed candidates: the distinct plans at the cell's 2^D corners.
 	// Corner points were settled in phase 1, and the PlanInfo pointers
-	// stay valid while other cells' fallbacks grow s.Plans. The exact
+	// stay valid while other cells' fallbacks grow the pool. The exact
 	// corner costs double as the anchor for the fallback gate: the grid
 	// is geometric in selectivity and the cost model near log-linear
 	// across a cell, so a multilinear interpolation of log corner costs
@@ -572,11 +576,11 @@ func (sw *sweeper) recostCell(w *sweepWorker, lat *lattice, cell []int) error {
 }
 
 // planByID reads a pool entry by ID under the pool lock (other workers
-// may be appending to s.Plans concurrently).
+// may be appending to the pool concurrently).
 func (sw *sweeper) planByID(id int32) *PlanInfo {
 	sw.poolMu.Lock()
 	defer sw.poolMu.Unlock()
-	return sw.s.Plans[id]
+	return sw.plans[id]
 }
 
 // lowerWith re-points a recost-settled point at any of the given plans
@@ -624,7 +628,7 @@ func (sw *sweeper) repair(w *sweepWorker) error {
 			return nil
 		}
 		s.Stats.RepairRounds++
-		before := len(s.Plans)
+		before := len(sw.plans)
 		for _, pt := range bad {
 			if _, err := sw.solve(w, pt); err != nil {
 				return err
@@ -632,7 +636,7 @@ func (sw *sweeper) repair(w *sweepWorker) error {
 			sw.recostPts.Add(-1) // the point is now exact, not recost-settled
 			s.Stats.Repairs++
 		}
-		if delta := s.Plans[before:]; len(delta) > 0 {
+		if delta := sw.plans[before:]; len(delta) > 0 {
 			for pt := 0; pt < n; pt++ {
 				if !sw.exact[pt] {
 					sw.lowerWith(w, delta, int32(pt))

@@ -154,7 +154,7 @@ func assertSameSurface(t *testing.T, a, b *Space) {
 		if a.PointCost[pt] != b.PointCost[pt] {
 			t.Fatalf("point %d cost %v != %v", pt, a.PointCost[pt], b.PointCost[pt])
 		}
-		if sa, sb := a.Plans[a.PointPlan[pt]].Sig, b.Plans[b.PointPlan[pt]].Sig; sa != sb {
+		if sa, sb := a.Plan(a.PointPlan[pt]).Sig, b.Plan(b.PointPlan[pt]).Sig; sa != sb {
 			t.Fatalf("point %d plan %s != %s", pt, sa, sb)
 		}
 	}

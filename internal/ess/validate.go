@@ -30,9 +30,9 @@ func (s *Space) Validate(theta float64) error {
 			if got != best.Cost {
 				return fmt.Errorf("ess: validate: point %d cost %v != exact %v", pt, got, best.Cost)
 			}
-			if sig := best.Root.Signature(); s.Plans[s.PointPlan[pt]].Sig != sig {
+			if sig := best.Root.Signature(); s.Plan(s.PointPlan[pt]).Sig != sig {
 				return fmt.Errorf("ess: validate: point %d plan %s != exact %s",
-					pt, s.Plans[s.PointPlan[pt]].Sig, sig)
+					pt, s.Plan(s.PointPlan[pt]).Sig, sig)
 			}
 			continue
 		}

@@ -112,7 +112,7 @@ func (h *Harness) AblationGridResolution() (*Report, error) {
 			return nil, err
 		}
 		rep.AddRow(fmt.Sprintf("%d", res), fmt.Sprintf("%d", s.Grid.NumPoints()),
-			fmt.Sprintf("%d", len(s.Plans)), f2(r.MSO), f2(r.ASO))
+			fmt.Sprintf("%d", s.NumPlans()), f2(r.MSO), f2(r.ASO))
 	}
 	return rep, nil
 }
@@ -134,9 +134,12 @@ func (h *Harness) AblationOptimizerProbes() (*Report, error) {
 		Header: []string{"probes", "AB MSOe", "AB ASO"},
 	}
 	for _, use := range []bool{true, false} {
-		sess := core.NewSession(s)
-		sess.Planner().UseOptimizer = use
-		res, err := sess.MSO(core.AlignedBound, mso.Options{})
+		c, err := core.Compile(s, core.CompileOptions{Lambda: h.Opts.Lambda})
+		if err != nil {
+			return nil, err
+		}
+		c.Planner().UseOptimizer = use
+		res, err := c.MSO(core.AlignedBound, mso.Options{})
 		if err != nil {
 			return nil, err
 		}

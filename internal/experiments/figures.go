@@ -34,13 +34,13 @@ func (h *Harness) Fig3OCS() (*Report, error) {
 				fmt.Sprintf("%.1e", g.Vals[x]),
 				fmt.Sprintf("%.1e", g.Vals[y]),
 				f1(s.PointCost[pt]),
-				s.Plans[s.PointPlan[pt]].Sig,
+				s.Plan(s.PointPlan[pt]).Sig,
 			)
 		}
 	}
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("full surface: %d locations, %d POSP plans, cost range [%.3g, %.3g], %d contours",
-			g.NumPoints(), len(s.Plans), s.Cmin, s.Cmax, len(s.Contours)))
+			g.NumPoints(), s.NumPlans(), s.Cmin, s.Cmax, len(s.Contours)))
 	return rep, nil
 }
 
@@ -104,14 +104,14 @@ func (h *Harness) Fig8MSOg() (*Report, error) {
 		Header: []string{"query", "D", "rho_red", "PB MSOg", "SB MSOg"},
 	}
 	for _, spec := range workload.Suite() {
-		sess, err := h.session(spec)
+		c, err := h.compiled(spec)
 		if err != nil {
 			return nil, err
 		}
-		pb, _ := sess.Guarantee(core.PlanBouquet)
-		sb, _ := sess.Guarantee(core.SpillBound)
+		pb, _ := c.Guarantee(core.PlanBouquet)
+		sb, _ := c.Guarantee(core.SpillBound)
 		rep.AddRow(spec.Name, fmt.Sprintf("%d", spec.D),
-			fmt.Sprintf("%d", sess.Reduction().Rho), f1(pb), f1(sb))
+			fmt.Sprintf("%d", c.Reduction().Rho), f1(pb), f1(sb))
 	}
 	rep.Notes = append(rep.Notes, "PB computed as 4(1+λ)·ρ_red with λ=0.2; SB as D²+3D")
 	return rep, nil
@@ -125,14 +125,14 @@ func (h *Harness) Fig9Dimensionality() (*Report, error) {
 		Header: []string{"query", "D", "rho_red", "PB MSOg", "SB MSOg"},
 	}
 	for _, spec := range workload.Q91Family() {
-		sess, err := h.session(spec)
+		c, err := h.compiled(spec)
 		if err != nil {
 			return nil, err
 		}
-		pb, _ := sess.Guarantee(core.PlanBouquet)
-		sb, _ := sess.Guarantee(core.SpillBound)
+		pb, _ := c.Guarantee(core.PlanBouquet)
+		sb, _ := c.Guarantee(core.SpillBound)
 		rep.AddRow(spec.Name, fmt.Sprintf("%d", spec.D),
-			fmt.Sprintf("%d", sess.Reduction().Rho), f1(pb), f1(sb))
+			fmt.Sprintf("%d", c.Reduction().Rho), f1(pb), f1(sb))
 	}
 	return rep, nil
 }
@@ -145,21 +145,21 @@ func (h *Harness) Fig10MSOe() (*Report, error) {
 		Header: []string{"query", "D", "PB MSOe", "SB MSOe", "PB MSOg", "SB MSOg"},
 	}
 	for _, spec := range workload.Suite() {
-		sess, err := h.session(spec)
+		c, err := h.compiled(spec)
 		if err != nil {
 			return nil, err
 		}
 		opts := h.sweepOpts(spec.D)
-		pbE, err := sess.MSO(core.PlanBouquet, opts)
+		pbE, err := c.MSO(core.PlanBouquet, opts)
 		if err != nil {
 			return nil, err
 		}
-		sbE, err := sess.MSO(core.SpillBound, opts)
+		sbE, err := c.MSO(core.SpillBound, opts)
 		if err != nil {
 			return nil, err
 		}
-		pbG, _ := sess.Guarantee(core.PlanBouquet)
-		sbG, _ := sess.Guarantee(core.SpillBound)
+		pbG, _ := c.Guarantee(core.PlanBouquet)
+		sbG, _ := c.Guarantee(core.SpillBound)
 		rep.AddRow(spec.Name, fmt.Sprintf("%d", spec.D),
 			f1(pbE.MSO), f1(sbE.MSO), f1(pbG), f1(sbG))
 	}
@@ -175,16 +175,16 @@ func (h *Harness) Fig11ASO() (*Report, error) {
 		Header: []string{"query", "D", "PB ASO", "SB ASO"},
 	}
 	for _, spec := range workload.Suite() {
-		sess, err := h.session(spec)
+		c, err := h.compiled(spec)
 		if err != nil {
 			return nil, err
 		}
 		opts := h.sweepOpts(spec.D)
-		pbE, err := sess.MSO(core.PlanBouquet, opts)
+		pbE, err := c.MSO(core.PlanBouquet, opts)
 		if err != nil {
 			return nil, err
 		}
-		sbE, err := sess.MSO(core.SpillBound, opts)
+		sbE, err := c.MSO(core.SpillBound, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -200,15 +200,15 @@ func (h *Harness) Fig12Histogram() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	sess, err := h.session(spec)
+	c, err := h.compiled(spec)
 	if err != nil {
 		return nil, err
 	}
-	pbE, err := sess.MSO(core.PlanBouquet, mso.Options{})
+	pbE, err := c.MSO(core.PlanBouquet, mso.Options{})
 	if err != nil {
 		return nil, err
 	}
-	sbE, err := sess.MSO(core.SpillBound, mso.Options{})
+	sbE, err := c.MSO(core.SpillBound, mso.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -246,16 +246,16 @@ func (h *Harness) Fig13MSOeAB() (*Report, error) {
 		Header: []string{"query", "D", "SB MSOe", "AB MSOe", "2D+2"},
 	}
 	for _, spec := range workload.Suite() {
-		sess, err := h.session(spec)
+		c, err := h.compiled(spec)
 		if err != nil {
 			return nil, err
 		}
 		opts := h.sweepOpts(spec.D)
-		sbE, err := sess.MSO(core.SpillBound, opts)
+		sbE, err := c.MSO(core.SpillBound, opts)
 		if err != nil {
 			return nil, err
 		}
-		abE, err := sess.MSO(core.AlignedBound, opts)
+		abE, err := c.MSO(core.AlignedBound, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -270,16 +270,16 @@ func (h *Harness) Fig13MSOeAB() (*Report, error) {
 // SB vs AB.
 func (h *Harness) JOB() (*Report, error) {
 	spec := workload.JOBQ1a()
-	sess, err := h.session(spec)
+	c, err := h.compiled(spec)
 	if err != nil {
 		return nil, err
 	}
-	native := sess.NativeWorstCaseMSO(mso.Options{})
-	sbE, err := sess.MSO(core.SpillBound, mso.Options{})
+	native := c.NativeWorstCaseMSO(mso.Options{})
+	sbE, err := c.MSO(core.SpillBound, mso.Options{})
 	if err != nil {
 		return nil, err
 	}
-	abE, err := sess.MSO(core.AlignedBound, mso.Options{})
+	abE, err := c.MSO(core.AlignedBound, mso.Options{})
 	if err != nil {
 		return nil, err
 	}

@@ -42,23 +42,25 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Harness caches built search spaces and sessions across experiments so
-// that running the full battery builds each query's ESS only once.
+// Harness caches built search spaces and compiled artifacts across
+// experiments so that running the full battery builds and compiles each
+// query's ESS only once; every experiment's per-location discoveries
+// then fan out over a worker pool sharing that one Compiled.
 type Harness struct {
 	// Opts are the effective options.
 	Opts Options
 
-	mu       sync.Mutex
-	spaces   map[string]*ess.Space
-	sessions map[string]*core.Session
+	mu        sync.Mutex
+	spaces    map[string]*ess.Space
+	artifacts map[string]*core.Compiled
 }
 
 // New creates a harness.
 func New(opts Options) *Harness {
 	return &Harness{
-		Opts:     opts.withDefaults(),
-		spaces:   make(map[string]*ess.Space),
-		sessions: make(map[string]*core.Session),
+		Opts:      opts.withDefaults(),
+		spaces:    make(map[string]*ess.Space),
+		artifacts: make(map[string]*core.Compiled),
 	}
 }
 
@@ -79,21 +81,23 @@ func (h *Harness) space(spec workload.Spec) (*ess.Space, error) {
 	return s, nil
 }
 
-// session returns the (cached) session of a workload spec.
-func (h *Harness) session(spec workload.Spec) (*core.Session, error) {
+// compiled returns the (cached) compiled artifact of a workload spec.
+func (h *Harness) compiled(spec workload.Spec) (*core.Compiled, error) {
 	s, err := h.space(spec)
 	if err != nil {
 		return nil, err
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if sess, ok := h.sessions[spec.Name]; ok {
-		return sess, nil
+	if c, ok := h.artifacts[spec.Name]; ok {
+		return c, nil
 	}
-	sess := core.NewSession(s)
-	sess.SetLambda(h.Opts.Lambda)
-	h.sessions[spec.Name] = sess
-	return sess, nil
+	c, err := core.Compile(s, core.CompileOptions{Lambda: h.Opts.Lambda})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: compiling %s: %w", spec.Name, err)
+	}
+	h.artifacts[spec.Name] = c
+	return c, nil
 }
 
 // sweepOpts returns the MSO sweep options for a query of dimension d.

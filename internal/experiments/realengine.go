@@ -39,7 +39,7 @@ func NewRealEngine(s *ess.Space, ex *exec.Executor) *RealEngine {
 // ExecFull implements discovery.FallibleEngine with a real budgeted
 // execution. On failure the cost the attempt consumed is still billed.
 func (e *RealEngine) ExecFull(planID int32, budget float64) (float64, bool, error) {
-	res, err := e.ex.Run(e.s.Plans[planID].Root, budget)
+	res, err := e.ex.Run(e.s.Plan(planID).Root, budget)
 	if err != nil {
 		return res.Cost, false, err
 	}
@@ -56,7 +56,7 @@ func (e *RealEngine) ExecFull(planID int32, budget float64) (float64, bool, erro
 // meter matches by construction).
 func (e *RealEngine) ExecSpill(planID int32, dim int, budget float64) (float64, bool, int, error) {
 	joinID := e.s.Q.EPPs[dim]
-	res, err := e.ex.RunSpill(e.s.Plans[planID].Root, joinID, budget)
+	res, err := e.ex.RunSpill(e.s.Plan(planID).Root, joinID, budget)
 	if err != nil {
 		return res.Cost, false, -1, err
 	}

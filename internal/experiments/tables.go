@@ -25,11 +25,11 @@ func (h *Harness) Table2Alignment() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		sess, err := h.session(spec)
+		c, err := h.compiled(spec)
 		if err != nil {
 			return nil, err
 		}
-		prof := sess.Planner().Profile()
+		prof := c.Planner().Profile()
 		maxD := alignedbound.MaxProfilePenalty(prof)
 		maxStr := f2(maxD)
 		if math.IsInf(maxD, 1) {
@@ -54,14 +54,15 @@ func (h *Harness) Table4Penalty() (*Report, error) {
 		Header: []string{"query", "max penalty"},
 	}
 	for _, spec := range workload.Suite() {
-		sess, err := h.session(spec)
+		c, err := h.compiled(spec)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := sess.MSO(core.AlignedBound, h.sweepOpts(spec.D)); err != nil {
+		abE, err := c.MSO(core.AlignedBound, h.sweepOpts(spec.D))
+		if err != nil {
 			return nil, err
 		}
-		rep.AddRow(spec.Name, f2(sess.MaxPenalty()))
+		rep.AddRow(spec.Name, f2(abE.MaxAlignPenalty))
 	}
 	rep.Notes = append(rep.Notes,
 		"penalty is the per-contour sum over partition parts; 1.0 = fully aligned cover")
@@ -77,26 +78,26 @@ func (h *Harness) SuiteSummary() (*Report, error) {
 			"SB MSOe", "AB MSOe", "native MSOe"},
 	}
 	for _, spec := range workload.Suite() {
-		sess, err := h.session(spec)
+		c, err := h.compiled(spec)
 		if err != nil {
 			return nil, err
 		}
 		opts := h.sweepOpts(spec.D)
-		pbG, _ := sess.Guarantee(core.PlanBouquet)
-		sbG, _ := sess.Guarantee(core.SpillBound)
-		pbE, err := sess.MSO(core.PlanBouquet, opts)
+		pbG, _ := c.Guarantee(core.PlanBouquet)
+		sbG, _ := c.Guarantee(core.SpillBound)
+		pbE, err := c.MSO(core.PlanBouquet, opts)
 		if err != nil {
 			return nil, err
 		}
-		sbE, err := sess.MSO(core.SpillBound, opts)
+		sbE, err := c.MSO(core.SpillBound, opts)
 		if err != nil {
 			return nil, err
 		}
-		abE, err := sess.MSO(core.AlignedBound, opts)
+		abE, err := c.MSO(core.AlignedBound, opts)
 		if err != nil {
 			return nil, err
 		}
-		native := sess.NativeWorstCaseMSO(opts)
+		native := c.NativeWorstCaseMSO(opts)
 		rep.AddRow(spec.Name, fmt.Sprintf("%d", spec.D),
 			f1(pbG), f1(sbG), f1(pbE.MSO), f1(sbE.MSO), f1(abE.MSO), f1(native.MSO))
 	}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/faultinject"
+	"repro/internal/workload"
+)
+
+func compiledFor(t *testing.T, name string) *core.Compiled {
+	t.Helper()
+	spec, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := spec.Space(1.0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(s, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Every parallelism level must execute the same work mix: the run→qa
+// mapping is a pure function of the run index, so total step counts are
+// identical regardless of worker count or scheduling.
+func TestThroughputSameWorkMixAcrossParallelism(t *testing.T) {
+	c := compiledFor(t, "2D_Q91")
+	var steps []int
+	for _, p := range []int{1, 3, 8} {
+		res, err := Throughput(c, ThroughputOptions{Parallel: p, Runs: 24})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", p, err)
+		}
+		if res.Parallel != p || res.Runs != 24 {
+			t.Fatalf("parallel=%d: options not echoed: %+v", p, res)
+		}
+		if res.DiscoveriesPerSec <= 0 || res.MeanLatency <= 0 || res.MaxLatency < res.P95 {
+			t.Fatalf("parallel=%d: implausible aggregates: %+v", p, res)
+		}
+		steps = append(steps, res.TotalSteps)
+	}
+	for _, s := range steps[1:] {
+		if s != steps[0] {
+			t.Fatalf("total steps diverge across parallelism levels: %v", steps)
+		}
+	}
+}
+
+// Forked fault substreams keep chaos throughput runs deterministic: the
+// same base seed yields the same total step count at any worker count.
+func TestThroughputChaosDeterministic(t *testing.T) {
+	c := compiledFor(t, "2D_Q91")
+	var steps []int
+	for _, p := range []int{1, 4, 4} {
+		res, err := Throughput(c, ThroughputOptions{
+			Parallel: p, Runs: 16,
+			Faults: faultinject.NewUniform(2016, 0.05),
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", p, err)
+		}
+		steps = append(steps, res.TotalSteps)
+	}
+	for _, s := range steps[1:] {
+		if s != steps[0] {
+			t.Fatalf("chaos step counts diverge across schedules: %v", steps)
+		}
+	}
+}
+
+// The executor pool hands out working executors and survives reuse.
+func TestExecutorPoolReuse(t *testing.T) {
+	h := small()
+	spec, err := workload.ByName("2D_Q91")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := spec.Load(h.Opts.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No store: Get must still construct executors; Put must accept them
+	// back without panicking even when armed with faults.
+	pool := NewExecutorPool(q, nil, cost.DefaultParams())
+	a := pool.Get()
+	if a == nil {
+		t.Fatal("pool returned nil executor")
+	}
+	a.WithFaults(faultinject.NewUniform(1, 1))
+	pool.Put(a)
+	b := pool.Get()
+	if b == nil {
+		t.Fatal("pool returned nil executor after Put")
+	}
+	pool.Put(b)
+}

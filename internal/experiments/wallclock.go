@@ -8,7 +8,6 @@ import (
 	"repro/internal/cost"
 	"repro/internal/datagen"
 	"repro/internal/ess"
-	"repro/internal/exec"
 	"repro/internal/optimizer"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -46,7 +45,11 @@ func (h *Harness) Table3WallClock() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	executor := exec.New(q, store, cost.DefaultParams())
+	// Executors are per-run state; the pool recycles them the way the
+	// concurrent throughput driver does.
+	execPool := NewExecutorPool(q, store, cost.DefaultParams())
+	executor := execPool.Get()
+	defer execPool.Put(executor)
 
 	// Ground truth: measure the data's actual epp selectivities.
 	trueSel := make([]float64, q.D())
@@ -62,7 +65,7 @@ func (h *Harness) Table3WallClock() (*Report, error) {
 	qa := int32(space.Grid.Linear(trueIdx))
 
 	// Oracle: the optimal plan at the true location, really executed.
-	oracle, err := executor.Run(space.Plans[space.PointPlan[qa]].Root, 0)
+	oracle, err := executor.Run(space.Plan(space.PointPlan[qa]).Root, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +75,7 @@ func (h *Harness) Table3WallClock() (*Report, error) {
 		estIdx[d] = space.Grid.NearestIndex(st.JoinSelEstimate(q, q.Joins[joinID]))
 	}
 	qe := int32(space.Grid.Linear(estIdx))
-	native, err := executor.Run(space.Plans[space.PointPlan[qe]].Root, 0)
+	native, err := executor.Run(space.Plan(space.PointPlan[qe]).Root, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -83,28 +86,36 @@ func (h *Harness) Table3WallClock() (*Report, error) {
 	worstCost := 0.0
 	{
 		ev := space.NewEvaluator()
-		for pid := range space.Plans {
+		for pid := range space.Plans() {
 			if c := ev.PlanCost(int32(pid), qa); c > worstCost {
 				worstCost, worstPID = c, int32(pid)
 			}
 		}
 	}
-	adversarial, err := executor.Run(space.Plans[worstPID].Root, oracle.Cost*1e6)
+	adversarial, err := executor.Run(space.Plan(worstPID).Root, oracle.Cost*1e6)
 	if err != nil {
 		return nil, err
 	}
 
 	// SpillBound over real executions, behind the resilient driver so
 	// executor faults degrade instead of aborting the experiment.
-	sess := core.NewSession(space)
-	sbOut, err := sess.DiscoverWith(core.SpillBound,
-		discovery.NewResilient(NewRealEngine(space, executor), discovery.DefaultRetryPolicy))
+	compiled, err := core.Compile(space, core.CompileOptions{})
 	if err != nil {
 		return nil, err
 	}
-	// AlignedBound over real executions (fresh engine: state is per-run).
-	abOut, err := sess.DiscoverWith(core.AlignedBound,
-		discovery.NewResilient(NewRealEngine(space, executor), discovery.DefaultRetryPolicy))
+	sbExec := execPool.Get()
+	sbOut, err := compiled.NewRun().DiscoverWith(core.SpillBound,
+		discovery.NewResilient(NewRealEngine(space, sbExec), discovery.DefaultRetryPolicy))
+	execPool.Put(sbExec)
+	if err != nil {
+		return nil, err
+	}
+	// AlignedBound over real executions (fresh run and pooled executor:
+	// both are per-run state).
+	abExec := execPool.Get()
+	abOut, err := compiled.NewRun().DiscoverWith(core.AlignedBound,
+		discovery.NewResilient(NewRealEngine(space, abExec), discovery.DefaultRetryPolicy))
+	execPool.Put(abExec)
 	if err != nil {
 		return nil, err
 	}

@@ -145,6 +145,23 @@ func NewUniform(seed uint64, rate float64) *Injector {
 	return New(Config{Seed: seed, Rates: rates})
 }
 
+// Fork derives the substream injector for run id: same rates and
+// classification knobs, but a seed that is a pure function of (parent
+// seed, id), with fresh sequence counters and an empty fault log. Every
+// concurrent run forks its own substream, so a run's fault schedule
+// depends only on its id and the parent seed — never on how goroutines
+// interleave. Forking is repeatable: Fork(id) twice yields injectors
+// with identical schedules. Forking a nil injector yields nil (no
+// faults), so call sites need no guards.
+func (in *Injector) Fork(id uint64) *Injector {
+	if in == nil {
+		return nil
+	}
+	cfg := in.cfg
+	cfg.Seed = splitmix64(in.cfg.Seed ^ splitmix64(id^0xd6e8feb86659fd93))
+	return New(cfg)
+}
+
 // splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
 // high-quality bijective hash.
 func splitmix64(x uint64) uint64 {

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core/discovery"
 	"repro/internal/ess"
@@ -52,10 +53,16 @@ type Result struct {
 	Points []int32
 	// SubOpts are the per-location sub-optimalities, aligned with Points.
 	SubOpts []float64
+	// MaxAlignPenalty is the largest Outcome.AlignPenalty over the sweep
+	// (0 unless the runner executes AlignedBound) — the π* of Table 4.
+	MaxAlignPenalty float64
 }
 
-// Sweep evaluates the runner at every Stride-th grid location in
-// parallel and aggregates MSO/ASO.
+// Sweep evaluates the runner at every Stride-th grid location and
+// aggregates MSO/ASO. Locations are fanned over a worker pool pulling
+// from a shared atomic queue, so a straggling discovery never
+// serializes the tail; per-location results land in preallocated slots,
+// keeping the aggregation deterministic regardless of scheduling.
 func Sweep(s *ess.Space, run Runner, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	n := s.Grid.NumPoints()
@@ -64,31 +71,41 @@ func Sweep(s *ess.Space, run Runner, opts Options) (*Result, error) {
 		pts = append(pts, int32(p))
 	}
 	res := &Result{Points: pts, SubOpts: make([]float64, len(pts)), ArgMax: -1}
+	pens := make([]float64, len(pts))
 
-	var wg sync.WaitGroup
-	errs := make([]error, opts.Workers)
-	chunk := (len(pts) + opts.Workers - 1) / opts.Workers
-	for w := 0; w < opts.Workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(pts) {
-			hi = len(pts)
-		}
-		if lo >= hi {
-			continue
-		}
+	workers := opts.Workers
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+		stop atomic.Bool
+	)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(w int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(pts) {
+					return
+				}
 				qa := pts[i]
 				out, err := run(qa)
 				if err != nil {
 					errs[w] = fmt.Errorf("mso: qa=%d: %w", qa, err)
+					stop.Store(true)
 					return
 				}
 				res.SubOpts[i] = out.SubOpt(s.PointCost[qa])
+				pens[i] = out.AlignPenalty
 			}
-		}(w, lo, hi)
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -103,6 +120,9 @@ func Sweep(s *ess.Space, run Runner, opts Options) (*Result, error) {
 		if so > res.MSO {
 			res.MSO = so
 			res.ArgMax = pts[i]
+		}
+		if pens[i] > res.MaxAlignPenalty {
+			res.MaxAlignPenalty = pens[i]
 		}
 	}
 	if len(pts) > 0 {
@@ -178,7 +198,7 @@ func NativeWorstCase(s *ess.Space, opts Options) *Result {
 			for i := lo; i < hi; i++ {
 				qa := pts[i]
 				worst := 0.0
-				for pid := range s.Plans {
+				for pid := range s.Plans() {
 					if c := ev.PlanCost(int32(pid), qa); c > worst {
 						worst = c
 					}

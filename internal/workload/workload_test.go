@@ -161,8 +161,8 @@ func TestSuiteSpacesAreInteresting(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", spec.Name, err)
 		}
-		if len(s.Plans) < 2 {
-			t.Errorf("%s: degenerate POSP (%d plans)", spec.Name, len(s.Plans))
+		if s.NumPlans() < 2 {
+			t.Errorf("%s: degenerate POSP (%d plans)", spec.Name, s.NumPlans())
 		}
 	}
 }
