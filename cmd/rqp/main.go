@@ -27,19 +27,30 @@
 //	mso                MSO/ASO sweep for one query (-query, -alg, -stride)
 //	throughput         concurrent discovery throughput (-parallel, -runs,
 //	                   -exec-latency); emits benchdiff-parsable lines
+//	serve              long-running discovery service (-addr, -workloads,
+//	                   -snapshot-dir); see DESIGN.md §10
 //	list               available workload queries
 //	all                everything above except ablations
+//
+// The discover, mso, and throughput commands accept -deadline, which
+// bounds the whole invocation by a context deadline: on expiry the
+// discovery aborts at the next execution boundary with a typed error
+// and a partial trace, exactly as a served request would.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/metrics"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -49,6 +60,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/mso"
 	"repro/internal/plan"
+	"repro/internal/server"
 	"repro/internal/workload"
 )
 
@@ -84,7 +96,13 @@ func run(args []string) error {
 	chaosRate := fs.Float64("chaos-rate", 0, "per-site fault probability in [0,1] for discover (0 = off)")
 	parallel := fs.String("parallel", "1", "worker counts for throughput, comma-separated (e.g. 1,16)")
 	runs := fs.Int("runs", 64, "total discoveries per throughput configuration")
-	execLatency := fs.Duration("exec-latency", 0, "simulated per-execution engine latency for throughput (e.g. 2ms)")
+	execLatency := fs.Duration("exec-latency", 0, "simulated per-execution engine latency for throughput/serve (e.g. 2ms)")
+	deadline := fs.Duration("deadline", 0, "abort discover/mso/throughput after this long (0 = unbounded); also serve's default request timeout")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address for serve")
+	serveWorkloads := fs.String("workloads", "EQ", "comma-separated workload queries for serve")
+	snapshotDir := fs.String("snapshot-dir", "", "crash-safe artifact cache directory for serve (empty = in-memory only)")
+	maxConcurrent := fs.Int("max-concurrent", 4, "concurrent discovery slots for serve")
+	maxQueue := fs.Int("max-queue", 16, "admission queue depth for serve (beyond it: 429)")
 	exact := fs.Bool("exact", false, "force the exact one-DP-per-point POSP sweep")
 	theta := fs.Float64("theta", 0, "recost fallback gate width (0 = default, <0 = exact)")
 	coarse := fs.Int("coarse", 0, "phase-1 coarse lattice stride (0 = default)")
@@ -173,14 +191,21 @@ func run(args []string) error {
 		}
 		return nil
 	case "discover":
-		return discover(*queryName, *alg, *qaFlag, *scale, cfg, *chaosSeed, *chaosRate)
+		return discover(*queryName, *alg, *qaFlag, *scale, cfg, *chaosSeed, *chaosRate, *deadline)
 	case "explain":
 		return explain(*queryName, *qaFlag, *scale, cfg)
 	case "mso":
-		return msoSweep(*queryName, *alg, *scale, cfg, *stride)
+		return msoSweep(*queryName, *alg, *scale, cfg, *stride, *deadline)
 	case "throughput":
 		return throughput(*queryName, *alg, *scale, cfg, *parallel, *runs,
-			*execLatency, *chaosSeed, *chaosRate)
+			*execLatency, *chaosSeed, *chaosRate, *deadline)
+	case "serve":
+		return serve(serveConfig{
+			addr: *addr, workloads: *serveWorkloads, scale: *scale, res: *res,
+			snapshotDir: *snapshotDir, maxConcurrent: *maxConcurrent,
+			maxQueue: *maxQueue, defaultTimeout: *deadline,
+			execLatency: *execLatency, chaosSeed: *chaosSeed, chaosRate: *chaosRate,
+		})
 	case "all":
 		for _, e := range table {
 			if err := render(e.run); err != nil {
@@ -246,9 +271,18 @@ func memSummary() {
 		float64(v(0))/(1<<20), v(1), float64(v(2))/(1<<20))
 }
 
+// deadlineCtx builds the invocation-bounding context for -deadline
+// (nil when unbounded).
+func deadlineCtx(deadline time.Duration) (context.Context, context.CancelFunc) {
+	if deadline <= 0 {
+		return nil, func() {}
+	}
+	return context.WithTimeout(context.Background(), deadline)
+}
+
 // msoSweep runs a full MSO/ASO sweep for one query and reports the
 // guarantee alongside the empirical result.
-func msoSweep(name, algName string, scale float64, cfg sweepCfg, stride int) error {
+func msoSweep(name, algName string, scale float64, cfg sweepCfg, stride int, deadline time.Duration) error {
 	spec, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -257,12 +291,26 @@ func msoSweep(name, algName string, scale float64, cfg sweepCfg, stride int) err
 	if err != nil {
 		return err
 	}
-	sess := core.NewSession(space)
-	res, err := sess.MSO(core.Algorithm(algName), mso.Options{Stride: stride})
+	ctx, cancel := deadlineCtx(deadline)
+	defer cancel()
+	c, err := core.Compile(space, core.CompileOptions{})
 	if err != nil {
 		return err
 	}
-	g, _ := sess.Guarantee(core.Algorithm(algName))
+	res, err := mso.Sweep(space, func(qa int32) (*core.Outcome, error) {
+		r := c.NewRun()
+		if ctx != nil {
+			r.WithContext(ctx)
+		}
+		return r.Discover(core.Algorithm(algName), qa)
+	}, mso.Options{Stride: stride})
+	if aerr := discovery.AbortCause(err); aerr != nil {
+		return fmt.Errorf("sweep aborted by -deadline %v: %w", deadline, aerr.Err)
+	}
+	if err != nil {
+		return err
+	}
+	g, _ := c.Guarantee(core.Algorithm(algName))
 	sel := space.Grid.Sel(int(res.ArgMax), nil)
 	fmt.Printf("%s via %s: MSOe %.4f (guarantee %.1f), ASO %.4f over %d locations, worst at %v\n",
 		name, algName, res.MSO, g, res.ASO, len(res.Points), sel)
@@ -335,7 +383,8 @@ func parseQA(space *ess.Space, qaFlag string) ([]int, error) {
 // latency/throughput, one benchdiff-parsable Benchmark line per level
 // (pipe into `go run ./cmd/benchdiff -out BENCH_concurrency.json`).
 func throughput(name, algName string, scale float64, cfg sweepCfg, parallelFlag string,
-	runs int, execLatency time.Duration, chaosSeed uint64, chaosRate float64) error {
+	runs int, execLatency time.Duration, chaosSeed uint64, chaosRate float64,
+	deadline time.Duration) error {
 	spec, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -362,11 +411,13 @@ func throughput(name, algName string, scale float64, cfg sweepCfg, parallelFlag 
 	}
 	fmt.Printf("%s via %s: %d discoveries per level, exec latency %v, chaos rate %g\n",
 		name, algName, runs, execLatency, chaosRate)
+	ctx, cancel := deadlineCtx(deadline)
+	defer cancel()
 	var base float64
 	for _, p := range levels {
 		res, err := experiments.Throughput(compiled, experiments.ThroughputOptions{
 			Algorithm: core.Algorithm(algName), Parallel: p, Runs: runs,
-			ExecLatency: execLatency, Faults: faults,
+			ExecLatency: execLatency, Faults: faults, Context: ctx,
 		})
 		if err != nil {
 			return err
@@ -392,7 +443,7 @@ func throughput(name, algName string, scale float64, cfg sweepCfg, parallelFlag 
 // chaos rate, every fault-injection site is armed at that rate from the
 // seed's deterministic schedule, and the degradation/retry summary is
 // printed after the trace.
-func discover(name, algName, qaFlag string, scale float64, cfg sweepCfg, chaosSeed uint64, chaosRate float64) error {
+func discover(name, algName, qaFlag string, scale float64, cfg sweepCfg, chaosSeed uint64, chaosRate float64, deadline time.Duration) error {
 	spec, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -413,12 +464,22 @@ func discover(name, algName, qaFlag string, scale float64, cfg sweepCfg, chaosSe
 		chaos = faultinject.NewUniform(chaosSeed, chaosRate)
 		sess.SetFaults(chaos)
 	}
-	out, err := sess.Discover(core.Algorithm(algName), qa)
-	if err != nil {
+	ctx, cancel := deadlineCtx(deadline)
+	defer cancel()
+	r := sess.Compiled().NewRun().WithFaults(chaos)
+	if ctx != nil {
+		r.WithContext(ctx)
+	}
+	out, err := r.Discover(core.Algorithm(algName), qa)
+	aborted := discovery.AbortCause(err)
+	if err != nil && aborted == nil {
 		return err
 	}
 	sel := space.Grid.Sel(int(qa), nil)
 	fmt.Printf("%s via %s at qa=%v (grid point %d)\n", name, algName, sel, qa)
+	if aborted != nil {
+		fmt.Printf("  ABORTED by -deadline %v (%v); partial trace follows\n", deadline, aborted.Err)
+	}
 	for i, st := range out.Steps {
 		mode := "full "
 		if st.Phase == discovery.PhaseSpill {
@@ -451,4 +512,44 @@ func discover(name, algName, qaFlag string, scale float64, cfg sweepCfg, chaosSe
 		}
 	}
 	return nil
+}
+
+// serveConfig carries the serve subcommand's flags.
+type serveConfig struct {
+	addr, workloads, snapshotDir string
+	scale                        float64
+	res, maxConcurrent, maxQueue int
+	defaultTimeout, execLatency  time.Duration
+	chaosSeed                    uint64
+	chaosRate                    float64
+}
+
+// serve runs the long-running discovery service until SIGTERM/SIGINT,
+// then drains gracefully: readiness flips, in-flight requests finish,
+// and the listener closes.
+func serve(sc serveConfig) error {
+	s, err := server.New(server.Config{
+		Workloads:      strings.Split(sc.workloads, ","),
+		Scale:          sc.scale,
+		Res:            sc.res,
+		SnapshotDir:    sc.snapshotDir,
+		MaxConcurrent:  sc.maxConcurrent,
+		MaxQueue:       sc.maxQueue,
+		DefaultTimeout: sc.defaultTimeout,
+		ExecLatency:    sc.execLatency,
+		FaultSeed:      sc.chaosSeed,
+		FaultRate:      sc.chaosRate,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", sc.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rqp serve: listening on http://%s (workloads %s; compiling in background)\n",
+		ln.Addr(), sc.workloads)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return s.Serve(ctx, ln)
 }

@@ -404,6 +404,9 @@ func Run(s *ess.Space, pl *Planner, eng discovery.Engine) (*discovery.Outcome, f
 		}
 		progressed := false
 		for _, ex := range dec.Execs {
+			if aerr := discovery.AbortOf(eng); aerr != nil {
+				return out, maxPenalty, aerr
+			}
 			c, done, learned := eng.ExecSpill(ex.PlanID, ex.Dim, ex.Budget)
 			out.Add(discovery.Step{
 				Contour: ci + 1, PlanID: ex.PlanID, Dim: ex.Dim,

@@ -32,6 +32,9 @@ func Run(s *ess.Space, red *ess.Reduction, eng discovery.Engine) (*discovery.Out
 	for ci := range s.Contours {
 		budget := s.Contours[ci].Cost * budgetFactor
 		for _, pid := range red.ContourPlans[ci] {
+			if aerr := discovery.AbortOf(eng); aerr != nil {
+				return out, aerr
+			}
 			c, done := eng.ExecFull(pid, budget)
 			out.Add(discovery.Step{
 				Contour: ci + 1, PlanID: pid, Dim: -1,
@@ -74,6 +77,9 @@ func RunOneD(s *ess.Space, st *discovery.State, eng discovery.Engine, startConto
 		}
 		if best < 0 {
 			continue // line beyond this contour already
+		}
+		if aerr := discovery.AbortOf(eng); aerr != nil {
+			return aerr
 		}
 		pid := s.PointPlan[best]
 		c, done := eng.ExecFull(pid, ic.Cost)

@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -55,12 +56,14 @@ type Resilient struct {
 	eng    FallibleEngine
 	policy RetryPolicy
 	jitter func(attempt int) float64
+	ctx    context.Context
 
 	mu      sync.Mutex
 	degs    []Degradation
 	retries int
 	wasted  float64
 	execs   int
+	abort   error
 }
 
 // NewResilient wraps the engine with the retry policy.
@@ -77,6 +80,29 @@ func (r *Resilient) WithJitter(f func(attempt int) float64) *Resilient {
 	return r
 }
 
+// WithContext bounds the run by the context: attempts are refused once
+// it is done, backoff sleeps are interrupted by it, and engine errors
+// wrapping a context error become run-level aborts instead of per-exec
+// degradations. Returns the engine for chaining.
+func (r *Resilient) WithContext(ctx context.Context) *Resilient {
+	r.ctx = ctx
+	return r
+}
+
+// Aborted implements Aborter: it returns the sticky run-level abort,
+// live-checking the context so an expired deadline is visible before
+// the next execution starts.
+func (r *Resilient) Aborted() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.abort == nil && r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			r.abort = &AbortError{Err: err}
+		}
+	}
+	return r.abort
+}
+
 // ExecFull implements Engine with retries; on give-up the execution is
 // reported as a kill (completed=false), which every algorithm treats
 // soundly as "try the next plan / contour".
@@ -84,6 +110,9 @@ func (r *Resilient) ExecFull(planID int32, budget float64) (float64, bool) {
 	exec := r.nextExec()
 	total := 0.0
 	for try := 0; ; try++ {
+		if r.Aborted() != nil {
+			return total, false
+		}
 		c, done, err := r.eng.ExecFull(planID, budget)
 		total += c
 		if err == nil {
@@ -102,6 +131,9 @@ func (r *Resilient) ExecSpill(planID int32, dim int, budget float64) (float64, b
 	exec := r.nextExec()
 	total := 0.0
 	for try := 0; ; try++ {
+		if r.Aborted() != nil {
+			return total, false, -1
+		}
 		c, done, idx, err := r.eng.ExecSpill(planID, dim, budget)
 		total += c
 		if err == nil {
@@ -121,8 +153,21 @@ func (r *Resilient) nextExec() int {
 	return r.execs
 }
 
-// onFault accounts a failed attempt and reports whether to retry.
+// onFault accounts a failed attempt and reports whether to retry. A
+// context-caused failure is not an engine fault: it becomes the sticky
+// run-level abort (the partial cost still billed as wasted), with no
+// per-exec degradation record — the run driver stamps one
+// "exec-abandoned" entry for the abort as a whole.
 func (r *Resilient) onFault(exec, try int, cost float64, err error) bool {
+	if aerr := AbortCause(err); aerr != nil {
+		r.mu.Lock()
+		r.wasted += cost
+		if r.abort == nil {
+			r.abort = aerr
+		}
+		r.mu.Unlock()
+		return false
+	}
 	r.mu.Lock()
 	r.wasted += cost
 	retry := faultinject.IsTransient(err) && try < r.policy.MaxRetries
@@ -156,19 +201,43 @@ func giveUpKind(err error) string {
 	return "exec-abandoned"
 }
 
-// backoff sleeps the capped exponential delay for the attempt.
-func (r *Resilient) backoff(try int) {
+// backoffDelay computes the attempt's backoff: capped exponential plus
+// up to one full period of jitter — a pure function of the policy and
+// the jitter source, so a seeded chaos run's retry schedule is exactly
+// reproducible.
+func (r *Resilient) backoffDelay(try int) time.Duration {
 	d := r.policy.BackoffBase << uint(try)
 	if d > r.policy.BackoffCap {
 		d = r.policy.BackoffCap
 	}
 	if d <= 0 {
-		return
+		return 0
 	}
 	if r.jitter != nil {
 		d += time.Duration(float64(d) * r.jitter(try))
 	}
-	time.Sleep(d)
+	return d
+}
+
+// backoff sleeps the capped exponential delay for the attempt,
+// interruptibly: a context that expires mid-backoff wakes the sleeper
+// immediately, and the abort is picked up by the next attempt's
+// pre-check — a retry schedule can never outlive its request.
+func (r *Resilient) backoff(try int) {
+	d := r.backoffDelay(try)
+	if d <= 0 {
+		return
+	}
+	if r.ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-r.ctx.Done():
+	case <-t.C:
+	}
 }
 
 // Take returns the degradations, retry count, and wasted cost recorded

@@ -1,0 +1,125 @@
+package discovery
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// flakyEngine fails its first n ExecFull attempts with a transient
+// fault, then succeeds; every attempt bills attemptCost.
+type flakyEngine struct {
+	failures    int
+	attemptCost float64
+	attempts    int
+}
+
+func (e *flakyEngine) ExecFull(planID int32, budget float64) (float64, bool, error) {
+	e.attempts++
+	if e.attempts <= e.failures {
+		return e.attemptCost, false, &faultinject.Fault{
+			Site: faultinject.SiteEngineFull, Class: faultinject.Transient,
+			Seq: uint64(e.attempts),
+		}
+	}
+	return e.attemptCost, true, nil
+}
+
+func (e *flakyEngine) ExecSpill(planID int32, dim int, budget float64) (float64, bool, int, error) {
+	c, done, err := e.ExecFull(planID, budget)
+	return c, done, -1, err
+}
+
+// The backoff schedule must double from the base, cap at the ceiling,
+// carry at most one full period of jitter, and — fed the same seeded
+// jitter source — reproduce bit for bit.
+func TestBackoffScheduleExponentialCappedDeterministic(t *testing.T) {
+	policy := RetryPolicy{MaxRetries: 6, BackoffBase: 100 * time.Microsecond, BackoffCap: 800 * time.Microsecond}
+	schedule := func(seed uint64) []time.Duration {
+		in := faultinject.NewUniform(seed, 0.5)
+		r := NewResilient(&flakyEngine{}, policy).WithJitter(in.Jitter)
+		ds := make([]time.Duration, policy.MaxRetries)
+		for try := range ds {
+			ds[try] = r.backoffDelay(try)
+		}
+		return ds
+	}
+	got := schedule(42)
+	for try, d := range got {
+		raw := policy.BackoffBase << uint(try)
+		if raw > policy.BackoffCap {
+			raw = policy.BackoffCap
+		}
+		if d < raw || d >= 2*raw {
+			t.Fatalf("try %d: delay %v outside [%v, %v)", try, d, raw, 2*raw)
+		}
+	}
+	if got[3] != got[4] && got[3] < policy.BackoffCap {
+		t.Fatalf("cap not reached by try 3: %v", got)
+	}
+	if again := schedule(42); !reflect.DeepEqual(again, got) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", got, again)
+	}
+
+	jitterless := NewResilient(&flakyEngine{}, policy)
+	for try := 0; try < policy.MaxRetries; try++ {
+		raw := policy.BackoffBase << uint(try)
+		if raw > policy.BackoffCap {
+			raw = policy.BackoffCap
+		}
+		if d := jitterless.backoffDelay(try); d != raw {
+			t.Fatalf("jitter-free try %d: delay %v, want %v", try, d, raw)
+		}
+	}
+}
+
+// A transient-fault burst must be retried through the backoff schedule
+// with every wasted attempt billed, and the whole episode must be
+// deterministic: same policy, same flake pattern, same ledger.
+func TestResilientRetriesTransientWithBilledBackoff(t *testing.T) {
+	policy := RetryPolicy{MaxRetries: 3, BackoffBase: time.Microsecond, BackoffCap: 4 * time.Microsecond}
+	run := func() ([]Degradation, int, float64, float64, bool) {
+		eng := &flakyEngine{failures: 2, attemptCost: 5}
+		r := NewResilient(eng, policy).WithJitter(faultinject.NewUniform(7, 0.5).Jitter)
+		cost, done := r.ExecFull(1, 100)
+		degs, retries, wasted := r.Take()
+		return degs, retries, wasted, cost, done
+	}
+	degs, retries, wasted, cost, done := run()
+	if !done {
+		t.Fatal("transient burst under MaxRetries must end in success")
+	}
+	if cost != 15 {
+		t.Fatalf("total cost %v, want 15 (two failed + one clean attempt)", cost)
+	}
+	if retries != 2 || wasted != 10 {
+		t.Fatalf("retries=%d wasted=%v, want 2 and 10", retries, wasted)
+	}
+	if len(degs) != 2 || degs[0].Kind != "retry" || degs[1].Kind != "retry" {
+		t.Fatalf("degradations %+v, want two retry records", degs)
+	}
+	degs2, retries2, wasted2, cost2, done2 := run()
+	if !reflect.DeepEqual(degs2, degs) || retries2 != retries || wasted2 != wasted ||
+		cost2 != cost || done2 != done {
+		t.Fatal("identical seeds produced diverging retry episodes")
+	}
+
+	// One more failure than the budget: give up with a learning-free
+	// kill and the exec-abandoned degradation.
+	eng := &flakyEngine{failures: policy.MaxRetries + 1, attemptCost: 5}
+	r := NewResilient(eng, policy)
+	cost, done = r.ExecFull(1, 100)
+	degs, retries, wasted = r.Take()
+	if done {
+		t.Fatal("exhausted retries must not report completion")
+	}
+	if cost != 20 || wasted != 20 || retries != policy.MaxRetries {
+		t.Fatalf("give-up ledger cost=%v wasted=%v retries=%d, want 20/20/%d",
+			cost, wasted, retries, policy.MaxRetries)
+	}
+	if last := degs[len(degs)-1]; last.Kind != "exec-abandoned" {
+		t.Fatalf("give-up degradation %+v, want exec-abandoned", last)
+	}
+}

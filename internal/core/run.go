@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core/alignedbound"
@@ -19,6 +20,7 @@ import (
 type Run struct {
 	c          *Compiled
 	faults     *faultinject.Injector
+	ctx        context.Context
 	maxPenalty float64
 }
 
@@ -40,6 +42,20 @@ func (r *Run) WithFaults(in *faultinject.Injector) *Run {
 // Faults returns the run's armed injector (nil when disarmed).
 func (r *Run) Faults() *faultinject.Injector { return r.faults }
 
+// WithContext bounds the run's discoveries by the context and returns
+// the run. An expired deadline (or a cancellation) aborts the discovery
+// at the next execution boundary: the algorithm stops with a typed
+// *discovery.AbortError, the partial Outcome keeps every cost unit
+// consumed so far, and an "exec-abandoned" degradation records the
+// abort cause. A nil or background context leaves runs unbounded.
+func (r *Run) WithContext(ctx context.Context) *Run {
+	r.ctx = ctx
+	return r
+}
+
+// Context returns the run's bounding context (nil when unbounded).
+func (r *Run) Context() context.Context { return r.ctx }
+
 // MaxPenalty returns the largest AlignedBound partition penalty π*
 // observed so far by this run (1 if only aligned contours were used; 0
 // if AlignedBound never ran).
@@ -54,7 +70,13 @@ func (r *Run) Discover(alg Algorithm, qa int32) (*discovery.Outcome, error) {
 	if in := r.faults; in != nil {
 		res := discovery.NewResilient(discovery.NewFaultySim(sim, in), discovery.DefaultRetryPolicy).
 			WithJitter(in.Jitter)
+		if r.ctx != nil {
+			res.WithContext(r.ctx)
+		}
 		return r.DiscoverWith(alg, res)
+	}
+	if r.ctx != nil {
+		return r.DiscoverWith(alg, discovery.NewGuard(r.ctx, sim))
 	}
 	return r.DiscoverWith(alg, sim)
 }
@@ -71,6 +93,14 @@ func (r *Run) DiscoverWith(alg Algorithm, eng discovery.Engine) (*discovery.Outc
 		out.Degradations = append(out.Degradations, degs...)
 		out.Retries += retries
 		out.WastedCost += wasted
+	}
+	// A run-level abort (deadline, cancellation, drain) is stamped once
+	// on the partial outcome: the execution the run was about to issue —
+	// or was retrying — was abandoned, not observed-and-lost.
+	if aerr := discovery.AbortCause(err); aerr != nil && out != nil {
+		out.Degradations = append(out.Degradations, discovery.Degradation{
+			Kind: "exec-abandoned", Detail: aerr.Err.Error(),
+		})
 	}
 	return out, err
 }

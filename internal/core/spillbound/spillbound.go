@@ -42,6 +42,9 @@ func Run(s *ess.Space, eng discovery.Engine) (*discovery.Outcome, error) {
 		execs := ChooseSpillPlans(s, st, ic)
 		progressed := false
 		for _, ex := range execs {
+			if aerr := discovery.AbortOf(eng); aerr != nil {
+				return out, aerr
+			}
 			c, done, learned := eng.ExecSpill(ex.PlanID, ex.Dim, ic.Cost)
 			out.Add(discovery.Step{
 				Contour: ci + 1, PlanID: ex.PlanID, Dim: ex.Dim,

@@ -1,0 +1,56 @@
+package ess
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzLoad throws arbitrary bytes at the snapshot loader. Load consumes
+// attacker-controllable input in the server's warm-load path, so it
+// must never panic or over-allocate: every malformed input is rejected
+// with an error, and any input it accepts yields a coherent space.
+func FuzzLoad(f *testing.F) {
+	s := buildSpace(f, 6)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add(raw[:headerSize])
+	f.Add([]byte("not a snapshot"))
+	f.Add([]byte(snapshotMagic))
+	// Lying length field.
+	lying := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint64(lying[len(snapshotMagic)+4:], 1<<29)
+	f.Add(lying)
+	// Flipped payload byte (CRC must catch it).
+	flipped := append([]byte(nil), raw...)
+	flipped[headerSize+len(flipped[headerSize:])/2] ^= 1
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		sp, err := Load(bytes.NewReader(data), s.Q, s.BaseEnv, s.Model)
+		if err != nil {
+			return // rejected cleanly — the only acceptable failure mode
+		}
+		// Accepted snapshots must be fully coherent.
+		if sp.Grid.NumPoints() != len(sp.PointPlan) || len(sp.PointPlan) != len(sp.PointCost) {
+			t.Fatal("accepted snapshot with inconsistent point arrays")
+		}
+		for _, pid := range sp.PointPlan {
+			if pid < 0 || int(pid) >= sp.NumPlans() {
+				t.Fatalf("accepted snapshot with out-of-pool plan id %d", pid)
+			}
+		}
+		if !(sp.Cmin > 0) || sp.Cmax < sp.Cmin {
+			t.Fatal("accepted snapshot with degenerate cost surface")
+		}
+	})
+}

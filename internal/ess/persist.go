@@ -1,15 +1,81 @@
 package ess
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/cost"
+	"repro/internal/faultinject"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/query"
 )
+
+// Snapshot framing. A snapshot is a fixed header followed by a gob
+// payload:
+//
+//	magic    [8]byte  "RQPSNAP\x01"
+//	version  uint32   little-endian format version
+//	length   uint64   little-endian payload byte count
+//	crc32    uint32   IEEE CRC of the payload bytes
+//	payload  []byte   gob-encoded spaceDTO
+//
+// The header makes corruption detectable before the gob decoder sees a
+// single byte: truncation fails the length read, bit flips fail the
+// CRC, and format drift fails the version check — each with a typed
+// error the server's quarantine path can distinguish from a semantic
+// mismatch.
+const (
+	// SnapshotVersion is the current snapshot format version.
+	SnapshotVersion = 1
+
+	snapshotMagic = "RQPSNAP\x01"
+	headerSize    = len(snapshotMagic) + 4 + 8 + 4
+
+	// maxSnapshotBytes caps the payload a loader will read, bounding
+	// allocation from attacker-controllable length fields.
+	maxSnapshotBytes = 1 << 30
+
+	// Decode-time bounds on the persisted grid. maxD matches the uint16
+	// plan-signature masks used throughout the engine; maxRes and
+	// maxPoints keep a hostile header from driving huge allocations.
+	maxD      = 16
+	maxRes    = 1 << 12
+	maxPoints = 1 << 26
+
+	// tempPattern names in-flight snapshot temp files (os.CreateTemp
+	// pattern); SweepTemps removes orphans left by crashes.
+	tempPrefix  = ".rqpsnap-"
+	tempPattern = tempPrefix + "*"
+)
+
+// ErrCorrupt reports a snapshot whose bytes fail integrity checking
+// (bad magic, truncation, CRC mismatch, malformed or out-of-bounds
+// payload). Corrupt snapshots should be quarantined and rebuilt.
+var ErrCorrupt = errors.New("ess: snapshot corrupt")
+
+// ErrVersion reports a structurally intact snapshot written by an
+// incompatible format version. Stale snapshots should be quarantined
+// and rebuilt, never partially decoded.
+var ErrVersion = errors.New("ess: snapshot version unsupported")
+
+// LoadOptions controls snapshot verification depth.
+type LoadOptions struct {
+	// Strict verifies the recorded optimal cost of every contour-member
+	// point against the supplied environment and model, instead of the
+	// default three-point spot check. The server's quarantine path uses
+	// this before trusting a warm-loaded artifact.
+	Strict bool
+}
 
 // spaceDTO is the gob wire format of a built space: enough to skip the
 // expensive POSP sweep on reload. Contours and caches are rebuilt.
@@ -23,10 +89,11 @@ type spaceDTO struct {
 	PointCost []float64
 }
 
-// Save serializes the space's POSP sweep results. Reloading with Load
-// against the same query, statistics environment, and cost model
-// reproduces the space without re-optimizing the grid — the paper's
-// offline contour enumeration for canned queries (§7).
+// Save serializes the space's POSP sweep results in the framed snapshot
+// format. Reloading with Load against the same query, statistics
+// environment, and cost model reproduces the space without
+// re-optimizing the grid — the paper's offline contour enumeration for
+// canned queries (§7).
 func (s *Space) Save(w io.Writer) error {
 	dto := spaceDTO{
 		QueryName: s.Q.Name,
@@ -40,17 +107,202 @@ func (s *Space) Save(w io.Writer) error {
 	for _, p := range s.Plans() {
 		dto.PlanRoots = append(dto.PlanRoots, p.Root)
 	}
-	return gob.NewEncoder(w).Encode(&dto)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&dto); err != nil {
+		return fmt.Errorf("ess: encoding space: %w", err)
+	}
+	hdr := make([]byte, 0, headerSize)
+	hdr = append(hdr, snapshotMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, SnapshotVersion)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(payload.Len()))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("ess: writing snapshot header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("ess: writing snapshot payload: %w", err)
+	}
+	return nil
 }
 
-// Load reconstructs a space saved with Save. The query, base
-// environment, and model must semantically match the ones the space was
-// built with; cheap invariants (name, dimensionality, plan validity,
-// spot-checked costs) are verified and violations reported.
+// SaveFile atomically persists the space to path: the snapshot is
+// written to a temp file in the same directory, synced, and renamed
+// over the target, so a crash at any instant leaves either the old
+// snapshot or the new one — never a partial file.
+func (s *Space) SaveFile(path string) error { return s.SaveFileWith(path, nil) }
+
+// SaveFileWith is SaveFile with a fault injector: each write checks
+// faultinject.SiteSnapshotSave, and a fired fault aborts the save
+// mid-write (simulating a crash while persisting). The target path is
+// untouched on any failure and the temp file is removed best-effort;
+// orphans from real crashes are reclaimed by SweepTemps.
+func (s *Space) SaveFileWith(path string, in *faultinject.Injector) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, tempPattern)
+	if err != nil {
+		return fmt.Errorf("ess: creating snapshot temp: %w", err)
+	}
+	var w io.Writer = f
+	if in != nil {
+		w = &faultyWriter{w: f, in: in}
+	}
+	err = s.Save(w)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("ess: publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+// faultyWriter injects snapshot.save faults into a write stream. A
+// fired fault writes half the chunk before failing, so the on-disk temp
+// holds a genuinely partial snapshot — the case the atomic rename must
+// keep away from the target path.
+type faultyWriter struct {
+	w  io.Writer
+	in *faultinject.Injector
+}
+
+func (fw *faultyWriter) Write(p []byte) (int, error) {
+	if ferr := fw.in.Check(faultinject.SiteSnapshotSave); ferr != nil {
+		n, _ := fw.w.Write(p[:len(p)/2])
+		return n, ferr
+	}
+	return fw.w.Write(p)
+}
+
+// SweepTemps removes orphaned snapshot temp files (from crashes mid-
+// SaveFile) in dir, returning the paths removed. Removal failures are
+// ignored: a live writer may own the file.
+func SweepTemps(dir string) []string {
+	matches, err := filepath.Glob(filepath.Join(dir, tempPattern))
+	if err != nil {
+		return nil
+	}
+	var removed []string
+	for _, m := range matches {
+		if !strings.HasPrefix(filepath.Base(m), tempPrefix) {
+			continue
+		}
+		if os.Remove(m) == nil {
+			removed = append(removed, m)
+		}
+	}
+	return removed
+}
+
+// Load reconstructs a space saved with Save, with default (spot-check)
+// verification. See LoadWith.
 func Load(r io.Reader, q *query.Query, baseEnv *cost.Env, model *cost.Model) (*Space, error) {
+	return LoadWith(r, q, baseEnv, model, LoadOptions{})
+}
+
+// LoadWith reconstructs a space saved with Save. Integrity violations
+// (framing, CRC, bounds) return errors wrapping ErrCorrupt; a format
+// mismatch returns one wrapping ErrVersion. The query, base
+// environment, and model must semantically match the ones the space
+// was built with; invariants (name, dimensionality, plan validity,
+// recosted costs) are verified per opt and violations reported.
+func LoadWith(r io.Reader, q *query.Query, baseEnv *cost.Env, model *cost.Model, opt LoadOptions) (*Space, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
 	var dto spaceDTO
-	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
-		return nil, fmt.Errorf("ess: decoding space: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("%w: decoding payload: %v", ErrCorrupt, err)
+	}
+	return buildFromDTO(&dto, q, baseEnv, model, opt)
+}
+
+// LoadFile loads the snapshot at path via LoadWith.
+func LoadFile(path string, q *query.Query, baseEnv *cost.Env, model *cost.Model, opt LoadOptions) (*Space, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadWith(f, q, baseEnv, model, opt)
+}
+
+// readFrame verifies the snapshot header and returns the CRC-checked
+// payload bytes.
+func readFrame(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	off := len(snapshotMagic)
+	version := binary.LittleEndian.Uint32(hdr[off:])
+	length := binary.LittleEndian.Uint64(hdr[off+4:])
+	sum := binary.LittleEndian.Uint32(hdr[off+12:])
+	if version != SnapshotVersion {
+		return nil, fmt.Errorf("%w: snapshot is v%d, this build reads v%d", ErrVersion, version, SnapshotVersion)
+	}
+	if length > maxSnapshotBytes {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrCorrupt, length)
+	}
+	// ReadAll grows incrementally, so a lying length field cannot force
+	// a huge up-front allocation.
+	payload, err := io.ReadAll(io.LimitReader(r, int64(length)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading payload: %v", ErrCorrupt, err)
+	}
+	if uint64(len(payload)) != length {
+		return nil, fmt.Errorf("%w: payload truncated (%d of %d bytes)", ErrCorrupt, len(payload), length)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// buildFromDTO validates the decoded DTO — treating every field as
+// attacker-controllable — and rebuilds the space.
+func buildFromDTO(dto *spaceDTO, q *query.Query, baseEnv *cost.Env, model *cost.Model, opt LoadOptions) (*Space, error) {
+	if dto.D < 1 || dto.D > maxD {
+		return nil, fmt.Errorf("%w: dimensionality %d outside [1, %d]", ErrCorrupt, dto.D, maxD)
+	}
+	if dto.Res < 2 || dto.Res > maxRes {
+		return nil, fmt.Errorf("%w: resolution %d outside [2, %d]", ErrCorrupt, dto.Res, maxRes)
+	}
+	if !(dto.SelMin > 0 && dto.SelMin < 1) { // NaN fails both comparisons
+		return nil, fmt.Errorf("%w: selectivity floor %v outside (0, 1)", ErrCorrupt, dto.SelMin)
+	}
+	if !(dto.CostRatio > 1) || math.IsInf(dto.CostRatio, 1) {
+		return nil, fmt.Errorf("%w: cost ratio %v not in (1, +Inf)", ErrCorrupt, dto.CostRatio)
+	}
+	np := 1
+	for i := 0; i < dto.D; i++ {
+		np *= dto.Res
+		if np > maxPoints {
+			return nil, fmt.Errorf("%w: grid %d^%d exceeds %d points", ErrCorrupt, dto.Res, dto.D, maxPoints)
+		}
+	}
+	if len(dto.PointPlan) != np || len(dto.PointCost) != np {
+		return nil, fmt.Errorf("%w: point arrays (%d, %d) inconsistent with grid (%d points)",
+			ErrCorrupt, len(dto.PointPlan), len(dto.PointCost), np)
+	}
+	if len(dto.PlanRoots) == 0 {
+		return nil, fmt.Errorf("%w: empty plan pool", ErrCorrupt)
+	}
+	for i, c := range dto.PointCost {
+		if !(c > 0) || math.IsInf(c, 1) { // rejects NaN, ±Inf, and non-positive
+			return nil, fmt.Errorf("%w: point %d cost %v not a positive finite number", ErrCorrupt, i, c)
+		}
 	}
 	if dto.QueryName != q.Name {
 		return nil, fmt.Errorf("ess: space was saved for query %q, not %q", dto.QueryName, q.Name)
@@ -59,9 +311,6 @@ func Load(r io.Reader, q *query.Query, baseEnv *cost.Env, model *cost.Model) (*S
 		return nil, fmt.Errorf("ess: saved dimensionality %d != query D %d", dto.D, q.D())
 	}
 	g := NewGrid(dto.D, dto.Res, dto.SelMin)
-	if g.NumPoints() != len(dto.PointPlan) || len(dto.PointPlan) != len(dto.PointCost) {
-		return nil, fmt.Errorf("ess: saved point arrays inconsistent with grid")
-	}
 	s := &Space{
 		Q:         q,
 		Grid:      g,
@@ -75,32 +324,55 @@ func Load(r io.Reader, q *query.Query, baseEnv *cost.Env, model *cost.Model) (*S
 	}
 	pool := make([]*PlanInfo, 0, len(dto.PlanRoots))
 	for i, root := range dto.PlanRoots {
+		if root == nil {
+			return nil, fmt.Errorf("%w: saved plan %d is nil", ErrCorrupt, i)
+		}
 		if err := root.Validate(); err != nil {
-			return nil, fmt.Errorf("ess: saved plan %d invalid: %w", i, err)
+			return nil, fmt.Errorf("%w: saved plan %d invalid: %v", ErrCorrupt, i, err)
 		}
 		pool = append(pool, &PlanInfo{ID: i, Root: root, Sig: root.Signature()})
 	}
 	s.publishPlans(pool)
 	for _, pid := range s.PointPlan {
-		if int(pid) >= len(pool) {
-			return nil, fmt.Errorf("ess: saved point references plan %d of %d", pid, len(pool))
+		if pid < 0 || int(pid) >= len(pool) {
+			return nil, fmt.Errorf("%w: saved point references plan %d of %d", ErrCorrupt, pid, len(pool))
 		}
 	}
 	s.Cmin = s.PointCost[g.Origin()]
 	s.Cmax = s.PointCost[g.Terminus()]
 	if s.Cmin <= 0 || s.Cmax < s.Cmin {
-		return nil, fmt.Errorf("ess: saved cost surface degenerate")
-	}
-	// Spot-check: the recorded optimal costs must match recosting the
-	// recorded plans under the supplied environment and model.
-	ev := s.NewEvaluator()
-	for _, pt := range []int32{int32(g.Origin()), int32(g.Terminus()), int32(g.NumPoints() / 2)} {
-		got := ev.PlanCost(s.PointPlan[pt], pt)
-		want := s.PointCost[pt]
-		if diff := got - want; diff > 1e-6*want || diff < -1e-6*want {
-			return nil, fmt.Errorf("ess: saved costs disagree with environment at point %d (%v vs %v)", pt, got, want)
-		}
+		return nil, fmt.Errorf("%w: saved cost surface degenerate", ErrCorrupt)
 	}
 	s.Contours = s.contoursOn(s.allPoints(), nil)
+	// Verify recorded optimal costs against recosting the recorded plans
+	// under the supplied environment and model: every contour-member
+	// point in Strict mode, a three-point spot check otherwise.
+	ev := s.NewEvaluator()
+	if opt.Strict {
+		for ci := range s.Contours {
+			for _, pt := range s.Contours[ci].Points {
+				if err := checkPoint(ev, s, pt); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else {
+		for _, pt := range []int32{int32(g.Origin()), int32(g.Terminus()), int32(g.NumPoints() / 2)} {
+			if err := checkPoint(ev, s, pt); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return s, nil
+}
+
+// checkPoint recosts the recorded plan at pt and compares it with the
+// recorded optimal cost.
+func checkPoint(ev *Evaluator, s *Space, pt int32) error {
+	got := ev.PlanCost(s.PointPlan[pt], pt)
+	want := s.PointCost[pt]
+	if diff := got - want; diff > 1e-6*want || diff < -1e-6*want {
+		return fmt.Errorf("ess: saved costs disagree with environment at point %d (%v vs %v)", pt, got, want)
+	}
+	return nil
 }

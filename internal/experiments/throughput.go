@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -58,6 +59,11 @@ type ThroughputOptions struct {
 	// Faults, when set, is the base injector every run forks its own
 	// deterministic substream from (Fork(runID)).
 	Faults *faultinject.Injector
+	// Context, when set, bounds the whole measurement: workers stop
+	// picking up new runs once it is done, in-flight discoveries abort
+	// at their next execution boundary (engine waits included), and
+	// Throughput returns the abort as an error. Nil means unbounded.
+	Context context.Context
 }
 
 func (o ThroughputOptions) withDefaults() ThroughputOptions {
@@ -106,12 +112,18 @@ func Throughput(c *core.Compiled, opts ThroughputOptions) (*ThroughputResult, er
 		stop atomic.Bool
 		wg   sync.WaitGroup
 	)
+	ctx := opts.Context
 	start := time.Now()
 	for w := 0; w < opts.Parallel; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for !stop.Load() {
+				if ctx != nil && ctx.Err() != nil {
+					errs[w] = fmt.Errorf("throughput: %w", &discovery.AbortError{Err: ctx.Err()})
+					stop.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= opts.Runs {
 					return
@@ -120,6 +132,9 @@ func Throughput(c *core.Compiled, opts ThroughputOptions) (*ThroughputResult, er
 				// grid deterministically.
 				qa := int32(uint64(i) * 2654435761 % uint64(n))
 				run := c.NewRun().WithFaults(opts.Faults.Fork(uint64(i)))
+				if ctx != nil {
+					run.WithContext(ctx)
+				}
 				t0 := time.Now()
 				out, err := discoverLatent(run, opts.Algorithm, qa, opts.ExecLatency)
 				lats[i] = time.Since(t0)
@@ -165,11 +180,19 @@ func Throughput(c *core.Compiled, opts ThroughputOptions) (*ThroughputResult, er
 // engine plus the resilient driver, as in Run.Discover).
 func discoverLatent(r *core.Run, alg core.Algorithm, qa int32, delay time.Duration) (*core.Outcome, error) {
 	sim := discovery.NewSimEngine(r.Compiled().Space, qa)
+	ctx := r.Context()
 	if in := r.Faults(); in != nil {
-		eng := discovery.NewResilient(
-			discovery.NewLatentFallible(discovery.NewFaultySim(sim, in), delay),
-			discovery.DefaultRetryPolicy).WithJitter(in.Jitter)
-		return r.DiscoverWith(alg, eng)
+		lat := discovery.NewLatentFallible(discovery.NewFaultySim(sim, in), delay)
+		res := discovery.NewResilient(lat, discovery.DefaultRetryPolicy).WithJitter(in.Jitter)
+		if ctx != nil {
+			lat.WithContext(ctx)
+			res.WithContext(ctx)
+		}
+		return r.DiscoverWith(alg, res)
 	}
-	return r.DiscoverWith(alg, discovery.NewLatent(sim, delay))
+	lat := discovery.NewLatent(sim, delay)
+	if ctx != nil {
+		lat.WithContext(ctx)
+	}
+	return r.DiscoverWith(alg, lat)
 }

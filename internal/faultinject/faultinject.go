@@ -45,6 +45,14 @@ const (
 	// SiteAlignPlanner faults the AlignedBound alignment planner,
 	// triggering the AlignedBound→SpillBound fallback.
 	SiteAlignPlanner Site = "planner.align"
+	// SiteSnapshotSave faults an ESS snapshot write mid-stream,
+	// simulating a crash while persisting; the atomic save path must
+	// leave the target file untouched.
+	SiteSnapshotSave Site = "snapshot.save"
+	// SiteServeRun faults a server-side discovery before it starts
+	// (artifact/engine failure), feeding the per-workload circuit
+	// breaker.
+	SiteServeRun Site = "serve.run"
 )
 
 // Sites lists every known injection site (the -chaos-rate flag arms all
@@ -53,6 +61,7 @@ func Sites() []Site {
 	return []Site{
 		SiteScanTuple, SiteIndexProbe, SiteOperatorPanic, SiteSpillObs,
 		SiteLatency, SiteEngineFull, SiteEngineSpill, SiteAlignPlanner,
+		SiteSnapshotSave, SiteServeRun,
 	}
 }
 

@@ -1,0 +1,754 @@
+// Package server exposes cached discovery artifacts over a hardened
+// long-running HTTP service: compile once, then serve Discover/MSO
+// requests concurrently, each bounded by a per-request deadline,
+// admitted through a bounded queue with load shedding, guarded by a
+// per-workload circuit breaker, and (optionally) warm-started from
+// crash-safe ESS snapshots. Rejections are always typed JSON errors —
+// the service degrades by refusing work, never by wedging or returning
+// a silently wrong answer.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/discovery"
+	"repro/internal/cost"
+	"repro/internal/ess"
+	"repro/internal/faultinject"
+	"repro/internal/mso"
+	"repro/internal/optimizer"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workloads names the workload.ByName specs to compile and serve
+	// (default: the EQ running example).
+	Workloads []string
+	// Scale is the catalog scale factor (default 1.0).
+	Scale float64
+	// Res overrides the per-dimension grid resolution (0 = spec default).
+	Res int
+
+	// MaxConcurrent bounds discoveries running at once (default 4).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a slot; beyond it requests
+	// are shed with 429 + Retry-After (default 16).
+	MaxQueue int
+
+	// DefaultTimeout bounds requests that carry no timeout_ms
+	// (default 30s); MaxTimeout caps client-supplied deadlines
+	// (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// workload's circuit open (default 5); BreakerCooldown is the open
+	// interval before a half-open probe (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// SnapshotDir, when set, enables the crash-safe artifact cache:
+	// snapshots are warm-loaded (strictly verified) at startup, corrupt
+	// ones quarantined aside and rebuilt, and fresh builds persisted
+	// atomically.
+	SnapshotDir string
+
+	// FaultSeed/FaultRate arm chaos mode: every request runs with a
+	// deterministic injector substream forked from (FaultSeed,
+	// request fault_seed). Zero rate disarms unless a request asks for
+	// its own rate.
+	FaultSeed uint64
+	FaultRate float64
+
+	// ExecLatency simulates the per-execution latency of a remote
+	// engine (discovery.Latent), interruptible by request deadlines.
+	ExecLatency time.Duration
+
+	// DrainTimeout bounds the graceful drain after the serve context is
+	// canceled (default 10s).
+	DrainTimeout time.Duration
+
+	// Now is the clock the circuit breakers read (default time.Now);
+	// tests inject a fake to drive cooldowns deterministically.
+	Now func() time.Time
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Workloads) == 0 {
+		c.Workloads = []string{"EQ"}
+	}
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 16
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// workloadState is one served workload: its spec, lazily built
+// artifact, and circuit breaker.
+type workloadState struct {
+	name    string
+	spec    workload.Spec
+	breaker *breaker
+
+	mu          sync.RWMutex
+	compiled    *core.Compiled
+	buildErr    error
+	quarantined string // path a corrupt snapshot was renamed to
+	warmLoaded  bool
+
+	ready chan struct{} // closed when the first build/load attempt ends
+}
+
+func (ws *workloadState) artifact() (*core.Compiled, error) {
+	ws.mu.RLock()
+	defer ws.mu.RUnlock()
+	return ws.compiled, ws.buildErr
+}
+
+func (ws *workloadState) status() string {
+	ws.mu.RLock()
+	defer ws.mu.RUnlock()
+	switch {
+	case ws.compiled != nil:
+		return "ready"
+	case ws.buildErr != nil:
+		return "failed"
+	default:
+		return "building"
+	}
+}
+
+// Server is the discovery service.
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	sem    chan struct{}
+	queued atomic.Int64
+	faults *faultinject.Injector // base chaos injector (nil when disarmed)
+
+	workloads map[string]*workloadState
+	order     []string
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+}
+
+// New creates a server for the configured workloads and starts
+// compiling (or warm-loading) their artifacts in the background. The
+// server can accept connections immediately: requests for workloads
+// still compiling get 503 + Retry-After, and /readyz turns 200 once
+// every artifact is up.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		workloads: make(map[string]*workloadState, len(cfg.Workloads)),
+	}
+	if cfg.FaultRate > 0 {
+		s.faults = faultinject.NewUniform(cfg.FaultSeed, cfg.FaultRate)
+	}
+	if cfg.SnapshotDir != "" {
+		if err := os.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: snapshot dir: %w", err)
+		}
+		if orphans := ess.SweepTemps(cfg.SnapshotDir); len(orphans) > 0 {
+			cfg.Logf("server: swept %d orphaned snapshot temp(s)", len(orphans))
+		}
+	}
+	for _, name := range cfg.Workloads {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		ws := &workloadState{
+			name: name, spec: spec,
+			breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now),
+			ready:   make(chan struct{}),
+		}
+		s.workloads[name] = ws
+		s.order = append(s.order, name)
+		go s.buildWorkload(ws)
+	}
+
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /workloads", s.handleWorkloads)
+	s.mux.HandleFunc("POST /discover", s.handleDiscover)
+	s.mux.HandleFunc("POST /mso", s.handleMSO)
+	return s, nil
+}
+
+// buildWorkload warm-loads the workload's snapshot if one exists (and
+// verifies it strictly), quarantining and rebuilding on any corruption,
+// then persists fresh builds atomically.
+func (s *Server) buildWorkload(ws *workloadState) {
+	defer close(ws.ready)
+	var snapPath string
+	if s.cfg.SnapshotDir != "" {
+		snapPath = filepath.Join(s.cfg.SnapshotDir, ws.name+".snap")
+		if sp, ok := s.warmLoad(ws, snapPath); ok {
+			s.install(ws, sp, true)
+			return
+		}
+	}
+	sp, err := ws.spec.SpaceWith(s.cfg.Scale, ess.Config{Res: s.cfg.Res})
+	if err != nil {
+		ws.mu.Lock()
+		ws.buildErr = err
+		ws.mu.Unlock()
+		s.cfg.Logf("server: building %s: %v", ws.name, err)
+		return
+	}
+	if snapPath != "" {
+		if err := sp.SaveFileWith(snapPath, s.faults); err != nil {
+			s.cfg.Logf("server: persisting %s snapshot: %v (serving from memory)", ws.name, err)
+		}
+	}
+	s.install(ws, sp, false)
+}
+
+// warmLoad tries the snapshot at path with strict verification. A
+// missing file is a clean miss; anything else quarantines the file
+// aside (rename, preserving the evidence) and reports a miss so the
+// caller rebuilds.
+func (s *Server) warmLoad(ws *workloadState, path string) (*ess.Space, bool) {
+	q, err := ws.spec.Load(s.cfg.Scale)
+	if err != nil {
+		return nil, false
+	}
+	env := optimizer.BuildEnv(q, stats.FromCatalog(q.Cat))
+	model := cost.NewModel(cost.DefaultParams())
+	sp, err := ess.LoadFile(path, q, env, model, ess.LoadOptions{Strict: true})
+	if err == nil {
+		s.cfg.Logf("server: %s warm-loaded from %s", ws.name, path)
+		return sp, true
+	}
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false
+	}
+	qpath := path + ".quarantined"
+	if rerr := os.Rename(path, qpath); rerr != nil {
+		qpath = ""
+	}
+	ws.mu.Lock()
+	ws.quarantined = qpath
+	ws.mu.Unlock()
+	s.cfg.Logf("server: %s snapshot rejected (%v); quarantined to %q, rebuilding", ws.name, err, qpath)
+	return nil, false
+}
+
+// install compiles the space and publishes the artifact.
+func (s *Server) install(ws *workloadState, sp *ess.Space, warm bool) {
+	c, err := core.Compile(sp, core.CompileOptions{})
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if err != nil {
+		ws.buildErr = err
+		return
+	}
+	ws.compiled = c
+	ws.warmLoaded = warm
+}
+
+// WaitReady blocks until every workload's first build/load attempt has
+// finished (successfully or not), or the context expires.
+func (s *Server) WaitReady(ctx context.Context) error {
+	for _, name := range s.order {
+		select {
+		case <-s.workloads[name].ready:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until ctx is canceled (SIGTERM via
+// signal.NotifyContext in the CLI), then drains gracefully: readiness
+// flips to 503 so load balancers stop routing, in-flight requests run
+// to completion, and the listener closes — bounded by DrainTimeout.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		s.draining.Store(true)
+		s.cfg.Logf("server: draining (waiting for in-flight requests, max %s)", s.cfg.DrainTimeout)
+		shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		done <- srv.Shutdown(shCtx)
+	}()
+	if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	if err := <-done; err != nil {
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	s.cfg.Logf("server: drained cleanly")
+	return nil
+}
+
+// Draining reports whether the server has begun its graceful drain.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ---- wire types ----
+
+// DiscoverRequest is the POST /discover body.
+type DiscoverRequest struct {
+	Workload  string  `json:"workload"`
+	Algorithm string  `json:"algorithm"`
+	QA        int32   `json:"qa"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	FaultSeed uint64  `json:"fault_seed,omitempty"`
+	FaultRate float64 `json:"fault_rate,omitempty"`
+}
+
+// DiscoverResponse is the POST /discover result: the outcome ledger of
+// one discovery. On 504 it carries the partial outcome with Aborted
+// set to the abort cause.
+type DiscoverResponse struct {
+	Workload     string                  `json:"workload"`
+	Algorithm    string                  `json:"algorithm"`
+	QA           int32                   `json:"qa"`
+	Completed    bool                    `json:"completed"`
+	TotalCost    float64                 `json:"total_cost"`
+	SubOpt       float64                 `json:"sub_opt"`
+	Steps        int                     `json:"steps"`
+	Retries      int                     `json:"retries"`
+	WastedCost   float64                 `json:"wasted_cost"`
+	AlignPenalty float64                 `json:"align_penalty,omitempty"`
+	Degradations []discovery.Degradation `json:"degradations,omitempty"`
+	Aborted      string                  `json:"aborted,omitempty"`
+}
+
+// MSORequest is the POST /mso body.
+type MSORequest struct {
+	Workload  string `json:"workload"`
+	Algorithm string `json:"algorithm"`
+	Stride    int    `json:"stride,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// MSOResponse is the POST /mso result.
+type MSOResponse struct {
+	Workload  string  `json:"workload"`
+	Algorithm string  `json:"algorithm"`
+	MSO       float64 `json:"mso"`
+	ASO       float64 `json:"aso"`
+	ArgMax    int32   `json:"arg_max"`
+	Points    int     `json:"points"`
+	Guarantee float64 `json:"guarantee"`
+}
+
+// ErrorResponse is the body of every non-200 reply: a typed, machine-
+// readable rejection.
+type ErrorResponse struct {
+	Error        string `json:"error"`
+	Kind         string `json:"kind"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// Rejection kinds.
+const (
+	KindBadRequest  = "bad-request"
+	KindNotFound    = "not-found"
+	KindBuilding    = "building"
+	KindBuildFailed = "build-failed"
+	KindDraining    = "draining"
+	KindShed        = "shed"
+	KindBreakerOpen = "breaker-open"
+	KindDeadline    = "deadline"
+	KindEngineFault = "engine-fault"
+)
+
+// WorkloadInfo is one entry of GET /workloads.
+type WorkloadInfo struct {
+	Name        string `json:"name"`
+	Status      string `json:"status"`
+	Breaker     string `json:"breaker"`
+	D           int    `json:"d,omitempty"`
+	Points      int    `json:"points,omitempty"`
+	WarmLoaded  bool   `json:"warm_loaded,omitempty"`
+	Quarantined string `json:"quarantined,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// ---- handlers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, kind, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		secs := int64(retryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, code, ErrorResponse{
+		Error: msg, Kind: kind, RetryAfterMS: retryAfter.Milliseconds(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type readyz struct {
+		Ready     bool              `json:"ready"`
+		Draining  bool              `json:"draining,omitempty"`
+		Workloads map[string]string `json:"workloads"`
+	}
+	rz := readyz{Ready: true, Draining: s.draining.Load(), Workloads: map[string]string{}}
+	for name, ws := range s.workloads {
+		st := ws.status()
+		rz.Workloads[name] = st
+		if st != "ready" {
+			rz.Ready = false
+		}
+	}
+	if rz.Draining {
+		rz.Ready = false
+	}
+	code := http.StatusOK
+	if !rz.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, rz)
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	out := make([]WorkloadInfo, 0, len(s.order))
+	for _, name := range s.order {
+		ws := s.workloads[name]
+		info := WorkloadInfo{Name: name, Status: ws.status(), Breaker: ws.breaker.State()}
+		ws.mu.RLock()
+		if ws.compiled != nil {
+			info.D = ws.compiled.Space.Grid.D
+			info.Points = ws.compiled.Space.Grid.NumPoints()
+			info.WarmLoaded = ws.warmLoaded
+		}
+		if ws.buildErr != nil {
+			info.Error = ws.buildErr.Error()
+		}
+		info.Quarantined = ws.quarantined
+		ws.mu.RUnlock()
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// admit enters the bounded admission queue: a free slot is taken
+// immediately; otherwise the request waits as one of at most MaxQueue
+// queued requests, or is shed. The returned release func is non-nil
+// exactly when admission succeeded.
+func (s *Server) admit(ctx context.Context) (release func(), shed bool, err error) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, false, nil
+	default:
+	}
+	if n := s.queued.Add(1); n > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		return nil, true, nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.queued.Add(-1)
+		return func() { <-s.sem }, false, nil
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		return nil, false, ctx.Err()
+	}
+}
+
+// requestCtx derives the per-request deadline context.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// requestInjector builds the deterministic per-request fault substream:
+// a pure function of (server seed, request seed), so any request can be
+// replayed bit for bit by re-sending the same fault_seed.
+func (s *Server) requestInjector(req DiscoverRequest) *faultinject.Injector {
+	rate := s.cfg.FaultRate
+	if req.FaultRate > 0 {
+		rate = req.FaultRate
+	}
+	if rate <= 0 {
+		return nil
+	}
+	return faultinject.NewUniform(s.cfg.FaultSeed, rate).Fork(req.FaultSeed)
+}
+
+func parseAlgorithm(s string) (core.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "planbouquet", "pb":
+		return core.PlanBouquet, nil
+	case "spillbound", "sb", "":
+		return core.SpillBound, nil
+	case "alignedbound", "ab":
+		return core.AlignedBound, nil
+	}
+	return "", fmt.Errorf("unknown algorithm %q", s)
+}
+
+// lookup resolves the workload or writes the rejection.
+func (s *Server) lookup(w http.ResponseWriter, name string) (*workloadState, *core.Compiled, bool) {
+	ws, ok := s.workloads[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, KindNotFound, fmt.Sprintf("unknown workload %q", name), 0)
+		return nil, nil, false
+	}
+	c, err := ws.artifact()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, KindBuildFailed,
+			fmt.Sprintf("workload %s failed to build: %v", name, err), 0)
+		return nil, nil, false
+	}
+	if c == nil {
+		writeError(w, http.StatusServiceUnavailable, KindBuilding,
+			fmt.Sprintf("workload %s still compiling", name), time.Second)
+		return nil, nil, false
+	}
+	return ws, c, true
+}
+
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, KindDraining, "server draining", time.Second)
+		return
+	}
+	var req DiscoverRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, KindBadRequest, "invalid JSON body: "+err.Error(), 0)
+		return
+	}
+	alg, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, KindBadRequest, err.Error(), 0)
+		return
+	}
+	ws, c, ok := s.lookup(w, req.Workload)
+	if !ok {
+		return
+	}
+	if req.QA < 0 || int(req.QA) >= c.Space.Grid.NumPoints() {
+		writeError(w, http.StatusBadRequest, KindBadRequest,
+			fmt.Sprintf("qa %d outside grid [0, %d)", req.QA, c.Space.Grid.NumPoints()), 0)
+		return
+	}
+
+	if allowed, wait := ws.breaker.Allow(); !allowed {
+		writeError(w, http.StatusServiceUnavailable, KindBreakerOpen,
+			fmt.Sprintf("workload %s circuit open", req.Workload), wait)
+		return
+	}
+	// Past this point the breaker was told a request is in flight (it
+	// may be the half-open probe): every path below must end in exactly
+	// one Report or Cancel.
+
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	release, shed, aerr := s.admit(ctx)
+	if shed {
+		ws.breaker.Cancel()
+		writeError(w, http.StatusTooManyRequests, KindShed,
+			"admission queue full", time.Second)
+		return
+	}
+	if aerr != nil { // deadline expired while queued
+		ws.breaker.Cancel()
+		writeError(w, http.StatusGatewayTimeout, KindDeadline,
+			"deadline expired waiting for an execution slot: "+aerr.Error(), 0)
+		return
+	}
+	defer release()
+
+	in := s.requestInjector(req)
+	if ferr := in.Check(faultinject.SiteServeRun); ferr != nil {
+		ws.breaker.Report(false)
+		writeError(w, http.StatusInternalServerError, KindEngineFault,
+			"engine unavailable: "+ferr.Error(), 0)
+		return
+	}
+
+	out, derr := s.discover(ctx, c, alg, req.QA, in)
+	resp := DiscoverResponse{Workload: req.Workload, Algorithm: string(alg), QA: req.QA}
+	if out != nil {
+		resp.Completed = out.Completed
+		resp.TotalCost = out.TotalCost
+		resp.SubOpt = out.SubOpt(c.Space.PointCost[req.QA])
+		resp.Steps = len(out.Steps)
+		resp.Retries = out.Retries
+		resp.WastedCost = out.WastedCost
+		resp.AlignPenalty = out.AlignPenalty
+		resp.Degradations = out.Degradations
+	}
+	if aerr := discovery.AbortCause(derr); aerr != nil {
+		// A client deadline says nothing about engine health: neither
+		// trip nor reset the breaker.
+		ws.breaker.Cancel()
+		resp.Aborted = aerr.Err.Error()
+		writeJSON(w, http.StatusGatewayTimeout, resp)
+		return
+	}
+	if derr != nil {
+		ws.breaker.Report(false)
+		writeError(w, http.StatusInternalServerError, KindEngineFault, derr.Error(), 0)
+		return
+	}
+	ws.breaker.Report(true)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// discover runs one deadline-bounded discovery, with the simulated
+// engine behind the configured latency and, when chaos is armed, the
+// fault-injecting engine plus the resilient retry driver (capped
+// exponential backoff with deterministic jitter).
+func (s *Server) discover(ctx context.Context, c *core.Compiled, alg core.Algorithm, qa int32, in *faultinject.Injector) (*core.Outcome, error) {
+	r := c.NewRun().WithFaults(in).WithContext(ctx)
+	if s.cfg.ExecLatency <= 0 {
+		return r.Discover(alg, qa)
+	}
+	sim := discovery.NewSimEngine(c.Space, qa)
+	if in != nil {
+		eng := discovery.NewResilient(
+			discovery.NewLatentFallible(discovery.NewFaultySim(sim, in), s.cfg.ExecLatency).WithContext(ctx),
+			discovery.DefaultRetryPolicy).WithJitter(in.Jitter).WithContext(ctx)
+		return r.DiscoverWith(alg, eng)
+	}
+	return r.DiscoverWith(alg, discovery.NewLatent(sim, s.cfg.ExecLatency).WithContext(ctx))
+}
+
+func (s *Server) handleMSO(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, KindDraining, "server draining", time.Second)
+		return
+	}
+	var req MSORequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, KindBadRequest, "invalid JSON body: "+err.Error(), 0)
+		return
+	}
+	alg, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, KindBadRequest, err.Error(), 0)
+		return
+	}
+	ws, c, ok := s.lookup(w, req.Workload)
+	if !ok {
+		return
+	}
+	if allowed, wait := ws.breaker.Allow(); !allowed {
+		writeError(w, http.StatusServiceUnavailable, KindBreakerOpen,
+			fmt.Sprintf("workload %s circuit open", req.Workload), wait)
+		return
+	}
+
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	release, shed, aerr := s.admit(ctx)
+	if shed {
+		ws.breaker.Cancel()
+		writeError(w, http.StatusTooManyRequests, KindShed, "admission queue full", time.Second)
+		return
+	}
+	if aerr != nil {
+		ws.breaker.Cancel()
+		writeError(w, http.StatusGatewayTimeout, KindDeadline,
+			"deadline expired waiting for an execution slot: "+aerr.Error(), 0)
+		return
+	}
+	defer release()
+
+	res, merr := mso.Sweep(c.Space, func(qa int32) (*core.Outcome, error) {
+		return c.NewRun().WithContext(ctx).Discover(alg, qa)
+	}, mso.Options{Stride: req.Stride, Workers: req.Workers})
+	if aerr := discovery.AbortCause(merr); aerr != nil {
+		ws.breaker.Cancel()
+		writeError(w, http.StatusGatewayTimeout, KindDeadline,
+			"deadline expired mid-sweep: "+aerr.Err.Error(), 0)
+		return
+	}
+	if merr != nil {
+		ws.breaker.Report(false)
+		writeError(w, http.StatusInternalServerError, KindEngineFault, merr.Error(), 0)
+		return
+	}
+	ws.breaker.Report(true)
+	g, _ := c.Guarantee(alg)
+	writeJSON(w, http.StatusOK, MSOResponse{
+		Workload: req.Workload, Algorithm: string(alg),
+		MSO: res.MSO, ASO: res.ASO, ArgMax: res.ArgMax,
+		Points: len(res.Points), Guarantee: g,
+	})
+}

@@ -1,0 +1,432 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable breaker clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(3, 10*time.Second, clk.Now)
+
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("fresh breaker must be closed")
+	}
+	// Two failures + success: counter resets, still closed.
+	b.Report(false)
+	b.Report(false)
+	b.Report(true)
+	for i := 0; i < 2; i++ {
+		b.Report(false)
+	}
+	if b.State() != "closed" {
+		t.Fatalf("2 consecutive failures after reset: state %s", b.State())
+	}
+	b.Report(false) // third consecutive: trips
+	if b.State() != "open" {
+		t.Fatalf("threshold reached: state %s, want open", b.State())
+	}
+	if ok, wait := b.Allow(); ok || wait <= 0 {
+		t.Fatalf("open breaker allowed a request (wait %v)", wait)
+	}
+
+	// Cooldown elapses: exactly one half-open probe.
+	clk.Advance(11 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("cooldown elapsed: probe must be allowed")
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("second request during probe must be rejected")
+	}
+	// Probe fails: reopen, full cooldown again.
+	b.Report(false)
+	if b.State() != "open" {
+		t.Fatalf("failed probe: state %s, want open", b.State())
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("reopened breaker allowed a request")
+	}
+	clk.Advance(11 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("second probe must be allowed")
+	}
+	// A canceled probe (deadline abort) releases the slot without
+	// closing or reopening.
+	b.Cancel()
+	if b.State() != "half-open" {
+		t.Fatalf("canceled probe: state %s, want half-open", b.State())
+	}
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("probe slot must be free after cancel")
+	}
+	b.Report(true)
+	if b.State() != "closed" {
+		t.Fatalf("successful probe: state %s, want closed", b.State())
+	}
+}
+
+// testConfig serves the EQ example at a resolution small enough for
+// sub-second compiles.
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Workloads: []string{"EQ"},
+		Scale:     0.2,
+		Res:       6,
+		Logf:      t.Logf,
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(raw))
+	h.ServeHTTP(rec, req)
+	return rec, rec.Body.Bytes()
+}
+
+func TestDiscoverEndpoint(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+	for _, alg := range []string{"planbouquet", "spillbound", "alignedbound"} {
+		rec, body := postJSON(t, s.Handler(), "/discover",
+			DiscoverRequest{Workload: "EQ", Algorithm: alg, QA: 7})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", alg, rec.Code, body)
+		}
+		var resp DiscoverResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Completed || resp.SubOpt < 1 || resp.Steps == 0 {
+			t.Fatalf("%s: implausible outcome %+v", alg, resp)
+		}
+	}
+
+	// Typed rejections.
+	rec, body := postJSON(t, s.Handler(), "/discover",
+		DiscoverRequest{Workload: "nope", Algorithm: "spillbound"})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown workload: status %d: %s", rec.Code, body)
+	}
+	rec, _ = postJSON(t, s.Handler(), "/discover",
+		DiscoverRequest{Workload: "EQ", Algorithm: "wat"})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown algorithm: status %d", rec.Code)
+	}
+	rec, _ = postJSON(t, s.Handler(), "/discover",
+		DiscoverRequest{Workload: "EQ", Algorithm: "sb", QA: 9999})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-grid qa: status %d", rec.Code)
+	}
+}
+
+func TestMSOEndpoint(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+	rec, body := postJSON(t, s.Handler(), "/mso",
+		MSORequest{Workload: "EQ", Algorithm: "spillbound", Stride: 3})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp MSOResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.MSO < 1 || resp.MSO > resp.Guarantee || resp.Points == 0 {
+		t.Fatalf("implausible MSO result %+v", resp)
+	}
+}
+
+func TestAdmissionQueueSheds(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxConcurrent = 1
+	cfg.MaxQueue = 1
+	s := newTestServer(t, cfg)
+
+	// Occupy the only slot out-of-band, then fill the queue: the next
+	// admit must shed, deterministically.
+	s.sem <- struct{}{}
+	queuedCtx, cancelQueued := context.WithCancel(context.Background())
+	defer cancelQueued()
+	entered := make(chan struct{})
+	go func() {
+		close(entered)
+		release, shed, err := s.admit(queuedCtx)
+		if release != nil {
+			release()
+		}
+		_ = shed
+		_ = err
+	}()
+	<-entered
+	// Wait until the goroutine is counted as queued.
+	for i := 0; s.queued.Load() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if s.queued.Load() != 1 {
+		t.Fatalf("queued %d, want 1", s.queued.Load())
+	}
+	release, shed, err := s.admit(context.Background())
+	if release != nil || !shed || err != nil {
+		t.Fatalf("full queue must shed (release=%v shed=%v err=%v)", release != nil, shed, err)
+	}
+
+	// The HTTP surface translates the shed into 429 + Retry-After.
+	rec, body := postJSON(t, s.Handler(), "/discover",
+		DiscoverRequest{Workload: "EQ", Algorithm: "sb", QA: 1})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("shed status %d: %s", rec.Code, body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Kind != KindShed {
+		t.Fatalf("shed response untyped: %s", body)
+	}
+	cancelQueued()
+	<-s.sem // release the out-of-band slot
+}
+
+func TestDeadlineReturnsPartialOutcome(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.ExecLatency = 20 * time.Millisecond
+	s := newTestServer(t, cfg)
+
+	rec, body := postJSON(t, s.Handler(), "/discover",
+		DiscoverRequest{Workload: "EQ", Algorithm: "spillbound", QA: 5, TimeoutMS: 1})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp DiscoverResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Aborted == "" {
+		t.Fatalf("504 must carry the abort cause: %s", body)
+	}
+	if resp.Completed {
+		t.Fatal("aborted run cannot be completed")
+	}
+	found := false
+	for _, d := range resp.Degradations {
+		if d.Kind == "exec-abandoned" {
+			found = true
+		}
+		if d.Kind == "lost-observation" {
+			t.Fatalf("deadline abort misrecorded as lost-observation: %s", body)
+		}
+	}
+	if !found {
+		t.Fatalf("partial outcome missing exec-abandoned degradation: %s", body)
+	}
+}
+
+func TestBreakerTripsAndRecoversOverHTTP(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(5000, 0)}
+	cfg := testConfig(t)
+	cfg.BreakerThreshold = 3
+	cfg.BreakerCooldown = 10 * time.Second
+	cfg.Now = clk.Now
+	s := newTestServer(t, cfg)
+
+	// fault_rate=1 makes SiteServeRun fire on every request: three
+	// consecutive engine faults trip the EQ circuit.
+	for i := 0; i < 3; i++ {
+		rec, body := postJSON(t, s.Handler(), "/discover",
+			DiscoverRequest{Workload: "EQ", Algorithm: "sb", QA: 2,
+				FaultSeed: uint64(i), FaultRate: 1})
+		if rec.Code != http.StatusInternalServerError {
+			t.Fatalf("fault %d: status %d: %s", i, rec.Code, body)
+		}
+	}
+	rec, body := postJSON(t, s.Handler(), "/discover",
+		DiscoverRequest{Workload: "EQ", Algorithm: "sb", QA: 2})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("open circuit: status %d: %s", rec.Code, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Kind != KindBreakerOpen {
+		t.Fatalf("open circuit response untyped: %s", body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("open circuit missing Retry-After")
+	}
+
+	// Cooldown passes: the half-open probe (fault-free) succeeds and
+	// closes the circuit.
+	clk.Advance(11 * time.Second)
+	rec, body = postJSON(t, s.Handler(), "/discover",
+		DiscoverRequest{Workload: "EQ", Algorithm: "sb", QA: 2})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("probe: status %d: %s", rec.Code, body)
+	}
+	if st := s.workloads["EQ"].breaker.State(); st != "closed" {
+		t.Fatalf("after successful probe: breaker %s", st)
+	}
+}
+
+func TestSnapshotWarmLoadAndQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t)
+	cfg.SnapshotDir = dir
+	snap := filepath.Join(dir, "EQ.snap")
+
+	// First boot: cold build, snapshot persisted.
+	s1 := newTestServer(t, cfg)
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("first boot did not persist a snapshot: %v", err)
+	}
+	if s1.workloads["EQ"].warmLoaded {
+		t.Fatal("first boot cannot be warm")
+	}
+
+	// Second boot: warm load.
+	s2 := newTestServer(t, cfg)
+	if !s2.workloads["EQ"].warmLoaded {
+		t.Fatal("second boot should warm-load the snapshot")
+	}
+
+	// Corrupt the snapshot: third boot quarantines it, rebuilds, and
+	// persists a fresh one.
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(snap, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3 := newTestServer(t, cfg)
+	ws := s3.workloads["EQ"]
+	ws.mu.RLock()
+	quarantined, warm := ws.quarantined, ws.warmLoaded
+	ws.mu.RUnlock()
+	if warm {
+		t.Fatal("corrupt snapshot must not warm-load")
+	}
+	if quarantined == "" {
+		t.Fatal("corrupt snapshot was not quarantined")
+	}
+	if _, err := os.Stat(quarantined); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if ws.status() != "ready" {
+		t.Fatalf("rebuild after quarantine: status %s", ws.status())
+	}
+	// The rebuilt snapshot must be loadable again.
+	s4 := newTestServer(t, cfg)
+	if !s4.workloads["EQ"].warmLoaded {
+		t.Fatal("rebuilt snapshot should warm-load on the next boot")
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.ExecLatency = 5 * time.Millisecond
+	cfg.DrainTimeout = 5 * time.Second
+	s := newTestServer(t, cfg)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, l) }()
+	base := "http://" + l.Addr().String()
+
+	// Launch an in-flight discovery, then trigger the drain mid-flight.
+	type result struct {
+		code int
+		body []byte
+		err  error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		raw, _ := json.Marshal(DiscoverRequest{Workload: "EQ", Algorithm: "spillbound", QA: 3})
+		resp, err := http.Post(base+"/discover", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		inflight <- result{code: resp.StatusCode, body: buf.Bytes()}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request get in flight
+	cancel()
+
+	res := <-inflight
+	if res.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", res.err)
+	}
+	if res.code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d: %s", res.code, res.body)
+	}
+	var resp DiscoverResponse
+	if err := json.Unmarshal(res.body, &resp); err != nil || !resp.Completed {
+		t.Fatalf("in-flight request returned a broken outcome: %s", res.body)
+	}
+
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("drain failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not finish within the timeout")
+	}
+	if !s.Draining() {
+		t.Fatal("server should report draining after shutdown")
+	}
+	// New connections are refused after drain.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("post-drain connection should be refused")
+	}
+}

@@ -1,0 +1,46 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// FuzzParse throws arbitrary strings at the SQL parser: it must reject
+// malformed input with an error, never a panic, and any query it
+// accepts must survive validation.
+func FuzzParse(f *testing.F) {
+	cat, err := catalog.TPCDS(0.1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add("SELECT * FROM store_sales ss, date_dim d WHERE ss.ss_sold_date_sk = d.date_dim_sk")
+	f.Add(`SELECT * FROM catalog_sales cs, date_dim d, customer c
+WHERE cs.cs_sold_date_sk = d.date_dim_sk
+  AND cs.cs_bill_customer_sk = c.c_customer_sk
+  AND d.d_year = 2000`)
+	f.Add("SELECT")
+	f.Add("SELECT * FROM")
+	f.Add("select * from t where")
+	f.Add("SELECT * FROM store_sales ss WHERE ss.ss_sold_date_sk = ")
+	f.Add("SELECT * FROM nosuch n")
+	f.Add("SELECT * FROM store_sales ss, store_sales ss")
+	f.Add("\x00\xff(')=,.*")
+	f.Add("SELECT * FROM store_sales ss WHERE ss.ss_quantity = 'unterminated")
+
+	f.Fuzz(func(t *testing.T, sql string) {
+		if len(sql) > 1<<12 {
+			t.Skip("oversized input")
+		}
+		q, err := Parse("fuzz", cat, sql)
+		if err != nil {
+			return // rejected cleanly
+		}
+		if q == nil {
+			t.Fatal("Parse returned nil query without error")
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("accepted query fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,214 @@
+package system
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// serveResult records one request/response pair for replay comparison.
+type serveResult struct {
+	req    server.DiscoverRequest
+	status int
+	body   []byte
+	err    error
+}
+
+func postDiscover(client *http.Client, base string, req server.DiscoverRequest) serveResult {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return serveResult{req: req, err: err}
+	}
+	resp, err := client.Post(base+"/discover", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return serveResult{req: req, err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return serveResult{req: req, status: resp.StatusCode, body: body, err: err}
+}
+
+// The service under concurrent chaos load must never wedge or go wrong
+// silently: every request ends in a successful discovery or a typed
+// rejection, every successful (or deterministically faulted) response
+// replays bit for bit from its fault_seed once the load is gone, and a
+// mid-flight SIGTERM drains cleanly — in-flight requests finish, late
+// ones are refused, and Serve returns within the drain budget.
+func TestServeChaosConcurrentThenSIGTERM(t *testing.T) {
+	cfg := server.Config{
+		Workloads:     []string{"EQ"},
+		Scale:         0.2,
+		Res:           6,
+		MaxConcurrent: 4,
+		MaxQueue:      6,
+		// The breaker has its own unit tests; a trip here would only make
+		// the rejection mix timing-dependent, so keep it out of the way.
+		BreakerThreshold: 1 << 20,
+		FaultSeed:        0xC0FFEE,
+		FaultRate:        0.08,
+		ExecLatency:      200 * time.Microsecond,
+		DrainTimeout:     10 * time.Second,
+		Logf:             t.Logf,
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer wcancel()
+	if err := s.WaitReady(wctx); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Phase 1: 16 concurrent clients, each with its own deterministic
+	// fault substream (fault_seed), hammer the admission queue.
+	const clients, perClient = 16, 4
+	algs := []string{"planbouquet", "spillbound", "alignedbound"}
+	results := make([][]serveResult, clients)
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				req := server.DiscoverRequest{
+					Workload:  "EQ",
+					Algorithm: algs[(cl+i)%len(algs)],
+					QA:        int32((cl*7 + i*13) % 36),
+					TimeoutMS: 30_000,
+					FaultSeed: uint64(cl)*1000 + uint64(i),
+				}
+				results[cl] = append(results[cl], postDiscover(client, base, req))
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	// Every burst response is a success or a typed rejection. 200s and
+	// chaos 500s are pure functions of the fault seed; load-dependent
+	// rejections (shed, slot deadline) are not.
+	var replayable []serveResult
+	completed := 0
+	for cl := range results {
+		for _, r := range results[cl] {
+			if r.err != nil {
+				t.Fatalf("client %d: transport error before drain: %v", cl, r.err)
+			}
+			switch r.status {
+			case http.StatusOK:
+				var dr server.DiscoverResponse
+				if err := json.Unmarshal(r.body, &dr); err != nil {
+					t.Fatalf("client %d: 200 with undecodable body %q: %v", cl, r.body, err)
+				}
+				if !dr.Completed || dr.Aborted != "" {
+					t.Fatalf("client %d: 200 without completed discovery: %q", cl, r.body)
+				}
+				completed++
+				replayable = append(replayable, r)
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+				http.StatusGatewayTimeout, http.StatusInternalServerError:
+				var er server.ErrorResponse
+				if err := json.Unmarshal(r.body, &er); err != nil || er.Kind == "" {
+					t.Fatalf("client %d: rejection %d without typed body %q (%v)", cl, r.status, r.body, err)
+				}
+				if r.status == http.StatusInternalServerError {
+					if er.Kind != server.KindEngineFault {
+						t.Fatalf("client %d: 500 with kind %q, want %q", cl, er.Kind, server.KindEngineFault)
+					}
+					replayable = append(replayable, r)
+				}
+			default:
+				t.Fatalf("client %d: unexpected status %d body %q", cl, r.status, r.body)
+			}
+		}
+	}
+	if completed == 0 {
+		t.Fatal("chaos burst produced no completed discoveries")
+	}
+
+	// Phase 2: sequential replay. The per-request injector is a pure
+	// function of (server seed, fault_seed), so each recorded response —
+	// success or deterministic engine fault — must come back bit for bit.
+	for _, r := range replayable {
+		again := postDiscover(client, base, r.req)
+		if again.err != nil {
+			t.Fatalf("replay fault_seed=%d: %v", r.req.FaultSeed, again.err)
+		}
+		if again.status != r.status || !bytes.Equal(again.body, r.body) {
+			t.Fatalf("replay fault_seed=%d diverged:\nburst:  %d %q\nreplay: %d %q",
+				r.req.FaultSeed, r.status, r.body, again.status, again.body)
+		}
+	}
+
+	// Phase 3: SIGTERM with requests in flight. Everything already on a
+	// connection finishes (success or typed rejection); requests that
+	// race the closing listener may fail at transport level, but only
+	// once the server is draining.
+	last := make(chan serveResult, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			last <- postDiscover(client, base, server.DiscoverRequest{
+				Workload: "EQ", Algorithm: "spillbound",
+				QA: int32(i), TimeoutMS: 30_000, FaultSeed: 9000 + uint64(i),
+			})
+		}(i)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		r := <-last
+		if r.err != nil {
+			if !s.Draining() {
+				t.Fatalf("transport error with server not draining: %v", r.err)
+			}
+			continue
+		}
+		switch r.status {
+		case http.StatusOK:
+			var dr server.DiscoverResponse
+			if err := json.Unmarshal(r.body, &dr); err != nil || !dr.Completed {
+				t.Fatalf("drain-phase 200 with bad body %q (%v)", r.body, err)
+			}
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+			http.StatusGatewayTimeout, http.StatusInternalServerError:
+			var er server.ErrorResponse
+			if err := json.Unmarshal(r.body, &er); err != nil || er.Kind == "" {
+				t.Fatalf("drain-phase rejection %d without typed body %q", r.status, r.body)
+			}
+		default:
+			t.Fatalf("drain-phase unexpected status %d body %q", r.status, r.body)
+		}
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned error after SIGTERM: %v", err)
+		}
+	case <-time.After(cfg.DrainTimeout + 5*time.Second):
+		t.Fatal("server failed to drain within the budget after SIGTERM")
+	}
+}
