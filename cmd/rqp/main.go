@@ -94,6 +94,7 @@ func run(args []string) error {
 	qaFlag := fs.String("qa", "", "true selectivities for discover, comma-separated (e.g. 0.04,0.1)")
 	chaosSeed := fs.Uint64("chaos-seed", 0, "fault-injection seed for discover (with -chaos-rate)")
 	chaosRate := fs.Float64("chaos-rate", 0, "per-site fault probability in [0,1] for discover (0 = off)")
+	chaosAllowRequest := fs.Bool("chaos-allow-request", false, "let serve clients arm their own fault_rate even when -chaos-rate is 0 (chaos testing only)")
 	parallel := fs.String("parallel", "1", "worker counts for throughput, comma-separated (e.g. 1,16)")
 	runs := fs.Int("runs", 64, "total discoveries per throughput configuration")
 	execLatency := fs.Duration("exec-latency", 0, "simulated per-execution engine latency for throughput/serve (e.g. 2ms)")
@@ -205,6 +206,7 @@ func run(args []string) error {
 			snapshotDir: *snapshotDir, maxConcurrent: *maxConcurrent,
 			maxQueue: *maxQueue, defaultTimeout: *deadline,
 			execLatency: *execLatency, chaosSeed: *chaosSeed, chaosRate: *chaosRate,
+			chaosAllowRequest: *chaosAllowRequest,
 		})
 	case "all":
 		for _, e := range table {
@@ -522,6 +524,7 @@ type serveConfig struct {
 	defaultTimeout, execLatency  time.Duration
 	chaosSeed                    uint64
 	chaosRate                    float64
+	chaosAllowRequest            bool
 }
 
 // serve runs the long-running discovery service until SIGTERM/SIGINT,
@@ -529,16 +532,17 @@ type serveConfig struct {
 // and the listener closes.
 func serve(sc serveConfig) error {
 	s, err := server.New(server.Config{
-		Workloads:      strings.Split(sc.workloads, ","),
-		Scale:          sc.scale,
-		Res:            sc.res,
-		SnapshotDir:    sc.snapshotDir,
-		MaxConcurrent:  sc.maxConcurrent,
-		MaxQueue:       sc.maxQueue,
-		DefaultTimeout: sc.defaultTimeout,
-		ExecLatency:    sc.execLatency,
-		FaultSeed:      sc.chaosSeed,
-		FaultRate:      sc.chaosRate,
+		Workloads:          strings.Split(sc.workloads, ","),
+		Scale:              sc.scale,
+		Res:                sc.res,
+		SnapshotDir:        sc.snapshotDir,
+		MaxConcurrent:      sc.maxConcurrent,
+		MaxQueue:           sc.maxQueue,
+		DefaultTimeout:     sc.defaultTimeout,
+		ExecLatency:        sc.execLatency,
+		FaultSeed:          sc.chaosSeed,
+		FaultRate:          sc.chaosRate,
+		AllowRequestFaults: sc.chaosAllowRequest,
 	})
 	if err != nil {
 		return err

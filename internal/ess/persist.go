@@ -161,6 +161,13 @@ func (s *Space) SaveFileWith(path string, in *faultinject.Injector) error {
 		os.Remove(f.Name())
 		return fmt.Errorf("ess: publishing snapshot: %w", err)
 	}
+	// Fsync the directory so the rename itself survives power loss, not
+	// just the file contents. Best-effort: not every platform supports
+	// syncing a directory handle.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
 	return nil
 }
 

@@ -32,10 +32,12 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.Workers == 0 {
+	if o.Workers <= 0 {
 		o.Workers = runtime.NumCPU()
 	}
-	if o.Stride == 0 {
+	// A zero stride would never advance the enumeration and a negative
+	// one would walk backwards forever; both clamp to exhaustive.
+	if o.Stride <= 0 {
 		o.Stride = 1
 	}
 	return o

@@ -58,6 +58,23 @@ func TestSweepStride(t *testing.T) {
 	}
 }
 
+// Non-positive strides and workers clamp to safe defaults instead of
+// looping forever (stride ≤ 0 would never advance the enumeration).
+func TestSweepClampsNonPositiveOptions(t *testing.T) {
+	s := testutil.Space2D(t, 10)
+	for _, opts := range []Options{{Stride: -1}, {Stride: -3, Workers: -2}} {
+		res, err := Sweep(s, func(qa int32) (*discovery.Outcome, error) {
+			return spillbound.Run(s, discovery.NewSimEngine(s, qa))
+		}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Points) != s.Grid.NumPoints() {
+			t.Fatalf("%+v: covered %d points, want exhaustive %d", opts, len(res.Points), s.Grid.NumPoints())
+		}
+	}
+}
+
 func TestSweepPropagatesErrors(t *testing.T) {
 	s := testutil.Space2D(t, 8)
 	boom := errors.New("boom")

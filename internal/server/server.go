@@ -71,10 +71,14 @@ type Config struct {
 
 	// FaultSeed/FaultRate arm chaos mode: every request runs with a
 	// deterministic injector substream forked from (FaultSeed,
-	// request fault_seed). Zero rate disarms unless a request asks for
-	// its own rate.
+	// request fault_seed). Zero rate disarms chaos entirely.
 	FaultSeed uint64
 	FaultRate float64
+	// AllowRequestFaults additionally honors request-supplied
+	// fault_rate overrides while FaultRate is zero. Off by default: a
+	// disarmed server ignores client chaos knobs, so an unauthenticated
+	// client cannot inject faults that trip the shared breaker.
+	AllowRequestFaults bool
 
 	// ExecLatency simulates the per-execution latency of a remote
 	// engine (discovery.Latent), interruptible by request deadlines.
@@ -255,9 +259,11 @@ func (s *Server) buildWorkload(ws *workloadState) {
 }
 
 // warmLoad tries the snapshot at path with strict verification. A
-// missing file is a clean miss; anything else quarantines the file
-// aside (rename, preserving the evidence) and reports a miss so the
-// caller rebuilds.
+// missing file is a clean miss, as is a structurally valid snapshot
+// built at a different grid resolution than the one configured (a stale
+// artifact from before a -res change — the rebuild overwrites it);
+// anything else quarantines the file aside (rename, preserving the
+// evidence) and reports a miss so the caller rebuilds.
 func (s *Server) warmLoad(ws *workloadState, path string) (*ess.Space, bool) {
 	q, err := ws.spec.Load(s.cfg.Scale)
 	if err != nil {
@@ -267,6 +273,18 @@ func (s *Server) warmLoad(ws *workloadState, path string) (*ess.Space, bool) {
 	model := cost.NewModel(cost.DefaultParams())
 	sp, err := ess.LoadFile(path, q, env, model, ess.LoadOptions{Strict: true})
 	if err == nil {
+		// Strict recosting already pins the snapshot to this scale's
+		// catalog; the grid resolution must also match what we would
+		// build, or the configured -res would silently be ignored.
+		wantRes := s.cfg.Res
+		if wantRes <= 0 {
+			wantRes = ws.spec.Res
+		}
+		if sp.Grid.Res != wantRes {
+			s.cfg.Logf("server: %s snapshot has res %d, config wants %d; rebuilding",
+				ws.name, sp.Grid.Res, wantRes)
+			return nil, false
+		}
 		s.cfg.Logf("server: %s warm-loaded from %s", ws.name, path)
 		return sp, true
 	}
@@ -326,7 +344,21 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		s.cfg.Logf("server: draining (waiting for in-flight requests, max %s)", s.cfg.DrainTimeout)
 		shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
-		done <- srv.Shutdown(shCtx)
+		err := srv.Shutdown(shCtx)
+		// Shutdown waits for connections; also wait on the handler
+		// WaitGroup explicitly so the drain guarantee holds even for
+		// handlers not tied to a tracked connection, bounded by the
+		// same budget.
+		idle := make(chan struct{})
+		go func() { s.inflight.Wait(); close(idle) }()
+		select {
+		case <-idle:
+		case <-shCtx.Done():
+			if err == nil {
+				err = shCtx.Err()
+			}
+		}
+		done <- err
 	}()
 	if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
 		return err
@@ -532,10 +564,13 @@ func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, 
 
 // requestInjector builds the deterministic per-request fault substream:
 // a pure function of (server seed, request seed), so any request can be
-// replayed bit for bit by re-sending the same fault_seed.
+// replayed bit for bit by re-sending the same fault_seed. Request-
+// supplied rates are only honored when the operator armed chaos
+// (FaultRate > 0 or AllowRequestFaults); otherwise a client could
+// inject faults at will and trip the shared breaker for everyone.
 func (s *Server) requestInjector(req DiscoverRequest) *faultinject.Injector {
 	rate := s.cfg.FaultRate
-	if req.FaultRate > 0 {
+	if req.FaultRate > 0 && (s.faults != nil || s.cfg.AllowRequestFaults) {
 		rate = req.FaultRate
 	}
 	if rate <= 0 {
@@ -702,6 +737,16 @@ func (s *Server) handleMSO(w http.ResponseWriter, r *http.Request) {
 	alg, err := parseAlgorithm(req.Algorithm)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, KindBadRequest, err.Error(), 0)
+		return
+	}
+	if req.Stride < 0 {
+		writeError(w, http.StatusBadRequest, KindBadRequest,
+			fmt.Sprintf("stride %d must be non-negative", req.Stride), 0)
+		return
+	}
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, KindBadRequest,
+			fmt.Sprintf("workers %d must be non-negative", req.Workers), 0)
 		return
 	}
 	ws, c, ok := s.lookup(w, req.Workload)

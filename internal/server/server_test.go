@@ -272,10 +272,12 @@ func TestBreakerTripsAndRecoversOverHTTP(t *testing.T) {
 	cfg.BreakerThreshold = 3
 	cfg.BreakerCooldown = 10 * time.Second
 	cfg.Now = clk.Now
+	cfg.AllowRequestFaults = true
 	s := newTestServer(t, cfg)
 
-	// fault_rate=1 makes SiteServeRun fire on every request: three
-	// consecutive engine faults trip the EQ circuit.
+	// With request faults explicitly allowed, fault_rate=1 makes
+	// SiteServeRun fire on every request: three consecutive engine
+	// faults trip the EQ circuit.
 	for i := 0; i < 3; i++ {
 		rec, body := postJSON(t, s.Handler(), "/discover",
 			DiscoverRequest{Workload: "EQ", Algorithm: "sb", QA: 2,
@@ -307,6 +309,85 @@ func TestBreakerTripsAndRecoversOverHTTP(t *testing.T) {
 	}
 	if st := s.workloads["EQ"].breaker.State(); st != "closed" {
 		t.Fatalf("after successful probe: breaker %s", st)
+	}
+}
+
+// A server started without chaos armed must ignore client-supplied
+// fault_rate: otherwise any unauthenticated client could inject faults
+// and trip the shared breaker, denying service to everyone.
+func TestDisarmedServerIgnoresRequestFaults(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.BreakerThreshold = 2
+	s := newTestServer(t, cfg)
+
+	for i := 0; i < 3; i++ {
+		rec, body := postJSON(t, s.Handler(), "/discover",
+			DiscoverRequest{Workload: "EQ", Algorithm: "sb", QA: 2,
+				FaultSeed: uint64(i), FaultRate: 1})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("disarmed server honored fault_rate: status %d: %s", rec.Code, body)
+		}
+	}
+	if st := s.workloads["EQ"].breaker.State(); st != "closed" {
+		t.Fatalf("breaker %s after client-supplied faults on disarmed server", st)
+	}
+}
+
+// A negative stride must be a typed 400, not an infinite enumeration
+// loop inside mso.Sweep.
+func TestMSORejectsNegativeStrideAndWorkers(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+	for _, req := range []MSORequest{
+		{Workload: "EQ", Algorithm: "sb", Stride: -1},
+		{Workload: "EQ", Algorithm: "sb", Workers: -4},
+	} {
+		rec, body := postJSON(t, s.Handler(), "/mso", req)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%+v: status %d, want 400: %s", req, rec.Code, body)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Kind != KindBadRequest {
+			t.Fatalf("%+v: rejection untyped: %s", req, body)
+		}
+	}
+}
+
+// A snapshot persisted at one resolution must not be served after the
+// operator changes -res: the mismatch is a miss that triggers a rebuild
+// at the configured resolution.
+func TestSnapshotResolutionMismatchRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t)
+	cfg.SnapshotDir = dir
+
+	s1 := newTestServer(t, cfg)
+	if got := s1.workloads["EQ"].compiled.Space.Grid.Res; got != cfg.Res {
+		t.Fatalf("first boot res %d, want %d", got, cfg.Res)
+	}
+
+	cfg.Res = 5 // operator reconfigures the grid
+	s2 := newTestServer(t, cfg)
+	ws := s2.workloads["EQ"]
+	ws.mu.RLock()
+	warm, quarantined := ws.warmLoaded, ws.quarantined
+	ws.mu.RUnlock()
+	if warm {
+		t.Fatal("stale-resolution snapshot must not warm-load")
+	}
+	if quarantined != "" {
+		t.Fatal("resolution mismatch is a config change, not corruption; no quarantine expected")
+	}
+	if got := ws.compiled.Space.Grid.Res; got != 5 {
+		t.Fatalf("rebuild served res %d, want 5", got)
+	}
+	// The rebuild overwrote the snapshot at the new resolution: the next
+	// boot warm-loads it.
+	s3 := newTestServer(t, cfg)
+	if !s3.workloads["EQ"].warmLoaded {
+		t.Fatal("rebuilt snapshot should warm-load at the new resolution")
+	}
+	if got := s3.workloads["EQ"].compiled.Space.Grid.Res; got != 5 {
+		t.Fatalf("warm-loaded res %d, want 5", got)
 	}
 }
 
