@@ -100,6 +100,7 @@ func run(args []string) error {
 	execLatency := fs.Duration("exec-latency", 0, "simulated per-execution engine latency for throughput/serve (e.g. 2ms)")
 	deadline := fs.Duration("deadline", 0, "abort discover/mso/throughput after this long (0 = unbounded); also serve's default request timeout")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address for serve")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = disabled)")
 	serveWorkloads := fs.String("workloads", "EQ", "comma-separated workload queries for serve")
 	snapshotDir := fs.String("snapshot-dir", "", "crash-safe artifact cache directory for serve (empty = in-memory only)")
 	maxConcurrent := fs.Int("max-concurrent", 4, "concurrent discovery slots for serve")
@@ -202,7 +203,8 @@ func run(args []string) error {
 			*execLatency, *chaosSeed, *chaosRate, *deadline)
 	case "serve":
 		return serve(serveConfig{
-			addr: *addr, workloads: *serveWorkloads, scale: *scale, res: *res,
+			addr: *addr, pprofAddr: *pprofAddr, workloads: *serveWorkloads,
+			scale: *scale, res: *res,
 			snapshotDir: *snapshotDir, maxConcurrent: *maxConcurrent,
 			maxQueue: *maxQueue, defaultTimeout: *deadline,
 			execLatency: *execLatency, chaosSeed: *chaosSeed, chaosRate: *chaosRate,
@@ -518,7 +520,8 @@ func discover(name, algName, qaFlag string, scale float64, cfg sweepCfg, chaosSe
 
 // serveConfig carries the serve subcommand's flags.
 type serveConfig struct {
-	addr, workloads, snapshotDir string
+	addr, pprofAddr              string
+	workloads, snapshotDir       string
 	scale                        float64
 	res, maxConcurrent, maxQueue int
 	defaultTimeout, execLatency  time.Duration
@@ -543,6 +546,7 @@ func serve(sc serveConfig) error {
 		FaultSeed:          sc.chaosSeed,
 		FaultRate:          sc.chaosRate,
 		AllowRequestFaults: sc.chaosAllowRequest,
+		PprofAddr:          sc.pprofAddr,
 	})
 	if err != nil {
 		return err

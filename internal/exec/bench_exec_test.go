@@ -1,0 +1,134 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/datagen"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+)
+
+// benchFixture is a star schema big enough that per-tuple overheads
+// dominate: the numbers here are what the vectorized engine is measured
+// against in BENCH_exec.json.
+type benchFixture struct {
+	cat   *catalog.Catalog
+	store *storage.Store
+}
+
+func newBenchFixture(b testing.TB) *benchFixture {
+	b.Helper()
+	c := catalog.New("execbench", 1)
+	c.AddTable(&catalog.Table{Name: "dim", BaseRows: 2000, Columns: []catalog.Column{
+		{Name: "d_id", Type: catalog.Int64, Dist: catalog.Serial},
+		{Name: "d_attr", Type: catalog.Int64, Dist: catalog.Uniform, Min: 1, Max: 4},
+	}})
+	c.AddTable(&catalog.Table{Name: "fact", BaseRows: 50000, Columns: []catalog.Column{
+		{Name: "f_id", Type: catalog.Int64, Dist: catalog.Serial},
+		{Name: "f_dim", Type: catalog.Int64, Dist: catalog.FKUniform, Ref: "dim"},
+		{Name: "f_val", Type: catalog.Int64, Dist: catalog.Uniform, Min: 1, Max: 100},
+	}})
+	store, err := datagen.Populate(c, datagen.Options{Seed: 77, BuildIndexes: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &benchFixture{cat: c, store: store}
+}
+
+func (f *benchFixture) parse(b testing.TB, sql string) *query.Query {
+	b.Helper()
+	q, err := sqlparse.Parse("b", f.cat, sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+func benchRun(b *testing.B, q *query.Query, store *storage.Store, p *plan.Node, budget float64) {
+	benchRunEngine(b, q, store, p, budget, true)
+}
+
+// benchRunEngine drives either engine; the *Tuple benchmark variants pin
+// the row-at-a-time engine so both sides stay measurable in one run.
+func benchRunEngine(b *testing.B, q *query.Query, store *storage.Store, p *plan.Node, budget float64, vectorized bool) {
+	b.Helper()
+	e := New(q, store, cost.DefaultParams()).Vectorized(vectorized)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(p, budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if budget == 0 && !res.Completed {
+			b.Fatal("unbudgeted run should complete")
+		}
+	}
+}
+
+func BenchmarkSeqScan(b *testing.B) {
+	f := newBenchFixture(b)
+	q := f.parse(b, `SELECT * FROM fact f WHERE f.f_val <= 50`)
+	p := plan.NewScan(q.RelIndex("f"), plan.SeqScan)
+	benchRun(b, q, f.store, p, 0)
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	f := newBenchFixture(b)
+	q := f.parse(b, `SELECT * FROM fact f, dim d WHERE f.f_dim = d.d_id`)
+	p := plan.NewJoin(plan.HashJoin, []int{0},
+		plan.NewScan(q.RelIndex("f"), plan.SeqScan),
+		plan.NewScan(q.RelIndex("d"), plan.SeqScan))
+	benchRun(b, q, f.store, p, 0)
+}
+
+func BenchmarkIndexNL(b *testing.B) {
+	f := newBenchFixture(b)
+	q := f.parse(b, `SELECT * FROM fact f, dim d WHERE f.f_dim = d.d_id`)
+	p := plan.NewJoin(plan.IndexNLJoin, []int{0},
+		plan.NewScan(q.RelIndex("f"), plan.SeqScan),
+		plan.NewScan(q.RelIndex("d"), plan.SeqScan))
+	benchRun(b, q, f.store, p, 0)
+}
+
+func BenchmarkBudgetKill(b *testing.B) {
+	f := newBenchFixture(b)
+	q := f.parse(b, `SELECT * FROM fact f, dim d WHERE f.f_dim = d.d_id`)
+	p := plan.NewJoin(plan.HashJoin, []int{0},
+		plan.NewScan(q.RelIndex("f"), plan.SeqScan),
+		plan.NewScan(q.RelIndex("d"), plan.SeqScan))
+	full, err := New(q, f.store, cost.DefaultParams()).Run(p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRun(b, q, f.store, p, 0.3*full.Cost)
+}
+
+func BenchmarkSeqScanTuple(b *testing.B) {
+	f := newBenchFixture(b)
+	q := f.parse(b, `SELECT * FROM fact f WHERE f.f_val <= 50`)
+	p := plan.NewScan(q.RelIndex("f"), plan.SeqScan)
+	benchRunEngine(b, q, f.store, p, 0, false)
+}
+
+func BenchmarkHashJoinTuple(b *testing.B) {
+	f := newBenchFixture(b)
+	q := f.parse(b, `SELECT * FROM fact f, dim d WHERE f.f_dim = d.d_id`)
+	p := plan.NewJoin(plan.HashJoin, []int{0},
+		plan.NewScan(q.RelIndex("f"), plan.SeqScan),
+		plan.NewScan(q.RelIndex("d"), plan.SeqScan))
+	benchRunEngine(b, q, f.store, p, 0, false)
+}
+
+func BenchmarkIndexNLTuple(b *testing.B) {
+	f := newBenchFixture(b)
+	q := f.parse(b, `SELECT * FROM fact f, dim d WHERE f.f_dim = d.d_id`)
+	p := plan.NewJoin(plan.IndexNLJoin, []int{0},
+		plan.NewScan(q.RelIndex("f"), plan.SeqScan),
+		plan.NewScan(q.RelIndex("d"), plan.SeqScan))
+	benchRunEngine(b, q, f.store, p, 0, false)
+}

@@ -1,0 +1,376 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/faultinject"
+	"repro/internal/plan"
+	"repro/internal/query"
+)
+
+// The differential suite pins the tentpole guarantee of the vectorized
+// engine: batch-at-a-time execution is observably identical to the
+// tuple-at-a-time reference — bit-for-bit on Cost, WastedCost, Drift,
+// Completed, Retries, Degraded, and JoinSel — across budget kills,
+// retries, and chaos schedules. Result.Rows is additionally identical
+// whenever the run completed, faults were armed (lockstep mode), or the
+// batch capacity is 1; an unarmed budget kill at capacity > 1 may stop
+// at a different row count, which no consumer observes (discovery reads
+// only Cost/Completed/JoinSel).
+
+// diffCase is one (query, plan) pair the matrices run.
+type diffCase struct {
+	name string
+	q    *query.Query
+	p    *plan.Node
+}
+
+func diffCases(t *testing.T, f *fixture) []diffCase {
+	t.Helper()
+	var cases []diffCase
+	qJoin := f.parse(t, joinSQL)
+	for name, p := range twoRelPlans(qJoin) {
+		cases = append(cases, diffCase{name: "2rel/" + name, q: qJoin, p: p})
+	}
+	qFilt := f.parse(t, `SELECT * FROM fact f, dim d
+		WHERE f.f_dim = d.d_id AND f.f_val <= 40 AND d.d_attr <= 2`)
+	for name, p := range twoRelPlans(qFilt) {
+		cases = append(cases, diffCase{name: "2rel-filtered/" + name, q: qFilt, p: p})
+	}
+	qScan := f.parse(t, `SELECT * FROM fact ff WHERE ff.f_val <= 50`)
+	cases = append(cases,
+		diffCase{name: "seqscan", q: qScan, p: plan.NewScan(0, plan.SeqScan)},
+		diffCase{name: "indexscan", q: qScan, p: plan.NewScan(0, plan.IndexScan)},
+	)
+	qIn := f.parse(t, `SELECT * FROM dim d WHERE d.d_attr IN (1, 3)`)
+	cases = append(cases, diffCase{name: "in-filter", q: qIn, p: plan.NewScan(0, plan.SeqScan)})
+	q3 := f.parse(t, `SELECT * FROM fact ff, dim d, dim2 e
+		WHERE ff.f_dim = d.d_id AND ff.f_dim2 = e.e_id`)
+	inner := plan.NewJoin(plan.HashJoin, []int{0},
+		plan.NewScan(q3.RelIndex("ff"), plan.SeqScan),
+		plan.NewScan(q3.RelIndex("d"), plan.SeqScan))
+	cases = append(cases,
+		diffCase{name: "3rel/hash-hash", q: q3, p: plan.NewJoin(plan.HashJoin, []int{1}, inner,
+			plan.NewScan(q3.RelIndex("e"), plan.SeqScan))},
+		diffCase{name: "3rel/hash-inl", q: q3, p: plan.NewJoin(plan.IndexNLJoin, []int{1}, inner,
+			plan.NewScan(q3.RelIndex("e"), plan.SeqScan))},
+		diffCase{name: "3rel/hash-merge", q: q3, p: plan.NewJoin(plan.MergeJoin, []int{1}, inner,
+			plan.NewScan(q3.RelIndex("e"), plan.SeqScan))},
+	)
+	// Double predicate between the same pair (first = physical key,
+	// second = residual), mirroring TestJoinWithResidualPredicate.
+	qRes := &query.Query{
+		Name: "resid",
+		Cat:  f.cat,
+		Relations: []query.Relation{
+			{Table: "fact", Alias: "ff"},
+			{Table: "dim", Alias: "d"},
+		},
+		Joins: []query.Join{
+			{ID: 0, LeftRel: 0, RightRel: 1, LeftCol: "f_dim", RightCol: "d_id"},
+			{ID: 1, LeftRel: 0, RightRel: 1, LeftCol: "f_val", RightCol: "d_attr"},
+		},
+	}
+	for name, mk := range map[string]plan.JoinMethod{
+		"hash": plan.HashJoin, "merge": plan.MergeJoin, "nl": plan.NLJoin, "inl": plan.IndexNLJoin,
+	} {
+		cases = append(cases, diffCase{name: "residual/" + name, q: qRes,
+			p: plan.NewJoin(mk, []int{0, 1},
+				plan.NewScan(0, plan.SeqScan),
+				plan.NewScan(1, plan.SeqScan))})
+	}
+	return cases
+}
+
+// runEngines executes the case on both engines with independent (but
+// identically configured) injectors and compares.
+type engineRun struct {
+	res *Result
+	err error
+	log []faultinject.Fault
+}
+
+func runEngine(f *fixture, c diffCase, vectorized bool, batch int, budget float64,
+	mkFaults func() *faultinject.Injector, spillJoin int) engineRun {
+	e := New(c.q, f.store, cost.DefaultParams()).Vectorized(vectorized)
+	if batch > 0 {
+		e.WithBatchSize(batch)
+	}
+	var in *faultinject.Injector
+	if mkFaults != nil {
+		in = mkFaults()
+		e.WithFaults(in)
+	}
+	var res *Result
+	var err error
+	if spillJoin >= 0 {
+		res, err = e.RunSpill(c.p, spillJoin, budget)
+	} else {
+		res, err = e.Run(c.p, budget)
+	}
+	return engineRun{res: res, err: err, log: in.Fired()}
+}
+
+// compareRuns asserts the differential contract between a tuple-engine
+// run and a vectorized run. compareRows additionally pins Result.Rows.
+func compareRuns(t *testing.T, tag string, tup, vec engineRun, compareRows bool) {
+	t.Helper()
+	if (tup.err == nil) != (vec.err == nil) {
+		t.Fatalf("%s: error mismatch: tuple=%v vector=%v", tag, tup.err, vec.err)
+	}
+	if tup.err != nil && tup.err.Error() != vec.err.Error() {
+		t.Fatalf("%s: error text mismatch:\n tuple:  %v\n vector: %v", tag, tup.err, vec.err)
+	}
+	tr, vr := tup.res, vec.res
+	if tr == nil || vr == nil {
+		if tr != vr {
+			t.Fatalf("%s: result presence mismatch: tuple=%v vector=%v", tag, tr, vr)
+		}
+		return
+	}
+	if tr.Cost != vr.Cost {
+		t.Fatalf("%s: Cost mismatch: tuple=%.17g vector=%.17g (Δ=%g)",
+			tag, tr.Cost, vr.Cost, math.Abs(tr.Cost-vr.Cost))
+	}
+	if tr.WastedCost != vr.WastedCost {
+		t.Fatalf("%s: WastedCost mismatch: tuple=%.17g vector=%.17g", tag, tr.WastedCost, vr.WastedCost)
+	}
+	if tr.Drift != vr.Drift {
+		t.Fatalf("%s: Drift mismatch: tuple=%.17g vector=%.17g", tag, tr.Drift, vr.Drift)
+	}
+	if tr.Completed != vr.Completed {
+		t.Fatalf("%s: Completed mismatch: tuple=%v vector=%v", tag, tr.Completed, vr.Completed)
+	}
+	if tr.Retries != vr.Retries {
+		t.Fatalf("%s: Retries mismatch: tuple=%d vector=%d", tag, tr.Retries, vr.Retries)
+	}
+	if !reflect.DeepEqual(tr.Degraded, vr.Degraded) {
+		t.Fatalf("%s: Degraded mismatch:\n tuple:  %v\n vector: %v", tag, tr.Degraded, vr.Degraded)
+	}
+	if !reflect.DeepEqual(tr.JoinSel, vr.JoinSel) {
+		t.Fatalf("%s: JoinSel mismatch:\n tuple:  %v\n vector: %v", tag, tr.JoinSel, vr.JoinSel)
+	}
+	if compareRows && tr.Rows != vr.Rows {
+		t.Fatalf("%s: Rows mismatch: tuple=%d vector=%d", tag, tr.Rows, vr.Rows)
+	}
+	if !reflect.DeepEqual(tup.log, vec.log) {
+		t.Fatalf("%s: fault schedule mismatch:\n tuple:  %v\n vector: %v", tag, tup.log, vec.log)
+	}
+}
+
+// TestDifferentialBudgetSweep pins cost metering across the full budget
+// ladder for every plan shape: the kill that clamps Used to Budget must
+// land on the same billed total in both engines at every fraction.
+func TestDifferentialBudgetSweep(t *testing.T) {
+	f := newFixture(t)
+	fracs := []float64{0, 0.01, 0.05, 0.25, 0.5, 0.75, 0.99, 1.5}
+	for _, c := range diffCases(t, f) {
+		full := runEngine(f, c, false, 0, 0, nil, -1)
+		if full.err != nil {
+			t.Fatalf("%s: unbudgeted tuple run failed: %v", c.name, full.err)
+		}
+		for _, frac := range fracs {
+			budget := frac * full.res.Cost
+			tag := fmt.Sprintf("%s/budget=%.2f", c.name, frac)
+			tup := runEngine(f, c, false, 0, budget, nil, -1)
+			vec := runEngine(f, c, true, 0, budget, nil, -1)
+			// Rows is pinned only when the run completes (unarmed kill at
+			// capacity > 1 may stop on a different row).
+			compareRuns(t, tag, tup, vec, tup.res != nil && tup.res.Completed)
+		}
+	}
+}
+
+// TestDifferentialBatchSizes sweeps batch capacities; at capacity 1 the
+// engines must agree on everything including Rows at every kill point.
+func TestDifferentialBatchSizes(t *testing.T) {
+	f := newFixture(t)
+	for _, c := range diffCases(t, f) {
+		full := runEngine(f, c, false, 0, 0, nil, -1)
+		if full.err != nil {
+			t.Fatalf("%s: unbudgeted tuple run failed: %v", c.name, full.err)
+		}
+		for _, batch := range []int{1, 3, 7, 64, 1000} {
+			for _, frac := range []float64{0, 0.3, 0.8} {
+				budget := frac * full.res.Cost
+				tag := fmt.Sprintf("%s/batch=%d/budget=%.1f", c.name, batch, frac)
+				tup := runEngine(f, c, false, 0, budget, nil, -1)
+				vec := runEngine(f, c, true, batch, budget, nil, -1)
+				compareRows := batch == 1 || (tup.res != nil && tup.res.Completed)
+				compareRuns(t, tag, tup, vec, compareRows)
+			}
+		}
+	}
+}
+
+// TestDifferentialSpill pins spill-mode runs: subtree extraction,
+// observed spill selectivities, and budget kills inside the subtree.
+func TestDifferentialSpill(t *testing.T) {
+	f := newFixture(t)
+	q3 := f.parse(t, `SELECT * FROM fact ff, dim d, dim2 e
+		WHERE ff.f_dim = d.d_id AND ff.f_dim2 = e.e_id`)
+	inner := plan.NewJoin(plan.HashJoin, []int{0},
+		plan.NewScan(q3.RelIndex("ff"), plan.SeqScan),
+		plan.NewScan(q3.RelIndex("d"), plan.SeqScan))
+	root := plan.NewJoin(plan.MergeJoin, []int{1}, inner,
+		plan.NewScan(q3.RelIndex("e"), plan.SeqScan))
+	c := diffCase{name: "3rel-spill", q: q3, p: root}
+	for _, joinID := range []int{0, 1} {
+		full := runEngine(f, c, false, 0, 0, nil, joinID)
+		if full.err != nil {
+			t.Fatalf("join %d: unbudgeted spill failed: %v", joinID, full.err)
+		}
+		if len(full.res.JoinSel) == 0 {
+			t.Fatalf("join %d: spill run observed no selectivity", joinID)
+		}
+		for _, frac := range []float64{0, 0.1, 0.5, 0.9} {
+			budget := frac * full.res.Cost
+			tag := fmt.Sprintf("spill join=%d budget=%.1f", joinID, frac)
+			tup := runEngine(f, c, false, 0, budget, nil, joinID)
+			vec := runEngine(f, c, true, 0, budget, nil, joinID)
+			compareRuns(t, tag, tup, vec, tup.res != nil && tup.res.Completed)
+		}
+	}
+}
+
+// TestDifferentialChaos replays seed-driven fault schedules through
+// both engines. With faults armed the vectorized engine runs in
+// lockstep, so everything — fault sequence numbers, kill tuples, retry
+// ladders, degradations, drift, and Rows — must replay bit for bit.
+func TestDifferentialChaos(t *testing.T) {
+	f := newFixture(t)
+	execRates := map[faultinject.Site]float64{
+		faultinject.SiteScanTuple:     0.05,
+		faultinject.SiteIndexProbe:    0.10,
+		faultinject.SiteOperatorPanic: 0.02,
+		faultinject.SiteSpillObs:      0.20,
+		faultinject.SiteLatency:       0.10,
+	}
+	cases := diffCases(t, f)
+	for seed := uint64(1); seed <= 12; seed++ {
+		for _, pf := range []float64{0, 0.5, 1} {
+			for _, mps := range []uint64{0, 1} {
+				mk := func() *faultinject.Injector {
+					return faultinject.New(faultinject.Config{
+						Seed: seed, Rates: execRates, PersistentFrac: pf, MaxPerSite: mps,
+					})
+				}
+				for _, c := range cases {
+					for _, budgetFrac := range []float64{0, 0.5} {
+						budget := 0.0
+						if budgetFrac > 0 {
+							base := runEngine(f, c, false, 0, 0, nil, -1)
+							if base.err != nil {
+								t.Fatalf("%s: clean run failed: %v", c.name, base.err)
+							}
+							budget = budgetFrac * base.res.Cost
+						}
+						tag := fmt.Sprintf("%s/seed=%d pf=%.1f mps=%d budget=%.1f",
+							c.name, seed, pf, mps, budgetFrac)
+						tup := runEngine(f, c, false, 0, budget, mk, -1)
+						vec := runEngine(f, c, true, 0, budget, mk, -1)
+						compareRuns(t, tag, tup, vec, true)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialChaosSpill extends the chaos matrix to spill-mode
+// runs, covering the spill-observation drop ladder and retries.
+func TestDifferentialChaosSpill(t *testing.T) {
+	f := newFixture(t)
+	q3 := f.parse(t, `SELECT * FROM fact ff, dim d, dim2 e
+		WHERE ff.f_dim = d.d_id AND ff.f_dim2 = e.e_id`)
+	inner := plan.NewJoin(plan.HashJoin, []int{0},
+		plan.NewScan(q3.RelIndex("ff"), plan.SeqScan),
+		plan.NewScan(q3.RelIndex("d"), plan.SeqScan))
+	root := plan.NewJoin(plan.HashJoin, []int{1}, inner,
+		plan.NewScan(q3.RelIndex("e"), plan.SeqScan))
+	c := diffCase{name: "3rel-chaos-spill", q: q3, p: root}
+	rates := map[faultinject.Site]float64{
+		faultinject.SiteScanTuple: 0.05,
+		faultinject.SiteSpillObs:  0.5,
+		faultinject.SiteLatency:   0.10,
+	}
+	for seed := uint64(1); seed <= 15; seed++ {
+		for _, pf := range []float64{0, 1} {
+			mk := func() *faultinject.Injector {
+				return faultinject.New(faultinject.Config{Seed: seed, Rates: rates, PersistentFrac: pf})
+			}
+			for _, joinID := range []int{0, 1} {
+				tag := fmt.Sprintf("seed=%d pf=%.0f join=%d", seed, pf, joinID)
+				tup := runEngine(f, c, false, 0, 0, mk, joinID)
+				vec := runEngine(f, c, true, 0, 0, mk, joinID)
+				compareRuns(t, tag, tup, vec, true)
+			}
+		}
+	}
+}
+
+// TestMeterChargeNMatchesUnitCharges pins the class-count meter's
+// re-walk rule: billing a batch with one ChargeN leaves exactly the
+// same meter state — Used, per-class counts, and kill index — as
+// billing the same tuples one at a time, for any interleaving of
+// classes and one-shot charges.
+func TestMeterChargeNMatchesUnitCharges(t *testing.T) {
+	consts := []float64{1.2, 0.4, 0.1, 2.0}
+	type step struct {
+		cls int
+		n   int64
+	}
+	script := []step{{0, 7}, {1, 130}, {-1, 3}, {2, 1000}, {0, 64}, {3, 5}, {2, 999}, {1, 1}}
+	for _, budget := range []float64{0, 50, 137.77, 500, 1e6} {
+		chunked := &Meter{Budget: budget}
+		unit := &Meter{Budget: budget}
+		var chunkedCls, unitCls []int
+		for _, c := range consts {
+			chunkedCls = append(chunkedCls, chunked.Class(c))
+			unitCls = append(unitCls, unit.Class(c))
+		}
+		var cErr, uErr error
+		var cKill, uKill int64
+		for _, s := range script {
+			if s.cls < 0 {
+				cErr = chunked.Charge(float64(s.n) * 0.3)
+				uErr = unit.Charge(float64(s.n) * 0.3)
+			} else {
+				var k int64
+				k, cErr = chunked.ChargeN(chunkedCls[s.cls], s.n)
+				if cErr != nil {
+					cKill = k
+				}
+				for i := int64(0); i < s.n && uErr == nil; i++ {
+					var ku int64
+					ku, uErr = unit.ChargeN(unitCls[s.cls], 1)
+					if uErr != nil {
+						uKill = i + ku
+					}
+				}
+			}
+			if (cErr == nil) != (uErr == nil) {
+				t.Fatalf("budget=%g: kill disagreement at step %+v: chunked=%v unit=%v", budget, s, cErr, uErr)
+			}
+			if cErr != nil {
+				break
+			}
+		}
+		if chunked.Used != unit.Used {
+			t.Fatalf("budget=%g: Used mismatch: chunked=%.17g unit=%.17g", budget, chunked.Used, unit.Used)
+		}
+		if cErr != nil && cKill != uKill {
+			t.Fatalf("budget=%g: kill index mismatch: chunked=%d unit=%d", budget, cKill, uKill)
+		}
+		for i := range consts {
+			if chunked.classes[i].n != unit.classes[i].n {
+				t.Fatalf("budget=%g: class %d count mismatch: chunked=%d unit=%d",
+					budget, i, chunked.classes[i].n, unit.classes[i].n)
+			}
+		}
+	}
+}

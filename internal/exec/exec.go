@@ -62,6 +62,15 @@ const (
 //   - Induced latency drift accumulates separately in Drifted and never
 //     triggers a budget kill: kills are decisions on modeled work,
 //     drift is accounted (but unmodeled) slack.
+//
+// Per-tuple constants are billed through registered charge classes
+// (Class/ChargeN) rather than repeated float additions: Used is always
+// recomputed as oneShot + Σ countᵢ·cᵢ in class-registration order, so
+// the metered total is a pure function of the per-class tuple counts.
+// That makes it independent of how charges were grouped into batches —
+// the property the vectorized engine's bit-for-bit cost equality with
+// tuple-at-a-time execution rests on (floating-point addition is not
+// associative, so a running sum would diverge between the engines).
 type Meter struct {
 	// Used is the cost consumed so far.
 	Used float64
@@ -70,16 +79,88 @@ type Meter struct {
 	// Drifted is the induced-latency cost accounted on top of Used; it
 	// is billed to the caller but does not count toward the budget.
 	Drifted float64
+
+	// oneShot accumulates Charge units (descents, sorts) in arrival
+	// order; both engines issue these unbatched and in the same order.
+	oneShot float64
+	// classes holds the registered per-tuple charge classes. Operators
+	// register the same constants in the same order in both engines
+	// (class registration follows plan build order).
+	classes []meterClass
+}
+
+// meterClass is one per-tuple charge constant and its tuple count.
+type meterClass struct {
+	c float64
+	n int64
+}
+
+// Class registers a per-tuple charge constant and returns its handle
+// for ChargeN. Registration order is part of the metering contract: the
+// recomputed total sums classes in this order.
+func (m *Meter) Class(c float64) int {
+	m.classes = append(m.classes, meterClass{c: c})
+	return len(m.classes) - 1
+}
+
+// sum recomputes the metered total from the one-shot accumulator and
+// the class counts, in registration order.
+func (m *Meter) sum() float64 {
+	u := m.oneShot
+	for i := range m.classes {
+		u += m.classes[i].c * float64(m.classes[i].n)
+	}
+	return u
+}
+
+// settle folds the recomputed total into Used, clamping at the budget.
+func (m *Meter) settle() error {
+	u := m.sum()
+	if m.Budget > 0 && u > m.Budget {
+		m.Used = m.Budget // a killed execution costs exactly its budget
+		return ErrBudgetExceeded
+	}
+	m.Used = u
+	return nil
 }
 
 // Charge adds units and fails with ErrBudgetExceeded past the budget.
 func (m *Meter) Charge(units float64) error {
-	m.Used += units
-	if m.Budget > 0 && m.Used > m.Budget {
-		m.Used = m.Budget // a killed execution costs exactly its budget
-		return ErrBudgetExceeded
+	m.oneShot += units
+	return m.settle()
+}
+
+// ChargeN bills n tuples of class h. When the batch crosses the budget
+// it is re-walked to the exact kill tuple: the count is rolled back to
+// the smallest k ≤ n whose total exceeds the budget (the killing tuple
+// itself stays billed, exactly as a per-tuple Charge sequence would
+// leave it), Used clamps to Budget, and (k, ErrBudgetExceeded) is
+// returned so monitors can account precisely the tuples processed
+// before the kill. The search is sound because the total is monotone in
+// the count even in floating point.
+func (m *Meter) ChargeN(h int, n int64) (int64, error) {
+	if n <= 0 {
+		return 0, nil
 	}
-	return nil
+	cl := &m.classes[h]
+	cl.n += n
+	if err := m.settle(); err == nil {
+		return n, nil
+	}
+	base := cl.n - n
+	lo, hi := int64(1), n
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		cl.n = base + mid
+		if m.sum() > m.Budget {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	cl.n = base + lo
+	m.Used = m.Budget
+	return lo, ErrBudgetExceeded
 }
 
 // AddDrift bills extra accounted cost without advancing the budget
@@ -139,17 +220,47 @@ type Executor struct {
 	store  *storage.Store
 	params cost.Params
 	faults *faultinject.Injector
+
+	// vectorized selects batch-at-a-time execution (the default); the
+	// tuple-at-a-time Volcano engine remains as the differential
+	// reference.
+	vectorized bool
+	// batchSize is the vectorized engine's batch capacity. An armed
+	// fault injector forces capacity 1 (lockstep mode) regardless, so
+	// fault-site sequence numbers match the tuple engine exactly.
+	batchSize int
 }
 
-// New creates an executor for the query over the store.
+// New creates an executor for the query over the store. Execution is
+// vectorized by default; Vectorized(false) selects the tuple-at-a-time
+// reference engine.
 func New(q *query.Query, store *storage.Store, params cost.Params) *Executor {
-	return &Executor{q: q, store: store, params: params}
+	return &Executor{q: q, store: store, params: params, vectorized: true, batchSize: DefaultBatchSize}
 }
 
 // WithFaults arms the executor with a fault injector (nil disarms) and
 // returns the executor for chaining.
 func (e *Executor) WithFaults(in *faultinject.Injector) *Executor {
 	e.faults = in
+	return e
+}
+
+// Vectorized toggles batch-at-a-time execution (on by default) and
+// returns the executor for chaining. The tuple engine is kept as the
+// bit-for-bit reference the differential suite checks the vectorized
+// engine against.
+func (e *Executor) Vectorized(on bool) *Executor {
+	e.vectorized = on
+	return e
+}
+
+// WithBatchSize overrides the vectorized engine's batch capacity
+// (values < 1 are clamped to 1) and returns the executor for chaining.
+func (e *Executor) WithBatchSize(n int) *Executor {
+	if n < 1 {
+		n = 1
+	}
+	e.batchSize = n
 	return e
 }
 
@@ -236,11 +347,19 @@ func (e *Executor) backoff(ctx context.Context, try int) error {
 // to one per 64 iterator steps.
 const cancelCheckMask = 63
 
-// driveOnce runs one execution attempt. It never panics: operator
-// panics are recovered and converted to typed *OperatorError values,
-// and the returned Result always carries the cost consumed so far, so
-// even failed attempts are billable.
-func (e *Executor) driveOnce(ctx context.Context, root *plan.Node, budget float64, spill bool) (res *Result, err error) {
+// driveOnce runs one execution attempt through the selected engine.
+func (e *Executor) driveOnce(ctx context.Context, root *plan.Node, budget float64, spill bool) (*Result, error) {
+	if e.vectorized {
+		return e.driveVec(ctx, root, budget, spill)
+	}
+	return e.driveTuple(ctx, root, budget, spill)
+}
+
+// driveTuple runs one tuple-at-a-time execution attempt. It never
+// panics: operator panics are recovered and converted to typed
+// *OperatorError values, and the returned Result always carries the
+// cost consumed so far, so even failed attempts are billable.
+func (e *Executor) driveTuple(ctx context.Context, root *plan.Node, budget float64, spill bool) (res *Result, err error) {
 	meter := &Meter{Budget: budget}
 	res = &Result{JoinSel: make(map[int]float64)}
 	defer func() {
@@ -285,19 +404,25 @@ func (e *Executor) driveOnce(ctx context.Context, root *plan.Node, budget float6
 			res.Rows++
 		}
 	}()
-	cerr := op.Close()
+	return e.epilogue(res, meter, op, err, op.Close(), spill)
+}
+
+// epilogue is the shared post-drive accounting for both engines:
+// billing, completion classification, close errors, and the completed
+// path's spill-observation fault plus selectivity collection.
+func (e *Executor) epilogue(res *Result, meter *Meter, op any, runErr, closeErr error, spill bool) (*Result, error) {
 	res.Cost = meter.Used + meter.Drifted
 	res.Drift = meter.Drifted
 	switch {
-	case err == nil:
+	case runErr == nil:
 		res.Completed = true
-	case errors.Is(err, ErrBudgetExceeded):
+	case errors.Is(runErr, ErrBudgetExceeded):
 		res.Completed = false
 	default:
-		return res, opError("iterate", err)
+		return res, opError("iterate", runErr)
 	}
-	if cerr != nil {
-		return res, opError("close", cerr)
+	if closeErr != nil {
+		return res, opError("close", closeErr)
 	}
 	if res.Completed {
 		// Degradation ladder: a dropped spill observation. Transient drops
@@ -332,7 +457,9 @@ type joinObserver interface {
 	observations(into map[int]float64)
 }
 
-func collectObservations(op operator, into map[int]float64) {
+// collectObservations gathers exact join selectivities from any
+// operator tree (tuple or batch) implementing joinObserver.
+func collectObservations(op any, into map[int]float64) {
 	if jo, ok := op.(joinObserver); ok {
 		jo.observations(into)
 	}
@@ -398,6 +525,32 @@ func (e *Executor) compileFilters(rel int, skip int) []boundFilter {
 			for _, v := range f.Values {
 				bf.in[v] = true
 			}
+		} else {
+			// Compile int-constant comparisons (all but NE) into an
+			// inclusive [lo, hi] range so the scan hot loops test two
+			// integers instead of dispatching through expr.Compare.
+			bf.lo, bf.hi = math.MinInt64, math.MaxInt64
+			switch f.Op {
+			case expr.EQ:
+				bf.lo, bf.hi = f.Value, f.Value
+				bf.ranged = true
+			case expr.LT:
+				if f.Value > math.MinInt64 {
+					bf.hi = f.Value - 1
+					bf.ranged = true
+				}
+			case expr.LE:
+				bf.hi = f.Value
+				bf.ranged = true
+			case expr.GT:
+				if f.Value < math.MaxInt64 {
+					bf.lo = f.Value + 1
+					bf.ranged = true
+				}
+			case expr.GE:
+				bf.lo = f.Value
+				bf.ranged = true
+			}
 		}
 		out = append(out, bf)
 	}
@@ -409,6 +562,31 @@ type boundFilter struct {
 	op  expr.CmpOp
 	val expr.Value
 	in  map[int64]bool // non-nil for IN-list predicates
+	// ranged marks predicates compiled to the lo ≤ v ≤ hi integer fast
+	// path (see compileFilters); NULLs and non-int values still take the
+	// general eval path.
+	ranged bool
+	lo, hi int64
+}
+
+// matchAll reports whether the row passes every filter, routing
+// int-valued columns through the precompiled range fast path.
+func matchAll(filters []boundFilter, row expr.Row) bool {
+	for i := range filters {
+		f := &filters[i]
+		if f.ranged {
+			if v := &row[f.col]; v.K == expr.KindInt {
+				if v.I < f.lo || v.I > f.hi {
+					return false
+				}
+				continue
+			}
+		}
+		if !f.eval(row) {
+			return false
+		}
+	}
+	return true
 }
 
 func (f boundFilter) eval(row expr.Row) bool {

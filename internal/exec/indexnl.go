@@ -14,6 +14,10 @@ type indexNLJoin struct {
 	joinBase
 	rel     *storage.Relation
 	filters []boundFilter
+	// clsDescend carries the whole per-outer-row descent charge
+	// (IdxDescend·log₂(N+2)) as its class constant, so descents batch
+	// like any other per-tuple cost.
+	clsDescend, clsFetch, clsOut int
 
 	cur     expr.Row
 	matches []int32
@@ -30,14 +34,7 @@ func (j *indexNLJoin) Open() error {
 		return err
 	}
 	for _, row := range j.rel.Rows {
-		ok := true
-		for _, f := range j.filters {
-			if !f.eval(row) {
-				ok = false
-				break
-			}
-		}
-		if ok {
+		if matchAll(j.filters, row) {
 			j.innerFiltered++
 		}
 	}
@@ -58,7 +55,7 @@ func (j *indexNLJoin) Next() (expr.Row, error) {
 			}
 			j.obs.LeftRows++
 			// One index descent per outer row.
-			if err := j.meter.Charge(j.e.params.IdxDescend * log2g(float64(j.rel.NumRows()))); err != nil {
+			if _, err := j.meter.ChargeN(j.clsDescend, 1); err != nil {
 				return nil, err
 			}
 			j.cur = row
@@ -74,20 +71,13 @@ func (j *indexNLJoin) Next() (expr.Row, error) {
 			inner := j.rel.Rows[j.matches[j.mi]]
 			j.mi++
 			// Random fetch per matched (pre-filter) row.
-			if err := j.meter.Charge(j.e.params.IdxTuple); err != nil {
+			if _, err := j.meter.ChargeN(j.clsFetch, 1); err != nil {
 				return nil, err
 			}
-			ok := true
-			for _, f := range j.filters {
-				if !f.eval(inner) {
-					ok = false
-					break
-				}
-			}
-			if !ok || !j.jc.residualsMatch(j.cur, inner) {
+			if !matchAll(j.filters, inner) || !j.jc.residualsMatch(j.cur, inner) {
 				continue
 			}
-			if err := j.meter.Charge(j.e.params.Tuple); err != nil {
+			if _, err := j.meter.ChargeN(j.clsOut, 1); err != nil {
 				return nil, err
 			}
 			j.obs.OutRows++

@@ -1,0 +1,155 @@
+package exec
+
+import (
+	"io"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+)
+
+// vecIndexNLJoin streams outer batches, probing the inner relation's
+// hash index per outer row. In the default batched mode the fetch
+// charges of one probe's matches bill as one ChargeN before filtering;
+// in lockstep mode (armed faults) fetch and output charges interleave
+// per match exactly like the tuple engine, so kill points replay bit
+// for bit.
+type vecIndexNLJoin struct {
+	vecJoinBase
+	rel     *storage.Relation
+	filters []boundFilter
+	// clsDescend carries the whole per-outer-row descent charge
+	// (IdxDescend·log₂(N+2)) as its class constant.
+	clsDescend, clsFetch, clsOut int
+	out                          *outBuf
+	ls                           bool
+
+	pb      *rowBatch
+	pi      int
+	cur     expr.Row
+	matches []int32
+	mi      int
+	have    bool
+	done    bool
+	// innerFiltered is the inner relation's filtered cardinality,
+	// counted once for the selectivity observation (a statistics lookup,
+	// not execution work — hence uncharged).
+	innerFiltered int64
+}
+
+func (j *vecIndexNLJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	j.innerFiltered = 0
+	for _, row := range j.rel.Rows {
+		if matchAll(j.filters, row) {
+			j.innerFiltered++
+		}
+	}
+	j.obs.RightRows = j.innerFiltered
+	j.pb, j.pi = nil, 0
+	j.have = false
+	j.done = false
+	return nil
+}
+
+func (j *vecIndexNLJoin) NextBatch() (*rowBatch, error) {
+	if j.done {
+		return nil, io.EOF
+	}
+	j.out.reset()
+	for {
+		if !j.have {
+			if j.pb == nil || j.pi >= j.pb.n() {
+				b, err := j.left.NextBatch()
+				if err == io.EOF {
+					j.exact = true
+					j.done = true
+					if j.out.len() > 0 {
+						return j.out.take(), nil
+					}
+					return nil, io.EOF
+				}
+				if err != nil {
+					return nil, err
+				}
+				j.pb, j.pi = b, 0
+			}
+			row := j.pb.row(j.pi)
+			j.pi++
+			j.obs.LeftRows++
+			// One index descent per outer row (charged before the null
+			// check, like the tuple engine).
+			if _, err := j.meter.ChargeN(j.clsDescend, 1); err != nil {
+				return nil, err
+			}
+			k := row[j.jc.leftPos[0]]
+			if k.IsNull() {
+				continue
+			}
+			j.cur = row
+			j.matches = j.rel.HashLookup(j.jc.rightPos[0], k.I)
+			j.mi = 0
+			j.have = true
+			if !j.ls {
+				// Batched mode: bill every random fetch of this probe up
+				// front; the counts at any kill equal the tuple engine's
+				// only for completed runs, which is all that is observable
+				// without armed faults.
+				if _, err := j.meter.ChargeN(j.clsFetch, int64(len(j.matches))); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if j.ls {
+			for j.mi < len(j.matches) {
+				inner := j.rel.Rows[j.matches[j.mi]]
+				j.mi++
+				if _, err := j.meter.ChargeN(j.clsFetch, 1); err != nil {
+					return nil, err
+				}
+				if !j.innerMatches(inner) {
+					continue
+				}
+				if _, err := j.meter.ChargeN(j.clsOut, 1); err != nil {
+					return nil, err
+				}
+				j.obs.OutRows++
+				j.out.emit(j.cur, inner)
+				if j.out.full() {
+					return j.out.take(), nil
+				}
+			}
+			j.have = false
+			continue
+		}
+		gathered := int64(0)
+		for j.mi < len(j.matches) && !j.out.full() {
+			inner := j.rel.Rows[j.matches[j.mi]]
+			j.mi++
+			if !j.innerMatches(inner) {
+				continue
+			}
+			j.out.emit(j.cur, inner)
+			gathered++
+		}
+		if gathered > 0 {
+			if _, err := j.meter.ChargeN(j.clsOut, gathered); err != nil {
+				return nil, err
+			}
+			j.obs.OutRows += gathered
+		}
+		if j.out.full() {
+			return j.out.take(), nil
+		}
+		j.have = false
+	}
+}
+
+// innerMatches applies the inner relation's filters and the join's
+// residual predicates to a fetched inner row.
+func (j *vecIndexNLJoin) innerMatches(inner expr.Row) bool {
+	return matchAll(j.filters, inner) && j.jc.residualsMatch(j.cur, inner)
+}
+
+func (j *vecIndexNLJoin) Close() error { return j.left.Close() }

@@ -67,11 +67,26 @@ func (e *Executor) buildJoin(n *plan.Node, meter *Meter, res *Result) (operator,
 		sch := concatSchema(ls, rs)
 		switch n.Join.Method {
 		case plan.HashJoin:
-			return &hashJoin{joinBase: base(e, meter, jc, lop, rop)}, sch, nil
+			return &hashJoin{
+				joinBase: base(e, meter, jc, lop, rop),
+				hint:     e.cardHint(n.Right),
+				clsBuild: meter.Class(e.params.HashBuild),
+				clsProbe: meter.Class(e.params.HashProbe),
+				clsOut:   meter.Class(e.params.Tuple),
+			}, sch, nil
 		case plan.MergeJoin:
-			return &mergeJoin{joinBase: base(e, meter, jc, lop, rop)}, sch, nil
+			return &mergeJoin{
+				joinBase: base(e, meter, jc, lop, rop),
+				clsMerge: meter.Class(e.params.Merge),
+				clsOut:   meter.Class(e.params.Tuple),
+			}, sch, nil
 		default:
-			return &nlJoin{joinBase: base(e, meter, jc, lop, rop)}, sch, nil
+			return &nlJoin{
+				joinBase: base(e, meter, jc, lop, rop),
+				clsMat:   meter.Class(e.params.Mat),
+				clsPair:  meter.Class(e.params.NLPair),
+				clsOut:   meter.Class(e.params.Tuple),
+			}, sch, nil
 		}
 	case plan.IndexNLJoin:
 		rel := n.Right.Scan.Rel
@@ -90,14 +105,39 @@ func (e *Executor) buildJoin(n *plan.Node, meter *Meter, res *Result) (operator,
 				relation.Name, innerCol)
 		}
 		op := &indexNLJoin{
-			joinBase: base(e, meter, jc, lop, nil),
-			rel:      relation,
-			filters:  e.compileFilters(rel, -1),
+			joinBase:   base(e, meter, jc, lop, nil),
+			rel:        relation,
+			filters:    e.compileFilters(rel, -1),
+			clsDescend: meter.Class(e.params.IdxDescend * log2g(float64(relation.NumRows()))),
+			clsFetch:   meter.Class(e.params.IdxTuple),
+			clsOut:     meter.Class(e.params.Tuple),
 		}
 		return op, concatSchema(ls, rs), nil
 	default:
 		return nil, nil, fmt.Errorf("exec: unknown join method")
 	}
+}
+
+// cardHint estimates a subtree's output cardinality for hash-table
+// preallocation: the largest base-relation cardinality under the
+// subtree (joins in this workload never expand beyond their larger
+// input by much, and over-reserving a map is cheap relative to
+// rehashing during build).
+func (e *Executor) cardHint(n *plan.Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.IsScan() {
+		if rel := e.store.Relation(e.q.Relations[n.Scan.Rel].Table); rel != nil {
+			return rel.NumRows()
+		}
+		return 0
+	}
+	l, r := e.cardHint(n.Left), e.cardHint(n.Right)
+	if l > r {
+		return l
+	}
+	return r
 }
 
 // joinBase holds shared join operator state including the selectivity
@@ -141,10 +181,12 @@ func joinRows(l, r expr.Row) expr.Row {
 // hashJoin builds on the right child, probes with the left.
 type hashJoin struct {
 	joinBase
-	table   map[int64][]expr.Row
-	cur     expr.Row
-	matches []expr.Row
-	mi      int
+	hint                       int
+	clsBuild, clsProbe, clsOut int
+	table                      map[int64][]expr.Row
+	cur                        expr.Row
+	matches                    []expr.Row
+	mi                         int
 }
 
 func (h *hashJoin) Open() error {
@@ -154,7 +196,7 @@ func (h *hashJoin) Open() error {
 	if err := h.right.Open(); err != nil {
 		return err
 	}
-	h.table = make(map[int64][]expr.Row)
+	h.table = make(map[int64][]expr.Row, h.hint)
 	for {
 		row, err := h.right.Next()
 		if err == io.EOF {
@@ -163,7 +205,7 @@ func (h *hashJoin) Open() error {
 		if err != nil {
 			return err
 		}
-		if err := h.meter.Charge(h.e.params.HashBuild); err != nil {
+		if _, err := h.meter.ChargeN(h.clsBuild, 1); err != nil {
 			return err
 		}
 		h.obs.RightRows++
@@ -184,7 +226,7 @@ func (h *hashJoin) Next() (expr.Row, error) {
 			if !h.jc.residualsMatch(h.cur, r) {
 				continue
 			}
-			if err := h.meter.Charge(h.e.params.Tuple); err != nil {
+			if _, err := h.meter.ChargeN(h.clsOut, 1); err != nil {
 				return nil, err
 			}
 			h.obs.OutRows++
@@ -198,7 +240,7 @@ func (h *hashJoin) Next() (expr.Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := h.meter.Charge(h.e.params.HashProbe); err != nil {
+		if _, err := h.meter.ChargeN(h.clsProbe, 1); err != nil {
 			return nil, err
 		}
 		h.obs.LeftRows++
@@ -222,11 +264,12 @@ func (h *hashJoin) Close() error {
 // mergeJoin sorts both inputs on the key and merges.
 type mergeJoin struct {
 	joinBase
-	lrows, rrows []expr.Row
-	li, ri       int
-	group        []expr.Row // right rows sharing the current key
-	gi           int
-	cur          expr.Row
+	clsMerge, clsOut int
+	lrows, rrows     []expr.Row
+	li, ri           int
+	group            []expr.Row // right rows sharing the current key
+	gi               int
+	cur              expr.Row
 }
 
 func (m *mergeJoin) Open() error {
@@ -281,7 +324,7 @@ func (m *mergeJoin) Next() (expr.Row, error) {
 			if !m.jc.residualsMatch(m.cur, r) {
 				continue
 			}
-			if err := m.meter.Charge(m.e.params.Tuple); err != nil {
+			if _, err := m.meter.ChargeN(m.clsOut, 1); err != nil {
 				return nil, err
 			}
 			m.obs.OutRows++
@@ -293,7 +336,7 @@ func (m *mergeJoin) Next() (expr.Row, error) {
 		}
 		l := m.lrows[m.li]
 		m.li++
-		if err := m.meter.Charge(m.e.params.Merge); err != nil {
+		if _, err := m.meter.ChargeN(m.clsMerge, 1); err != nil {
 			return nil, err
 		}
 		lk := l[m.jc.leftPos[0]]
@@ -302,7 +345,7 @@ func (m *mergeJoin) Next() (expr.Row, error) {
 		}
 		// Advance the right cursor to the key's group.
 		for m.ri < len(m.rrows) && expr.Compare(m.rrows[m.ri][m.jc.rightPos[0]], lk) < 0 {
-			if err := m.meter.Charge(m.e.params.Merge); err != nil {
+			if _, err := m.meter.ChargeN(m.clsMerge, 1); err != nil {
 				return nil, err
 			}
 			m.ri++
@@ -326,10 +369,11 @@ func (m *mergeJoin) Close() error {
 // nlJoin materializes the inner child and nest-loops the outer over it.
 type nlJoin struct {
 	joinBase
-	inner []expr.Row
-	cur   expr.Row
-	ii    int
-	have  bool
+	clsMat, clsPair, clsOut int
+	inner                   []expr.Row
+	cur                     expr.Row
+	ii                      int
+	have                    bool
 }
 
 func (n *nlJoin) Open() error {
@@ -347,7 +391,7 @@ func (n *nlJoin) Open() error {
 		if err != nil {
 			return err
 		}
-		if err := n.meter.Charge(n.e.params.Mat); err != nil {
+		if _, err := n.meter.ChargeN(n.clsMat, 1); err != nil {
 			return err
 		}
 		n.inner = append(n.inner, row)
@@ -375,13 +419,13 @@ func (n *nlJoin) Next() (expr.Row, error) {
 		for n.ii < len(n.inner) {
 			r := n.inner[n.ii]
 			n.ii++
-			if err := n.meter.Charge(n.e.params.NLPair); err != nil {
+			if _, err := n.meter.ChargeN(n.clsPair, 1); err != nil {
 				return nil, err
 			}
 			if !expr.Equal(n.cur[n.jc.leftPos[0]], r[n.jc.rightPos[0]]) || !n.jc.residualsMatch(n.cur, r) {
 				continue
 			}
-			if err := n.meter.Charge(n.e.params.Tuple); err != nil {
+			if _, err := n.meter.ChargeN(n.clsOut, 1); err != nil {
 				return nil, err
 			}
 			n.obs.OutRows++

@@ -1,0 +1,393 @@
+package exec
+
+import (
+	"io"
+	"sort"
+
+	"repro/internal/expr"
+)
+
+// vecHashJoin builds on the right child and probes with the left, batch
+// at a time. The probe loop gathers all matches of consecutive probe
+// rows into the output arena and bills each gathered group with one
+// ChargeN; at capacity 1 (lockstep) this degenerates to the tuple
+// engine's exact charge order.
+type vecHashJoin struct {
+	vecJoinBase
+	hint                       int
+	clsBuild, clsProbe, clsOut int
+	out                        *outBuf
+	table                      map[int64][]expr.Row
+	pb                         *rowBatch
+	pi                         int
+	cur                        expr.Row
+	matches                    []expr.Row
+	mi                         int
+	done                       bool
+}
+
+func (h *vecHashJoin) Open() error {
+	if err := h.left.Open(); err != nil {
+		return err
+	}
+	if err := h.right.Open(); err != nil {
+		return err
+	}
+	h.table = make(map[int64][]expr.Row, h.hint)
+	for {
+		b, err := h.right.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		n := b.n()
+		if _, err := h.meter.ChargeN(h.clsBuild, int64(n)); err != nil {
+			return err
+		}
+		h.obs.RightRows += int64(n)
+		for i := 0; i < n; i++ {
+			row := b.row(i)
+			k := row[h.jc.rightPos[0]]
+			if k.IsNull() {
+				continue
+			}
+			if !b.stable {
+				row = cloneRow(row)
+			}
+			h.table[k.I] = append(h.table[k.I], row)
+		}
+	}
+	h.pb, h.pi = nil, 0
+	h.matches, h.mi = nil, 0
+	h.done = false
+	return nil
+}
+
+func (h *vecHashJoin) NextBatch() (*rowBatch, error) {
+	if h.done {
+		return nil, io.EOF
+	}
+	h.out.reset()
+	for {
+		// Drain the current probe row's pending matches into the arena.
+		gathered := int64(0)
+		for h.mi < len(h.matches) && !h.out.full() {
+			r := h.matches[h.mi]
+			h.mi++
+			if !h.jc.residualsMatch(h.cur, r) {
+				continue
+			}
+			h.out.emit(h.cur, r)
+			gathered++
+		}
+		if gathered > 0 {
+			if _, err := h.meter.ChargeN(h.clsOut, gathered); err != nil {
+				return nil, err
+			}
+			h.obs.OutRows += gathered
+		}
+		if h.out.full() {
+			return h.out.take(), nil
+		}
+		// Matches exhausted: advance to the next probe row.
+		if h.pb == nil || h.pi >= h.pb.n() {
+			b, err := h.left.NextBatch()
+			if err == io.EOF {
+				h.exact = true
+				h.done = true
+				if h.out.len() > 0 {
+					return h.out.take(), nil
+				}
+				return nil, io.EOF
+			}
+			if err != nil {
+				return nil, err
+			}
+			if _, err := h.meter.ChargeN(h.clsProbe, int64(b.n())); err != nil {
+				return nil, err
+			}
+			h.obs.LeftRows += int64(b.n())
+			h.pb, h.pi = b, 0
+		}
+		row := h.pb.row(h.pi)
+		h.pi++
+		k := row[h.jc.leftPos[0]]
+		if k.IsNull() {
+			h.matches, h.mi = nil, 0
+			continue
+		}
+		h.cur = row
+		h.matches = h.table[k.I]
+		h.mi = 0
+	}
+}
+
+func (h *vecHashJoin) Close() error {
+	if err := h.left.Close(); err != nil {
+		return err
+	}
+	return h.right.Close()
+}
+
+// vecMergeJoin drains and sorts both inputs at Open, then merges batch
+// at a time. Merge-advance charges for one left row and its right-side
+// skips are consecutive in the tuple engine too, so they are billed as
+// one ChargeN chunk — identical counts at every possible kill point.
+type vecMergeJoin struct {
+	vecJoinBase
+	clsMerge, clsOut int
+	out              *outBuf
+	lrows, rrows     []expr.Row
+	li, ri           int
+	group            []expr.Row
+	gi               int
+	cur              expr.Row
+	done             bool
+}
+
+func (m *vecMergeJoin) Open() error {
+	if err := m.left.Open(); err != nil {
+		return err
+	}
+	if err := m.right.Open(); err != nil {
+		return err
+	}
+	var err error
+	m.lrows, err = m.drainAndSort(m.left, m.jc.leftPos[0])
+	if err != nil {
+		return err
+	}
+	m.rrows, err = m.drainAndSort(m.right, m.jc.rightPos[0])
+	if err != nil {
+		return err
+	}
+	m.obs.LeftRows = int64(len(m.lrows))
+	m.obs.RightRows = int64(len(m.rrows))
+	m.li, m.ri = 0, 0
+	m.group = m.group[:0]
+	m.gi = 0
+	m.done = false
+	return nil
+}
+
+func (m *vecMergeJoin) drainAndSort(op batchOperator, key int) ([]expr.Row, error) {
+	var rows []expr.Row
+	for {
+		b, err := op.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		n := b.n()
+		for i := 0; i < n; i++ {
+			row := b.row(i)
+			if !b.stable {
+				row = cloneRow(row)
+			}
+			rows = append(rows, row)
+		}
+	}
+	n := float64(len(rows))
+	if err := m.meter.Charge(m.e.params.SortCmp * n * log2g(n)); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		return expr.Compare(rows[a][key], rows[b][key]) < 0
+	})
+	return rows, nil
+}
+
+func (m *vecMergeJoin) NextBatch() (*rowBatch, error) {
+	if m.done {
+		return nil, io.EOF
+	}
+	m.out.reset()
+	for {
+		gathered := int64(0)
+		for m.gi < len(m.group) && !m.out.full() {
+			r := m.group[m.gi]
+			m.gi++
+			if !m.jc.residualsMatch(m.cur, r) {
+				continue
+			}
+			m.out.emit(m.cur, r)
+			gathered++
+		}
+		if gathered > 0 {
+			if _, err := m.meter.ChargeN(m.clsOut, gathered); err != nil {
+				return nil, err
+			}
+			m.obs.OutRows += gathered
+		}
+		if m.out.full() {
+			return m.out.take(), nil
+		}
+		if m.li >= len(m.lrows) {
+			m.exact = true
+			m.done = true
+			if m.out.len() > 0 {
+				return m.out.take(), nil
+			}
+			return nil, io.EOF
+		}
+		l := m.lrows[m.li]
+		m.li++
+		lk := l[m.jc.leftPos[0]]
+		if lk.IsNull() {
+			if _, err := m.meter.ChargeN(m.clsMerge, 1); err != nil {
+				return nil, err
+			}
+			m.group = m.group[:0]
+			m.gi = 0
+			continue
+		}
+		// Advance the right cursor to the key's group, billing the left
+		// row plus every skipped right row in one chunk.
+		skips := int64(0)
+		for m.ri+int(skips) < len(m.rrows) &&
+			expr.Compare(m.rrows[m.ri+int(skips)][m.jc.rightPos[0]], lk) < 0 {
+			skips++
+		}
+		if _, err := m.meter.ChargeN(m.clsMerge, 1+skips); err != nil {
+			return nil, err
+		}
+		m.ri += int(skips)
+		m.group = m.group[:0]
+		for k := m.ri; k < len(m.rrows) && expr.Compare(m.rrows[k][m.jc.rightPos[0]], lk) == 0; k++ {
+			m.group = append(m.group, m.rrows[k])
+		}
+		m.cur = l
+		m.gi = 0
+	}
+}
+
+func (m *vecMergeJoin) Close() error {
+	if err := m.left.Close(); err != nil {
+		return err
+	}
+	return m.right.Close()
+}
+
+// vecNLJoin materializes the inner child at Open and nest-loops outer
+// batches over it. Pair charges up to and including the next match are
+// consecutive in the tuple engine, so they bill as one ChargeN chunk —
+// the charge sequence is tuple-exact at any batch capacity.
+type vecNLJoin struct {
+	vecJoinBase
+	clsMat, clsPair, clsOut int
+	out                     *outBuf
+	inner                   []expr.Row
+	pb                      *rowBatch
+	pi                      int
+	cur                     expr.Row
+	ii                      int
+	have                    bool
+	done                    bool
+}
+
+func (n *vecNLJoin) Open() error {
+	if err := n.left.Open(); err != nil {
+		return err
+	}
+	if err := n.right.Open(); err != nil {
+		return err
+	}
+	n.inner = n.inner[:0]
+	for {
+		b, err := n.right.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		cnt := b.n()
+		if _, err := n.meter.ChargeN(n.clsMat, int64(cnt)); err != nil {
+			return err
+		}
+		for i := 0; i < cnt; i++ {
+			row := b.row(i)
+			if !b.stable {
+				row = cloneRow(row)
+			}
+			n.inner = append(n.inner, row)
+		}
+	}
+	n.obs.RightRows = int64(len(n.inner))
+	n.pb, n.pi = nil, 0
+	n.have = false
+	n.done = false
+	return nil
+}
+
+func (n *vecNLJoin) NextBatch() (*rowBatch, error) {
+	if n.done {
+		return nil, io.EOF
+	}
+	n.out.reset()
+	for {
+		if !n.have {
+			if n.pb == nil || n.pi >= n.pb.n() {
+				b, err := n.left.NextBatch()
+				if err == io.EOF {
+					n.exact = true
+					n.done = true
+					if n.out.len() > 0 {
+						return n.out.take(), nil
+					}
+					return nil, io.EOF
+				}
+				if err != nil {
+					return nil, err
+				}
+				n.pb, n.pi = b, 0
+			}
+			n.cur = n.pb.row(n.pi)
+			n.pi++
+			n.obs.LeftRows++
+			n.ii = 0
+			n.have = true
+		}
+		// Scan the inner for the next match, counting pairs up to and
+		// including the matching one.
+		pairs := int64(0)
+		var match expr.Row
+		for n.ii < len(n.inner) {
+			r := n.inner[n.ii]
+			n.ii++
+			pairs++
+			if expr.Equal(n.cur[n.jc.leftPos[0]], r[n.jc.rightPos[0]]) && n.jc.residualsMatch(n.cur, r) {
+				match = r
+				break
+			}
+		}
+		if pairs > 0 {
+			if _, err := n.meter.ChargeN(n.clsPair, pairs); err != nil {
+				return nil, err
+			}
+		}
+		if match == nil {
+			n.have = false // inner exhausted for this outer row
+			continue
+		}
+		if _, err := n.meter.ChargeN(n.clsOut, 1); err != nil {
+			return nil, err
+		}
+		n.obs.OutRows++
+		n.out.emit(n.cur, match)
+		if n.out.full() {
+			return n.out.take(), nil
+		}
+	}
+}
+
+func (n *vecNLJoin) Close() error {
+	if err := n.left.Close(); err != nil {
+		return err
+	}
+	return n.right.Close()
+}

@@ -25,6 +25,7 @@ func (e *Executor) buildScan(n *plan.Node, meter *Meter, res *Result) (operator,
 			filters: e.compileFilters(rel, -1),
 			meter:   meter,
 			params:  e,
+			cls:     meter.Class(e.params.SeqTuple),
 		}, sch, nil
 	}
 	switch n.Scan.Method {
@@ -59,6 +60,7 @@ type seqScan struct {
 	filters []boundFilter
 	meter   *Meter
 	params  *Executor
+	cls     int
 	pos     int
 }
 
@@ -76,17 +78,10 @@ func (s *seqScan) Next() (expr.Row, error) {
 		}
 		row := s.rel.Rows[s.pos]
 		s.pos++
-		if err := s.meter.Charge(s.params.params.SeqTuple); err != nil {
+		if _, err := s.meter.ChargeN(s.cls, 1); err != nil {
 			return nil, err
 		}
-		ok := true
-		for _, f := range s.filters {
-			if !f.eval(row) {
-				ok = false
-				break
-			}
-		}
-		if ok {
+		if matchAll(s.filters, row) {
 			return row, nil
 		}
 	}
@@ -95,14 +90,15 @@ func (s *seqScan) Next() (expr.Row, error) {
 
 func (s *seqScan) Close() error { return nil }
 
-// buildIndexScan selects the driving predicate: the filter whose index
+// planIndexScan selects the driving predicate: the filter whose index
 // probe matches the fewest rows (the executor's analogue of the cost
-// model's best-single-filter selectivity). Remaining filters run as
-// residuals.
-func (e *Executor) buildIndexScan(rel int, relation *storage.Relation, meter *Meter) (operator, error) {
+// model's best-single-filter selectivity). It returns the matching row
+// ordinals and the driving filter's index (whose residuals the caller
+// compiles). Shared by the tuple and vectorized builders.
+func (e *Executor) planIndexScan(rel int, relation *storage.Relation) ([]int32, int, error) {
 	r := &e.q.Relations[rel]
 	if len(r.Filters) == 0 {
-		return nil, fmt.Errorf("exec: index scan on %s without filters", r.Alias)
+		return nil, -1, fmt.Errorf("exec: index scan on %s without filters", r.Alias)
 	}
 	bestIdx, bestCount := -1, int(^uint(0)>>1)
 	var bestRows []int32
@@ -120,14 +116,23 @@ func (e *Executor) buildIndexScan(rel int, relation *storage.Relation, meter *Me
 		}
 	}
 	if bestIdx < 0 {
-		return nil, fmt.Errorf("exec: no usable index for %s", r.Alias)
+		return nil, -1, fmt.Errorf("exec: no usable index for %s", r.Alias)
+	}
+	return bestRows, bestIdx, nil
+}
+
+func (e *Executor) buildIndexScan(rel int, relation *storage.Relation, meter *Meter) (operator, error) {
+	rows, bestIdx, err := e.planIndexScan(rel, relation)
+	if err != nil {
+		return nil, err
 	}
 	return &indexScan{
 		rel:     relation,
-		rows:    bestRows,
+		rows:    rows,
 		filters: e.compileFilters(rel, bestIdx),
 		meter:   meter,
 		params:  e,
+		cls:     meter.Class(e.params.IdxTuple),
 	}, nil
 }
 
@@ -164,6 +169,7 @@ type indexScan struct {
 	filters []boundFilter
 	meter   *Meter
 	params  *Executor
+	cls     int
 	pos     int
 	opened  bool
 }
@@ -181,17 +187,10 @@ func (s *indexScan) Next() (expr.Row, error) {
 	for s.pos < len(s.rows) {
 		row := s.rel.Rows[s.rows[s.pos]]
 		s.pos++
-		if err := s.meter.Charge(s.params.params.IdxTuple); err != nil {
+		if _, err := s.meter.ChargeN(s.cls, 1); err != nil {
 			return nil, err
 		}
-		ok := true
-		for _, f := range s.filters {
-			if !f.eval(row) {
-				ok = false
-				break
-			}
-		}
-		if ok {
+		if matchAll(s.filters, row) {
 			return row, nil
 		}
 	}

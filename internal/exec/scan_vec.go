@@ -1,0 +1,169 @@
+package exec
+
+import (
+	"io"
+
+	"repro/internal/expr"
+	"repro/internal/faultinject"
+	"repro/internal/storage"
+)
+
+// vecSeqScan reads the relation in zero-copy windows of up to cap rows:
+// each batch aliases the storage row array directly, one ChargeN bills
+// the whole window, and filters narrow it through a selection vector.
+type vecSeqScan struct {
+	rel     *storage.Relation
+	filters []boundFilter
+	meter   *Meter
+	ex      *Executor
+	cls     int
+	cap     int
+	pos     int
+	sel     []int32
+	out     rowBatch
+}
+
+func (s *vecSeqScan) Open() error {
+	s.pos = 0
+	return nil
+}
+
+func (s *vecSeqScan) NextBatch() (*rowBatch, error) {
+	for s.pos < len(s.rel.Rows) {
+		end := s.pos + s.cap
+		if end > len(s.rel.Rows) {
+			end = len(s.rel.Rows)
+		}
+		if s.ex.faults != nil {
+			// Lockstep: fire the scan-tuple site at the same absolute row
+			// positions the tuple engine checks (every 64th row).
+			for p := s.pos; p < end; p++ {
+				if p&cancelCheckMask == 0 {
+					if ferr := s.ex.faults.Check(faultinject.SiteScanTuple); ferr != nil {
+						return nil, opError("seqscan", ferr)
+					}
+				}
+			}
+		}
+		window := s.rel.Rows[s.pos:end]
+		s.pos = end
+		if _, err := s.meter.ChargeN(s.cls, int64(len(window))); err != nil {
+			return nil, err
+		}
+		if len(s.filters) == 0 {
+			s.out = rowBatch{base: window, stable: true}
+			return &s.out, nil
+		}
+		if cap(s.sel) < len(window) {
+			s.sel = make([]int32, len(window))
+		}
+		sel := s.sel[:len(window)]
+		k := 0
+		if len(s.filters) == 1 && s.filters[0].ranged {
+			// The dominant shape — one int-range predicate — runs as a
+			// tight two-compare loop with no calls per row. The ordinal
+			// is stored unconditionally and the cursor advanced on match,
+			// so the selection write carries no extra branch.
+			f := &s.filters[0]
+			col, lo := f.col, f.lo
+			span := uint64(f.hi) - uint64(f.lo) // lo ≤ v ≤ hi as one unsigned compare
+			i := 0
+			for ; i < len(window); i++ {
+				v := &window[i][col]
+				if v.K != expr.KindInt {
+					break
+				}
+				sel[k] = int32(i)
+				if uint64(v.I)-uint64(lo) <= span {
+					k++
+				}
+			}
+			for ; i < len(window); i++ { // mixed-kind tail (NULLs, floats)
+				sel[k] = int32(i)
+				if matchAll(s.filters, window[i]) {
+					k++
+				}
+			}
+		} else {
+			for i := range window {
+				sel[k] = int32(i)
+				if matchAll(s.filters, window[i]) {
+					k++
+				}
+			}
+		}
+		if k > 0 {
+			s.out = rowBatch{base: window, sel: sel[:k], stable: true}
+			return &s.out, nil
+		}
+		// The whole window was filtered out; scan the next one.
+	}
+	return nil, io.EOF
+}
+
+func (s *vecSeqScan) Close() error { return nil }
+
+// vecIndexScan fetches the probed ordinals in windows, charging one
+// descent at Open (like the tuple engine) and IdxTuple per fetched row
+// in batches; residual filters narrow via a selection vector.
+type vecIndexScan struct {
+	rel     *storage.Relation
+	rows    []int32
+	filters []boundFilter
+	meter   *Meter
+	ex      *Executor
+	cls     int
+	cap     int
+	pos     int
+	scratch []expr.Row
+	sel     []int32
+	out     rowBatch
+}
+
+func (s *vecIndexScan) Open() error {
+	s.pos = 0
+	if ferr := s.ex.faults.Check(faultinject.SiteIndexProbe); ferr != nil {
+		return opError("indexscan", ferr)
+	}
+	return s.meter.Charge(s.ex.params.IdxDescend * log2g(float64(s.rel.NumRows())))
+}
+
+func (s *vecIndexScan) NextBatch() (*rowBatch, error) {
+	if s.scratch == nil {
+		s.scratch = make([]expr.Row, 0, s.cap)
+	}
+	for s.pos < len(s.rows) {
+		end := s.pos + s.cap
+		if end > len(s.rows) {
+			end = len(s.rows)
+		}
+		n := end - s.pos
+		if _, err := s.meter.ChargeN(s.cls, int64(n)); err != nil {
+			return nil, err
+		}
+		s.scratch = s.scratch[:0]
+		for _, ord := range s.rows[s.pos:end] {
+			s.scratch = append(s.scratch, s.rel.Rows[ord])
+		}
+		s.pos = end
+		if len(s.filters) == 0 {
+			// The scratch slice is recycled but the rows it references
+			// alias immutable storage, so the batch is stable.
+			s.out = rowBatch{base: s.scratch, stable: true}
+			return &s.out, nil
+		}
+		s.sel = s.sel[:0]
+		for i := range s.scratch {
+			if matchAll(s.filters, s.scratch[i]) {
+				s.sel = append(s.sel, int32(i))
+			}
+		}
+		if len(s.sel) > 0 {
+			s.out = rowBatch{base: s.scratch, sel: s.sel, stable: true}
+			return &s.out, nil
+		}
+	}
+	return nil, io.EOF
+}
+
+func (s *vecIndexScan) Close() error { return nil }

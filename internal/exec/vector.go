@@ -1,0 +1,335 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/expr"
+	"repro/internal/faultinject"
+	"repro/internal/plan"
+)
+
+// DefaultBatchSize is the row capacity operators exchange per NextBatch
+// call in the vectorized engine.
+const DefaultBatchSize = 1024
+
+// rowBatch is a batch of row references with an optional selection
+// vector: sel == nil means every row of base is selected, otherwise sel
+// lists the selected ordinals into base. Filters narrow batches by
+// writing selection vectors — rows are never copied.
+//
+// stable marks that the referenced rows stay valid after further
+// NextBatch calls on the producer (true for scans, whose rows alias the
+// immutable storage arrays; false for join outputs, which live in a
+// reused arena). Consumers that retain rows across batches (hash build,
+// sort, NL materialization) must clone unstable rows.
+type rowBatch struct {
+	base   []expr.Row
+	sel    []int32
+	stable bool
+}
+
+// n returns the number of selected rows.
+func (b *rowBatch) n() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return len(b.base)
+}
+
+// row returns the i-th selected row.
+func (b *rowBatch) row(i int) expr.Row {
+	if b.sel != nil {
+		return b.base[b.sel[i]]
+	}
+	return b.base[i]
+}
+
+// cloneRow copies a row out of an unstable batch.
+func cloneRow(r expr.Row) expr.Row { return append(expr.Row(nil), r...) }
+
+// outBuf is a join operator's reusable output arena: concatenated
+// output rows are appended into one flat value slab, so a batch of
+// joined rows costs two slice appends per row instead of one allocation
+// each. The arena is recycled on every NextBatch call, which is why
+// batches built from it are unstable.
+type outBuf struct {
+	width int
+	cap   int
+	vals  []expr.Value
+	rows  []expr.Row
+	b     rowBatch
+}
+
+func newOutBuf(width, cap int) *outBuf {
+	return &outBuf{
+		width: width,
+		cap:   cap,
+		vals:  make([]expr.Value, 0, width*cap),
+		rows:  make([]expr.Row, 0, cap),
+	}
+}
+
+func (o *outBuf) reset() {
+	o.vals = o.vals[:0]
+	o.rows = o.rows[:0]
+}
+
+// emit appends the concatenation of l and r as one output row.
+func (o *outBuf) emit(l, r expr.Row) {
+	s := len(o.vals)
+	o.vals = append(o.vals, l...)
+	o.vals = append(o.vals, r...)
+	o.rows = append(o.rows, o.vals[s:len(o.vals):len(o.vals)])
+}
+
+func (o *outBuf) full() bool { return len(o.rows) >= o.cap }
+func (o *outBuf) len() int   { return len(o.rows) }
+
+// take returns the buffered rows as an (unstable) batch.
+func (o *outBuf) take() *rowBatch {
+	o.b = rowBatch{base: o.rows}
+	return &o.b
+}
+
+// batchOperator is the vectorized iterator interface: NextBatch returns
+// the next non-empty batch, io.EOF at end of stream.
+type batchOperator interface {
+	Open() error
+	NextBatch() (*rowBatch, error)
+	Close() error
+}
+
+// driveVec runs one batch-at-a-time execution attempt. Semantics are
+// pinned to driveTuple's: same recovery, same billing, same epilogue.
+//
+// With a fault injector armed the engine runs in lockstep mode —
+// capacity 1 — which reproduces the tuple engine's charge / fault-check
+// / emit interleaving exactly, so per-site fault sequence numbers, kill
+// points, and retry schedules replay bit for bit. Unarmed runs use the
+// configured batch size; every completed-run observable is still
+// bit-identical to tuple execution (cost metering is a pure function of
+// per-class tuple counts — see Meter), and a budget-killed run differs
+// only in Result.Rows, which no discovery consumer reads.
+func (e *Executor) driveVec(ctx context.Context, root *plan.Node, budget float64, spill bool) (res *Result, err error) {
+	meter := &Meter{Budget: budget}
+	res = &Result{JoinSel: make(map[int]float64)}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Cost = meter.Used + meter.Drifted
+			res.Drift = meter.Drifted
+			res.Completed = false
+			err = recoveredError(root.Signature(), r)
+		}
+	}()
+	capacity := e.batchSize
+	if e.faults != nil {
+		capacity = 1 // lockstep: replay tuple-exact fault sequences
+	}
+	op, _, err := e.buildVec(root, meter, res, capacity)
+	if err != nil {
+		res.Cost = meter.Used + meter.Drifted
+		res.Drift = meter.Drifted
+		return res, opError("build", err)
+	}
+	steps := 0
+	err = func() error {
+		if err := op.Open(); err != nil {
+			return err
+		}
+		for {
+			if steps&cancelCheckMask == 0 {
+				if cerr := ctx.Err(); cerr != nil {
+					return opError("cancel", cerr)
+				}
+				if ferr := e.faults.Check(faultinject.SiteOperatorPanic); ferr != nil {
+					panic(ferr)
+				}
+				if d := e.faults.Drift(faultinject.SiteLatency); d > 0 {
+					meter.AddDrift(d * e.params.Tuple)
+				}
+			} else if capacity > 1 {
+				// Off-gate batches are whole windows of rows; keep
+				// cancellation latency comparable to the tuple engine's
+				// every-64-rows check.
+				if cerr := ctx.Err(); cerr != nil {
+					return opError("cancel", cerr)
+				}
+			}
+			steps++
+			b, err := op.NextBatch()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			res.Rows += int64(b.n())
+		}
+	}()
+	return e.epilogue(res, meter, op, err, op.Close(), spill)
+}
+
+// buildVec compiles a plan node into a batch operator tree. It must
+// mirror build exactly: same fault-check sites, same degradation notes,
+// and — critically — the same meter class registration order, so the
+// metered total is the same function of tuple counts in both engines.
+func (e *Executor) buildVec(n *plan.Node, meter *Meter, res *Result, capacity int) (batchOperator, *schema, error) {
+	if n.IsScan() {
+		return e.buildScanVec(n, meter, res, capacity)
+	}
+	return e.buildJoinVec(n, meter, res, capacity)
+}
+
+func (e *Executor) buildScanVec(n *plan.Node, meter *Meter, res *Result, capacity int) (batchOperator, *schema, error) {
+	rel := n.Scan.Rel
+	r := &e.q.Relations[rel]
+	relation := e.store.Relation(r.Table)
+	if relation == nil {
+		return nil, nil, fmt.Errorf("exec: store missing relation %s", r.Table)
+	}
+	sch := e.relSchema(rel)
+	seq := func() (batchOperator, *schema, error) {
+		return &vecSeqScan{
+			rel:     relation,
+			filters: e.compileFilters(rel, -1),
+			meter:   meter,
+			ex:      e,
+			cls:     meter.Class(e.params.SeqTuple),
+			cap:     capacity,
+		}, sch, nil
+	}
+	switch n.Scan.Method {
+	case plan.SeqScan:
+		return seq()
+	case plan.IndexScan:
+		// Degradation ladder rung 1, identical to the tuple builder: a
+		// persistent index-probe fault downgrades to a sequential scan.
+		if ferr := e.faults.Check(faultinject.SiteIndexProbe); ferr != nil {
+			if faultinject.IsTransient(ferr) {
+				return nil, nil, opError("indexscan", ferr)
+			}
+			res.Degraded = append(res.Degraded,
+				fmt.Sprintf("indexscan→seqscan rel=%s (%v)", r.Alias, ferr))
+			return seq()
+		}
+		rows, bestIdx, err := e.planIndexScan(rel, relation)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &vecIndexScan{
+			rel:     relation,
+			rows:    rows,
+			filters: e.compileFilters(rel, bestIdx),
+			meter:   meter,
+			ex:      e,
+			cls:     meter.Class(e.params.IdxTuple),
+			cap:     capacity,
+		}, sch, nil
+	default:
+		return nil, nil, fmt.Errorf("exec: unknown scan method")
+	}
+}
+
+func (e *Executor) buildJoinVec(n *plan.Node, meter *Meter, res *Result, capacity int) (batchOperator, *schema, error) {
+	lop, ls, err := e.buildVec(n.Left, meter, res, capacity)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch n.Join.Method {
+	case plan.HashJoin, plan.MergeJoin, plan.NLJoin:
+		rop, rs, err := e.buildVec(n.Right, meter, res, capacity)
+		if err != nil {
+			return nil, nil, err
+		}
+		jc, err := e.resolveJoinCols(n, ls, rs)
+		if err != nil {
+			return nil, nil, err
+		}
+		sch := concatSchema(ls, rs)
+		base := vecJoinBase{e: e, meter: meter, jc: jc, left: lop, right: rop}
+		out := newOutBuf(len(sch.cols), capacity)
+		switch n.Join.Method {
+		case plan.HashJoin:
+			return &vecHashJoin{
+				vecJoinBase: base,
+				hint:        e.cardHint(n.Right),
+				clsBuild:    meter.Class(e.params.HashBuild),
+				clsProbe:    meter.Class(e.params.HashProbe),
+				clsOut:      meter.Class(e.params.Tuple),
+				out:         out,
+			}, sch, nil
+		case plan.MergeJoin:
+			return &vecMergeJoin{
+				vecJoinBase: base,
+				clsMerge:    meter.Class(e.params.Merge),
+				clsOut:      meter.Class(e.params.Tuple),
+				out:         out,
+			}, sch, nil
+		default:
+			return &vecNLJoin{
+				vecJoinBase: base,
+				clsMat:      meter.Class(e.params.Mat),
+				clsPair:     meter.Class(e.params.NLPair),
+				clsOut:      meter.Class(e.params.Tuple),
+				out:         out,
+			}, sch, nil
+		}
+	case plan.IndexNLJoin:
+		rel := n.Right.Scan.Rel
+		rs := e.relSchema(rel)
+		jc, err := e.resolveJoinCols(n, ls, rs)
+		if err != nil {
+			return nil, nil, err
+		}
+		relation := e.store.Relation(e.q.Relations[rel].Table)
+		if relation == nil {
+			return nil, nil, fmt.Errorf("exec: store missing relation %s", e.q.Relations[rel].Table)
+		}
+		innerCol := jc.rightPos[0]
+		if !relation.HasHashIndex(innerCol) {
+			return nil, nil, fmt.Errorf("exec: no hash index on %s column %d for INL join",
+				relation.Name, innerCol)
+		}
+		sch := concatSchema(ls, rs)
+		return &vecIndexNLJoin{
+			vecJoinBase: vecJoinBase{e: e, meter: meter, jc: jc, left: lop},
+			rel:         relation,
+			filters:     e.compileFilters(rel, -1),
+			clsDescend:  meter.Class(e.params.IdxDescend * log2g(float64(relation.NumRows()))),
+			clsFetch:    meter.Class(e.params.IdxTuple),
+			clsOut:      meter.Class(e.params.Tuple),
+			out:         newOutBuf(len(sch.cols), capacity),
+			ls:          e.faults != nil,
+		}, sch, nil
+	default:
+		return nil, nil, fmt.Errorf("exec: unknown join method")
+	}
+}
+
+// vecJoinBase is the batch engine's counterpart of joinBase: shared
+// join state plus the run-time selectivity monitor.
+type vecJoinBase struct {
+	e           *Executor
+	meter       *Meter
+	jc          *joinCols
+	left, right batchOperator
+	obs         JoinObs
+	// exact marks that both inputs were fully consumed, making the
+	// observed selectivity exact.
+	exact bool
+}
+
+// observations implements joinObserver, recursing into children.
+func (b *vecJoinBase) observations(into map[int]float64) {
+	if b.exact {
+		for _, id := range b.jc.ids {
+			into[id] = b.obs.Sel()
+		}
+	}
+	collectObservations(b.left, into)
+	if b.right != nil {
+		collectObservations(b.right, into)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -87,6 +88,12 @@ type Config struct {
 	// DrainTimeout bounds the graceful drain after the serve context is
 	// canceled (default 10s).
 	DrainTimeout time.Duration
+
+	// PprofAddr, when set, serves net/http/pprof on a second listener
+	// bound to that address (e.g. "127.0.0.1:6060"). The profiling
+	// endpoint is kept off the service mux so operators can firewall it
+	// separately from client traffic; empty disables it.
+	PprofAddr string
 
 	// Now is the clock the circuit breakers read (default time.Now);
 	// tests inject a fake to drive cooldowns deterministically.
@@ -337,9 +344,23 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // to completion, and the listener closes — bounded by DrainTimeout.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	srv := &http.Server{Handler: s.mux}
+	var pprofSrv *http.Server
+	if s.cfg.PprofAddr != "" {
+		pl, err := net.Listen("tcp", s.cfg.PprofAddr)
+		if err != nil {
+			return fmt.Errorf("server: pprof listen: %w", err)
+		}
+		pprofSrv = &http.Server{Handler: PprofHandler()}
+		s.cfg.Logf("server: pprof listening on http://%s/debug/pprof/", pl.Addr())
+		go pprofSrv.Serve(pl)
+	}
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
+		if pprofSrv != nil {
+			// Diagnostics only: close immediately, no graceful drain.
+			pprofSrv.Close()
+		}
 		s.draining.Store(true)
 		s.cfg.Logf("server: draining (waiting for in-flight requests, max %s)", s.cfg.DrainTimeout)
 		shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
@@ -372,6 +393,19 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 
 // Draining reports whether the server has begun its graceful drain.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// PprofHandler returns the net/http/pprof handler tree served on the
+// PprofAddr listener. It is built on a private mux (not
+// http.DefaultServeMux) so nothing leaks onto the service handler.
+func PprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 // ---- wire types ----
 

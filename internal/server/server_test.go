@@ -511,3 +511,22 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatal("post-drain connection should be refused")
 	}
 }
+
+func TestPprofHandler(t *testing.T) {
+	h := PprofHandler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof index status = %d, want 200", rec.Code)
+	}
+	if !bytes.Contains(rec.Body.Bytes(), []byte("goroutine")) {
+		t.Fatalf("pprof index missing profile listing: %.200s", rec.Body.String())
+	}
+	// The service mux must NOT expose the profiling endpoints.
+	s := newTestServer(t, Config{Workloads: []string{"EQ"}, Scale: 0.05})
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code == http.StatusOK {
+		t.Fatal("service mux should not serve /debug/pprof/")
+	}
+}

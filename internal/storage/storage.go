@@ -22,20 +22,34 @@ type Relation struct {
 
 	hashIdx   map[int]map[int64][]int32
 	sortedIdx map[int][]int32
+	colIdx    map[string]int
 }
 
 // NewRelation creates an empty relation with the given column names.
 func NewRelation(name string, cols []string) *Relation {
+	colIdx := make(map[string]int, len(cols))
+	for i, c := range cols {
+		colIdx[c] = i
+	}
 	return &Relation{
 		Name:      name,
 		Cols:      cols,
 		hashIdx:   make(map[int]map[int64][]int32),
 		sortedIdx: make(map[int][]int32),
+		colIdx:    colIdx,
 	}
 }
 
-// ColumnIndex returns the ordinal of the named column, or -1.
+// ColumnIndex returns the ordinal of the named column, or -1. Lookups
+// hit the name→ordinal map built at load time; relations constructed as
+// zero values (without NewRelation) fall back to a linear scan.
 func (r *Relation) ColumnIndex(name string) int {
+	if r.colIdx != nil {
+		if i, ok := r.colIdx[name]; ok {
+			return i
+		}
+		return -1
+	}
 	for i, c := range r.Cols {
 		if c == name {
 			return i

@@ -39,6 +39,15 @@ func TestColumnIndex(t *testing.T) {
 	}
 }
 
+// TestColumnIndexZeroValueFallback pins the linear-scan fallback for
+// relations built without NewRelation (no cached name→ordinal map).
+func TestColumnIndexZeroValueFallback(t *testing.T) {
+	r := &Relation{Name: "z", Cols: []string{"a", "b", "c"}}
+	if r.ColumnIndex("c") != 2 || r.ColumnIndex("a") != 0 || r.ColumnIndex("nope") != -1 {
+		t.Fatal("zero-value ColumnIndex fallback broken")
+	}
+}
+
 func TestHashIndex(t *testing.T) {
 	r := sample()
 	r.BuildHashIndex(1)
