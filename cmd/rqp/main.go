@@ -25,6 +25,10 @@
 //	discover           single discovery trace (-query, -alg, -qa)
 //	explain            optimal plan + pipelines at -qa (-query)
 //	mso                MSO/ASO sweep for one query (-query, -alg, -stride)
+//	bakeoff            comparative strategy scorecard: every registered
+//	                   robust-QP strategy swept fault-free and under the
+//	                   -chaos-seed/-chaos-rate schedule (-query, -strategies,
+//	                   -experiments-file); see DESIGN.md §12
 //	throughput         concurrent discovery throughput (-parallel, -runs,
 //	                   -exec-latency); emits benchdiff-parsable lines
 //	serve              long-running discovery service (-addr, -workloads,
@@ -91,6 +95,8 @@ func run(args []string) error {
 	lambda := fs.Float64("lambda", 0.2, "PlanBouquet anorexic reduction threshold")
 	queryName := fs.String("query", "4D_Q91", "query for the discover command")
 	alg := fs.String("alg", "spillbound", "algorithm for discover: planbouquet|spillbound|alignedbound")
+	strategies := fs.String("strategies", "", "comma-separated strategy names for bakeoff (empty = all registered)")
+	experimentsFile := fs.String("experiments-file", "", "markdown file whose bakeoff section is rewritten (empty = stdout only)")
 	qaFlag := fs.String("qa", "", "true selectivities for discover, comma-separated (e.g. 0.04,0.1)")
 	chaosSeed := fs.Uint64("chaos-seed", 0, "fault-injection seed for discover (with -chaos-rate)")
 	chaosRate := fs.Float64("chaos-rate", 0, "per-site fault probability in [0,1] for discover (0 = off)")
@@ -198,6 +204,9 @@ func run(args []string) error {
 		return explain(*queryName, *qaFlag, *scale, cfg)
 	case "mso":
 		return msoSweep(*queryName, *alg, *scale, cfg, *stride, *deadline)
+	case "bakeoff":
+		return bakeoff(*queryName, *strategies, *scale, cfg, *chaosSeed, *chaosRate,
+			*stride, *experimentsFile)
 	case "throughput":
 		return throughput(*queryName, *alg, *scale, cfg, *parallel, *runs,
 			*execLatency, *chaosSeed, *chaosRate, *deadline)
@@ -320,6 +329,49 @@ func msoSweep(name, algName string, scale float64, cfg sweepCfg, stride int, dea
 		name, algName, res.MSO, g, res.ASO, len(res.Points), sel)
 	printSweepStats(space)
 	memSummary()
+	return nil
+}
+
+// bakeoff sweeps every requested strategy over one workload —
+// fault-free and under the -chaos-seed/-chaos-rate schedule — and
+// prints the comparative scorecard, optionally rewriting the bakeoff
+// section of -experiments-file. The sweep stride follows the 5D/6D
+// convention of the other experiments: exhaustive below 5 dimensions.
+func bakeoff(name, strategiesFlag string, scale float64, cfg sweepCfg,
+	chaosSeed uint64, chaosRate float64, stride int, experimentsFile string) error {
+	spec, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	space, err := spec.SpaceWith(scale, cfg.config())
+	if err != nil {
+		return err
+	}
+	c, err := core.Compile(space, core.CompileOptions{PrimeAlignment: true})
+	if err != nil {
+		return err
+	}
+	opts := experiments.BakeoffOptions{ChaosSeed: chaosSeed, ChaosRate: chaosRate}
+	if strategiesFlag != "" {
+		for _, s := range strings.Split(strategiesFlag, ",") {
+			opts.Strategies = append(opts.Strategies, strings.TrimSpace(s))
+		}
+	}
+	if space.Grid.D >= 5 {
+		opts.Stride = stride
+	}
+	res, err := experiments.Bakeoff(c, name, opts)
+	if err != nil {
+		return err
+	}
+	res.Report().Render(os.Stdout)
+	printSweepStats(space)
+	if experimentsFile != "" {
+		if err := res.UpdateExperimentsFile(experimentsFile); err != nil {
+			return err
+		}
+		fmt.Printf("bakeoff section rewritten in %s\n", experimentsFile)
+	}
 	return nil
 }
 

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/core/discovery"
+)
+
+// adaptiveSwitchStrategy is the plan-switching baseline: classic
+// adaptive re-optimization expressed in ESS terms. It keeps a running
+// estimate of the query location — exactly-learned coordinates where a
+// spill completed, one-past-the-lower-bound elsewhere — executes the
+// plan that is optimal at that estimate, and re-plans whenever an
+// observation moves the estimate: a completed spill pins a coordinate
+// (re-plan at the same budget), a killed spill raises a half-space
+// bound (re-plan at the next budget rung).
+//
+// It is the mirror image of RobustMap: maximal plan agility, no
+// robustness in the plan choice itself. Its worst case is also
+// unguaranteed — switching plans discards the killed plans' partial
+// work, the classic adaptive-processing tax the paper's algorithms
+// bound and this baseline does not.
+type adaptiveSwitchStrategy struct{}
+
+func (adaptiveSwitchStrategy) Name() string { return "adaptiveswitch" }
+
+// Prepare is a no-op: the strategy re-plans from the live POSP surface.
+func (adaptiveSwitchStrategy) Prepare(c *Compiled) (any, error) { return nil, nil }
+
+// estPoint maps the discovery state to the strategy's current location
+// estimate: learned dimensions exactly, unlearned ones one grid step
+// above their exclusive lower bound (index 0 when nothing is known —
+// the optimistic end, so budgets start cheap).
+func estPoint(st *discovery.State, res int, idx []int) []int {
+	for d := range idx {
+		if st.Learned[d] >= 0 {
+			idx[d] = st.Learned[d]
+			continue
+		}
+		v := st.Lower[d] + 1
+		if v > res-1 {
+			v = res - 1
+		}
+		idx[d] = v
+	}
+	return idx
+}
+
+// Discover climbs the budget ladder, re-planning from the observed
+// selectivities before every execution.
+func (adaptiveSwitchStrategy) Discover(r *Run, _ any, eng discovery.Engine) (*discovery.Outcome, error) {
+	s := r.c.Space
+	g := s.Grid
+	out := &discovery.Outcome{}
+	st := discovery.NewState(g.D)
+	ladder := budgetLadder(s)
+	idx := make([]int, g.D)
+	for rung := 0; rung < len(ladder); rung++ {
+		budget := ladder[rung]
+		// Re-plan at this budget until an observation forces the next
+		// rung. Each completed spill learns one dimension, so the inner
+		// loop runs at most D+1 executions per rung.
+		for {
+			est := int32(g.Linear(estPoint(st, g.Res, idx)))
+			pid := s.PointPlan[est]
+			if aerr := discovery.AbortOf(eng); aerr != nil {
+				return out, aerr
+			}
+			if dim := s.SpillDim(pid, st.RemMask()); dim >= 0 {
+				cost, done, learned := eng.ExecSpill(pid, dim, budget)
+				out.Add(discovery.Step{
+					Contour: rung + 1, PlanID: pid, Dim: dim,
+					Budget: budget, Cost: cost, Completed: done,
+					Phase: discovery.PhaseSpill, LearnedIdx: learned,
+				})
+				if done {
+					st.Learn(dim, learned)
+					continue // estimate moved: re-plan at the same budget
+				}
+				st.Raise(dim, learned)
+				break // this budget is spent learning qa lies beyond; next rung
+			}
+			cost, done := eng.ExecFull(pid, budget)
+			out.Add(discovery.Step{
+				Contour: rung + 1, PlanID: pid, Dim: -1,
+				Budget: budget, Cost: cost, Completed: done,
+				Phase: discovery.PhaseBouquet, LearnedIdx: -1,
+			})
+			if done {
+				out.Completed = true
+				return out, nil
+			}
+			break // killed regular execution: next rung
+		}
+	}
+	return out, fmt.Errorf("adaptiveswitch: did not complete within %d budget rungs (query %s)",
+		len(ladder), s.Q.Name)
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/core/alignedbound"
 	"repro/internal/core/bouquet"
@@ -39,6 +40,10 @@ type Compiled struct {
 
 	reduction *ess.Reduction
 	planner   *alignedbound.Planner
+
+	// preps memoizes strategy compile-time state per strategy name
+	// (values are *prepEntry); see strategyPrep.
+	preps sync.Map
 }
 
 // Compile eagerly builds the compile-time artifact for the space.

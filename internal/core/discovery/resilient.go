@@ -3,6 +3,7 @@ package discovery
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -252,3 +253,56 @@ func (r *Resilient) Take() (degs []Degradation, retries int, wasted float64) {
 }
 
 var _ Engine = (*Resilient)(nil)
+
+// ValidateDegradations checks the structural invariants every
+// degradation ledger must satisfy, regardless of strategy or fault
+// schedule:
+//
+//   - per-execution entries (Exec > 0) appear in non-decreasing
+//     execution order — the resilient driver appends them as executions
+//     happen, so an inversion means records were reordered or invented;
+//   - exactly one run-level "exec-abandoned" stamp (Exec == 0) exists
+//     when the run was aborted, and none otherwise — the abort is
+//     recorded once for the run as a whole, never per retry attempt;
+//   - the only other run-level entry is "alignment-fallback" (the
+//     AlignedBound→SpillBound handover, not tied to any execution);
+//     "retry" and "lost-observation" are meaningless without one.
+//
+// Chaos suites run every strategy's outcome through this check so a
+// bookkeeping regression fails loudly instead of skewing bake-off
+// ledgers.
+func ValidateDegradations(out *Outcome, aborted bool) error {
+	if out == nil {
+		if aborted {
+			return errors.New("discovery: aborted run has no outcome to carry the exec-abandoned stamp")
+		}
+		return nil
+	}
+	lastExec := 0
+	stamps := 0
+	for i, d := range out.Degradations {
+		switch {
+		case d.Exec > 0:
+			if d.Exec < lastExec {
+				return fmt.Errorf("discovery: degradation %d (%s) exec ordinal %d precedes %d",
+					i, d.Kind, d.Exec, lastExec)
+			}
+			lastExec = d.Exec
+		case d.Kind == "exec-abandoned":
+			stamps++
+		case d.Kind == "alignment-fallback":
+			// Run-level by design; exempt from the ordinal rule.
+		default:
+			return fmt.Errorf("discovery: degradation %d kind %q has no execution ordinal", i, d.Kind)
+		}
+	}
+	want := 0
+	if aborted {
+		want = 1
+	}
+	if stamps != want {
+		return fmt.Errorf("discovery: %d run-level exec-abandoned stamp(s), want %d (aborted=%v)",
+			stamps, want, aborted)
+	}
+	return nil
+}

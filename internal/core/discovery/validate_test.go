@@ -1,0 +1,67 @@
+package discovery
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateDegradations(t *testing.T) {
+	ledger := func(degs ...Degradation) *Outcome {
+		return &Outcome{Degradations: degs}
+	}
+	cases := []struct {
+		name    string
+		out     *Outcome
+		aborted bool
+		wantErr string // substring; empty means valid
+	}{
+		{"nil-clean", nil, false, ""},
+		{"nil-aborted", nil, true, "no outcome"},
+		{"empty-clean", ledger(), false, ""},
+		{"ordered-retries", ledger(
+			Degradation{Kind: "retry", Exec: 1},
+			Degradation{Kind: "retry", Exec: 1},
+			Degradation{Kind: "exec-abandoned", Exec: 1},
+			Degradation{Kind: "lost-observation", Exec: 3},
+		), false, ""},
+		{"exec-ordinal-inversion", ledger(
+			Degradation{Kind: "retry", Exec: 4},
+			Degradation{Kind: "retry", Exec: 2},
+		), false, "precedes"},
+		{"aborted-with-stamp", ledger(
+			Degradation{Kind: "retry", Exec: 2},
+			Degradation{Kind: "exec-abandoned"}, // Exec 0: the run-level stamp
+		), true, ""},
+		{"aborted-missing-stamp", ledger(
+			Degradation{Kind: "retry", Exec: 2},
+		), true, "want 1"},
+		{"clean-with-spurious-stamp", ledger(
+			Degradation{Kind: "exec-abandoned"},
+		), false, "want 0"},
+		{"aborted-double-stamp", ledger(
+			Degradation{Kind: "exec-abandoned"},
+			Degradation{Kind: "exec-abandoned"},
+		), true, "want 1"},
+		{"alignment-fallback-exempt", ledger(
+			Degradation{Kind: "alignment-fallback"},
+			Degradation{Kind: "retry", Exec: 1},
+		), false, ""},
+		{"retry-without-ordinal", ledger(
+			Degradation{Kind: "retry"},
+		), false, "no execution ordinal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateDegradations(tc.out, tc.aborted)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid ledger rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/ess"
+)
+
+// The heuristic strategies (PARQO-lite, RobustMap) reason about a
+// neighborhood of the optimizer's estimated location instead of the
+// whole ESS. The repo's simulated workloads carry no cardinality
+// estimate, so the estimate is the canonical mid-grid point — the
+// geometric center of the selectivity range on every dimension, which
+// is where an uninformative uniform prior lands. What matters for the
+// bake-off is that all strategies share the same (wrong) estimate while
+// the true location sweeps the grid.
+
+// estimatePoint returns the grid's canonical estimated location: the
+// middle index on every dimension.
+func estimatePoint(g *ess.Grid) int32 {
+	idx := make([]int, g.D)
+	for d := range idx {
+		idx[d] = g.Res / 2
+	}
+	return int32(g.Linear(idx))
+}
+
+// neighborhood is an error-weighted set of grid points around an
+// estimate: Points[i] carries Weights[i], decaying geometrically with
+// L∞ grid distance from the center (distance 0 — the center itself —
+// has weight 1).
+type neighborhood struct {
+	Points  []int32
+	Weights []float64
+}
+
+// neighborhoodDecay is the per-grid-step weight decay: one step of
+// estimation error is half as likely as none. On the geometric grid a
+// step is a constant multiplicative selectivity error, so geometric
+// decay mirrors the log-normal-style error profiles PARQO assumes.
+const neighborhoodDecay = 0.5
+
+// errorNeighborhood enumerates the L∞ ball of radius r around the
+// center (clipped to the grid) with geometrically decaying weights.
+// Radius defaults to Res/4 (at least 1) and shrinks until the ball has
+// at most 4096 points, so high-D spaces stay cheap to recost.
+func errorNeighborhood(g *ess.Grid, center int32) neighborhood {
+	r := g.Res / 4
+	if r < 1 {
+		r = 1
+	}
+	for r > 1 && math.Pow(float64(2*r+1), float64(g.D)) > 4096 {
+		r--
+	}
+	cc := g.Coords(int(center), nil)
+	var nb neighborhood
+	// Odometer over offsets in [-r, r]^D.
+	off := make([]int, g.D)
+	for d := range off {
+		off[d] = -r
+	}
+	idx := make([]int, g.D)
+	for {
+		ok := true
+		dist := 0
+		for d := range off {
+			v := cc[d] + off[d]
+			if v < 0 || v >= g.Res {
+				ok = false
+				break
+			}
+			idx[d] = v
+			if a := off[d]; a > dist {
+				dist = a
+			} else if -a > dist {
+				dist = -a
+			}
+		}
+		if ok {
+			nb.Points = append(nb.Points, int32(g.Linear(idx)))
+			nb.Weights = append(nb.Weights, math.Pow(neighborhoodDecay, float64(dist)))
+		}
+		d := g.D - 1
+		for d >= 0 {
+			off[d]++
+			if off[d] <= r {
+				break
+			}
+			off[d] = -r
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return nb
+}
+
+// maxLadderRungs caps the heuristic strategies' budget ladder. A chosen
+// plan's cost at the true location is at most a bounded factor above
+// Cmax (both are finite recosts of pool plans on the grid), so the cap
+// is a defense against adversarial engines, not a bound real runs
+// approach: reaching it means the engine never completes anything and
+// the strategy reports an error instead of spinning.
+const maxLadderRungs = 64
+
+// budgetLadder returns the execution-budget ladder the heuristic
+// strategies climb: the iso-cost contour budgets CC_1..CC_m, extended
+// past Cmax by continued CostRatio growth (the chosen plan is generally
+// not optimal at the true location, so its completion cost can exceed
+// the optimal terminus cost), capped at maxLadderRungs rungs.
+func budgetLadder(s *ess.Space) []float64 {
+	costs := s.ContourCosts()
+	if len(costs) > maxLadderRungs {
+		return costs[:maxLadderRungs]
+	}
+	ladder := append(make([]float64, 0, maxLadderRungs), costs...)
+	ratio := s.CostRatio
+	if ratio <= 1 {
+		ratio = 2
+	}
+	for len(ladder) < maxLadderRungs {
+		ladder = append(ladder, ladder[len(ladder)-1]*ratio)
+	}
+	return ladder
+}
+
+// startRung returns the index of the first ladder rung whose budget
+// covers the given cost (0 when even the first rung does).
+func startRung(ladder []float64, cost float64) int {
+	for i, b := range ladder {
+		if b >= cost {
+			return i
+		}
+	}
+	return len(ladder) - 1
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/core/discovery"
+)
+
+// parqoStrategy is PARQO-lite: penalty-aware plan selection in the
+// spirit of PARQO (arXiv 2406.01526), scaled down to the ESS machinery
+// this repo already has. At compile time it picks the single POSP plan
+// minimizing the expected penalty — the error-weighted sum, over a
+// neighborhood of the estimated location, of how much the plan's
+// recosted cost exceeds the optimal cost there. At run time it executes
+// only that plan, climbing the budget ladder from the plan's estimated
+// cost until the query completes.
+//
+// Unlike the paper algorithms it learns nothing from kills (no spill
+// executions, no half-space pruning), so it carries no MSO guarantee:
+// its worst case is unbounded when the estimate is far off, which is
+// exactly the contrast the bake-off is meant to surface.
+type parqoStrategy struct{}
+
+func (parqoStrategy) Name() string { return "parqo" }
+
+// parqoPrep is the memoized compile-time choice.
+type parqoPrep struct {
+	planID int32
+	// start is the first budget-ladder rung covering the plan's recosted
+	// cost at the estimated location.
+	start int
+}
+
+// Prepare scores every base-pool plan by expected penalty over the
+// error neighborhood of the estimate and keeps the minimizer. Ties
+// break toward the cheaper plan at the estimate, then the lower ID, so
+// the choice is deterministic.
+func (parqoStrategy) Prepare(c *Compiled) (any, error) {
+	s := c.Space
+	ev := s.NewEvaluator()
+	qe := estimatePoint(s.Grid)
+	nb := errorNeighborhood(s.Grid, qe)
+
+	var bestID int32 = -1
+	bestPenalty, bestAtQe := 0.0, 0.0
+	for _, p := range s.BasePlans() {
+		id := int32(p.ID)
+		penalty := 0.0
+		for i, pt := range nb.Points {
+			if over := ev.PlanCost(id, pt) - s.PointCost[pt]; over > 0 {
+				penalty += nb.Weights[i] * over
+			}
+		}
+		atQe := ev.PlanCost(id, qe)
+		if bestID < 0 || penalty < bestPenalty ||
+			(penalty == bestPenalty && atQe < bestAtQe) {
+			bestID, bestPenalty, bestAtQe = id, penalty, atQe
+		}
+	}
+	if bestID < 0 {
+		return nil, fmt.Errorf("parqo: empty plan pool (query %s)", s.Q.Name)
+	}
+	return &parqoPrep{planID: bestID, start: startRung(budgetLadder(s), bestAtQe)}, nil
+}
+
+// Discover runs the chosen plan up the budget ladder: full executions
+// only, each rung's kill paid in full, until one completes.
+func (parqoStrategy) Discover(r *Run, prep any, eng discovery.Engine) (*discovery.Outcome, error) {
+	p := prep.(*parqoPrep)
+	out := &discovery.Outcome{}
+	ladder := budgetLadder(r.c.Space)
+	for rung := p.start; rung < len(ladder); rung++ {
+		if aerr := discovery.AbortOf(eng); aerr != nil {
+			return out, aerr
+		}
+		cost, done := eng.ExecFull(p.planID, ladder[rung])
+		out.Add(discovery.Step{
+			Contour: rung + 1, PlanID: p.planID, Dim: -1,
+			Budget: ladder[rung], Cost: cost, Completed: done,
+			Phase: discovery.PhaseBouquet, LearnedIdx: -1,
+		})
+		if done {
+			out.Completed = true
+			return out, nil
+		}
+	}
+	return out, fmt.Errorf("parqo: plan %d did not complete within %d budget rungs (query %s)",
+		p.planID, len(ladder), r.c.Space.Q.Name)
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/core/discovery"
+)
+
+// robustMapStrategy is a Graefe-style robustness map (arXiv 0909.1772):
+// instead of asking which plan is cheapest at the estimate, it asks how
+// steeply each candidate's cost climbs away from the optimal surface
+// around the estimate, and executes the flattest plan. A robustness map
+// colors each location with cost(p, q) / opt(q) — the plan's
+// sub-optimality — and a plan whose map stays near 1 across the error
+// neighborhood keeps performing when the estimate is wrong. At compile
+// time every base-pool plan is scored by its worst sub-optimality over
+// the neighborhood and the minimizer wins.
+//
+// At run time the chosen plan is executed with spill-mode monitoring up
+// the budget ladder: while the plan still has an unlearned spilled
+// dimension, each rung first runs in spill-mode (learning the dimension
+// on completion, raising its half-space bound on a kill, exactly the
+// SpillBound observation discipline), then — once nothing monitors — in
+// regular mode. The monitoring makes kills informative, but the plan is
+// never switched, so no MSO guarantee is claimed.
+type robustMapStrategy struct{}
+
+func (robustMapStrategy) Name() string { return "robustmap" }
+
+// robustMapPrep is the memoized compile-time choice.
+type robustMapPrep struct {
+	planID int32
+}
+
+// Prepare picks the flattest plan among the candidates that are
+// near-optimal at the estimate: a uniformly expensive plan has a
+// perfectly flat cost surface, so without the near-optimality filter
+// the map degenerates to "pick the worst plan everywhere" — robustness
+// maps grade plans an optimizer would actually consider. A candidate's
+// cost at the estimate may exceed the optimum there by at most the
+// contour ratio (one budget rung). Ties break toward the cheaper plan
+// at the estimate, then the lower ID.
+func (robustMapStrategy) Prepare(c *Compiled) (any, error) {
+	s := c.Space
+	ev := s.NewEvaluator()
+	qe := estimatePoint(s.Grid)
+	nb := errorNeighborhood(s.Grid, qe)
+	maxAtQe := s.PointCost[qe] * s.CostRatio
+	if s.CostRatio <= 1 {
+		maxAtQe = s.PointCost[qe] * 2
+	}
+
+	var bestID int32 = -1
+	bestSteep, bestAtQe := 0.0, 0.0
+	for _, p := range s.BasePlans() {
+		id := int32(p.ID)
+		atQe := ev.PlanCost(id, qe)
+		if atQe <= 0 || atQe > maxAtQe {
+			continue
+		}
+		steep := 1.0
+		for _, pt := range nb.Points {
+			if opt := s.PointCost[pt]; opt > 0 {
+				if ratio := ev.PlanCost(id, pt) / opt; ratio > steep {
+					steep = ratio
+				}
+			}
+		}
+		if bestID < 0 || steep < bestSteep ||
+			(steep == bestSteep && atQe < bestAtQe) {
+			bestID, bestSteep, bestAtQe = id, steep, atQe
+		}
+	}
+	if bestID < 0 {
+		// The optimal plan at the estimate always passes the filter in
+		// exact spaces; recost drift can exclude everything in degenerate
+		// pools, in which case the estimate's own plan is the map's pick.
+		bestID = s.PointPlan[qe]
+	}
+	return &robustMapPrep{planID: bestID}, nil
+}
+
+// Discover climbs the full budget ladder with the chosen plan. Spill
+// monitoring starts at the bottom rung — like SpillBound, the cheap
+// rungs buy selectivity knowledge — and a spill kill skips the rung's
+// regular execution (a full run under the same budget would be killed
+// too, since full cost dominates spill cost).
+func (robustMapStrategy) Discover(r *Run, prep any, eng discovery.Engine) (*discovery.Outcome, error) {
+	p := prep.(*robustMapPrep)
+	s := r.c.Space
+	out := &discovery.Outcome{}
+	st := discovery.NewState(s.Grid.D)
+	ladder := budgetLadder(s)
+	for rung := 0; rung < len(ladder); rung++ {
+		budget := ladder[rung]
+		killed := false
+		for {
+			dim := s.SpillDim(p.planID, st.RemMask())
+			if dim < 0 || st.Learned[dim] >= 0 {
+				break
+			}
+			if aerr := discovery.AbortOf(eng); aerr != nil {
+				return out, aerr
+			}
+			cost, done, learned := eng.ExecSpill(p.planID, dim, budget)
+			out.Add(discovery.Step{
+				Contour: rung + 1, PlanID: p.planID, Dim: dim,
+				Budget: budget, Cost: cost, Completed: done,
+				Phase: discovery.PhaseSpill, LearnedIdx: learned,
+			})
+			if !done {
+				st.Raise(dim, learned)
+				killed = true
+				break
+			}
+			st.Learn(dim, learned)
+		}
+		if killed {
+			continue
+		}
+		if aerr := discovery.AbortOf(eng); aerr != nil {
+			return out, aerr
+		}
+		cost, done := eng.ExecFull(p.planID, budget)
+		out.Add(discovery.Step{
+			Contour: rung + 1, PlanID: p.planID, Dim: -1,
+			Budget: budget, Cost: cost, Completed: done,
+			Phase: discovery.PhaseBouquet, LearnedIdx: -1,
+		})
+		if done {
+			out.Completed = true
+			return out, nil
+		}
+	}
+	return out, fmt.Errorf("robustmap: plan %d did not complete within %d budget rungs (query %s)",
+		p.planID, len(ladder), s.Q.Name)
+}

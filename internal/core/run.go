@@ -61,11 +61,13 @@ func (r *Run) Context() context.Context { return r.ctx }
 // if AlignedBound never ran).
 func (r *Run) MaxPenalty() float64 { return r.maxPenalty }
 
-// Discover runs the algorithm for the query instance whose true
-// location is the grid point qa, using cost-model simulated execution.
-// With faults armed (WithFaults), the simulation runs behind the
-// fault-injecting engine and the resilient retry driver.
-func (r *Run) Discover(alg Algorithm, qa int32) (*discovery.Outcome, error) {
+// simStack builds the run's cost-model-simulated execution engine for
+// the instance at qa: the bare sim, wrapped — when faults are armed —
+// in the fault-injecting engine plus the resilient retry driver, and —
+// when a context bounds the run — in the deadline guard. Every
+// discovery entry point (algorithm or strategy) shares this one stack,
+// so all six bake-off policies see identical plumbing.
+func (r *Run) simStack(qa int32) discovery.Engine {
 	sim := discovery.NewSimEngine(r.c.Space, qa)
 	if in := r.faults; in != nil {
 		res := discovery.NewResilient(discovery.NewFaultySim(sim, in), discovery.DefaultRetryPolicy).
@@ -73,12 +75,20 @@ func (r *Run) Discover(alg Algorithm, qa int32) (*discovery.Outcome, error) {
 		if r.ctx != nil {
 			res.WithContext(r.ctx)
 		}
-		return r.DiscoverWith(alg, res)
+		return res
 	}
 	if r.ctx != nil {
-		return r.DiscoverWith(alg, discovery.NewGuard(r.ctx, sim))
+		return discovery.NewGuard(r.ctx, sim)
 	}
-	return r.DiscoverWith(alg, sim)
+	return sim
+}
+
+// Discover runs the algorithm for the query instance whose true
+// location is the grid point qa, using cost-model simulated execution.
+// With faults armed (WithFaults), the simulation runs behind the
+// fault-injecting engine and the resilient retry driver.
+func (r *Run) Discover(alg Algorithm, qa int32) (*discovery.Outcome, error) {
+	return r.DiscoverWith(alg, r.simStack(qa))
 }
 
 // DiscoverWith runs the algorithm against an arbitrary execution engine
@@ -88,6 +98,13 @@ func (r *Run) Discover(alg Algorithm, qa int32) (*discovery.Outcome, error) {
 // are attached to the returned Outcome.
 func (r *Run) DiscoverWith(alg Algorithm, eng discovery.Engine) (*discovery.Outcome, error) {
 	out, err := r.dispatch(alg, eng)
+	return r.finish(out, err, eng)
+}
+
+// finish applies the run-ledger epilogue shared by every discovery
+// entry point: attach the resilient driver's degradation ledger, then
+// stamp a run-level abort on the partial outcome.
+func (r *Run) finish(out *discovery.Outcome, err error, eng discovery.Engine) (*discovery.Outcome, error) {
 	if res, ok := eng.(*discovery.Resilient); ok && out != nil {
 		degs, retries, wasted := res.Take()
 		out.Degradations = append(out.Degradations, degs...)

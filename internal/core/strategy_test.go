@@ -1,0 +1,187 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/testutil"
+)
+
+func TestStrategyRegistry(t *testing.T) {
+	want := []string{
+		"planbouquet", "spillbound", "alignedbound",
+		"parqo", "robustmap", "adaptiveswitch",
+	}
+	if got := Strategies(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Strategies() = %v, want %v", got, want)
+	}
+	for _, name := range []string{"spillbound", "SpillBound", "PARQO"} {
+		if _, ok := StrategyByName(name); !ok {
+			t.Fatalf("StrategyByName(%q) not found", name)
+		}
+	}
+	if _, ok := StrategyByName("zzz"); ok {
+		t.Fatal("unknown strategy resolved")
+	}
+}
+
+// The paper algorithms behind Strategy must produce deep-equal Outcomes
+// vs. their pre-refactor drivers — clean and under an identical chaos
+// schedule.
+func TestPaperStrategiesMatchAlgorithms(t *testing.T) {
+	s := testutil.Space2D(t, 8)
+	c, err := Compile(s, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := faultinject.Config{
+		Seed: 77,
+		Rates: map[faultinject.Site]float64{
+			faultinject.SiteEngineFull:  0.15,
+			faultinject.SiteEngineSpill: 0.15,
+			faultinject.SiteSpillObs:    0.10,
+			faultinject.SiteLatency:     0.20,
+		},
+	}
+	for _, alg := range []Algorithm{PlanBouquet, SpillBound, AlignedBound} {
+		for qa := int32(0); qa < int32(s.Grid.NumPoints()); qa += 5 {
+			want, werr := c.NewRun().Discover(alg, qa)
+			got, gerr := c.NewRun().DiscoverStrategy(string(alg), qa)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%s qa=%d: errors diverge: %v vs %v", alg, qa, werr, gerr)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s qa=%d: clean strategy outcome diverges\n got %+v\nwant %+v", alg, qa, got, want)
+			}
+			want, werr = c.NewRun().WithFaults(faultinject.New(chaos)).Discover(alg, qa)
+			got, gerr = c.NewRun().WithFaults(faultinject.New(chaos)).DiscoverStrategy(string(alg), qa)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%s qa=%d: chaos errors diverge: %v vs %v", alg, qa, werr, gerr)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s qa=%d: chaos strategy outcome diverges", alg, qa)
+			}
+		}
+	}
+}
+
+// Every registered strategy must complete every instance of a clean 2-D
+// workload, bill at least the optimal cost, and be deterministic run to
+// run.
+func TestAllStrategiesCompleteClean(t *testing.T) {
+	s := testutil.Space2D(t, 10)
+	c, err := Compile(s, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Strategies() {
+		for qa := int32(0); qa < int32(s.Grid.NumPoints()); qa += 7 {
+			out, err := c.NewRun().DiscoverStrategy(name, qa)
+			if err != nil {
+				t.Fatalf("%s qa=%d: %v", name, qa, err)
+			}
+			if !out.Completed {
+				t.Fatalf("%s qa=%d: not completed", name, qa)
+			}
+			if out.TotalCost < s.PointCost[qa]-1e-9 {
+				t.Fatalf("%s qa=%d: bill %v below optimal %v", name, qa, out.TotalCost, s.PointCost[qa])
+			}
+			again, err := c.NewRun().DiscoverStrategy(name, qa)
+			if err != nil {
+				t.Fatalf("%s qa=%d rerun: %v", name, qa, err)
+			}
+			if !reflect.DeepEqual(out, again) {
+				t.Fatalf("%s qa=%d: nondeterministic outcome", name, qa)
+			}
+		}
+	}
+}
+
+// The heuristic strategies must stay deterministic under a fixed chaos
+// schedule and keep the degradation ledger consistent.
+func TestNewStrategiesChaosDeterminism(t *testing.T) {
+	s := testutil.Space2D(t, 8)
+	c, err := Compile(s, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := faultinject.Config{
+		Seed: 40916,
+		Rates: map[faultinject.Site]float64{
+			faultinject.SiteEngineFull:  0.15,
+			faultinject.SiteEngineSpill: 0.15,
+			faultinject.SiteSpillObs:    0.10,
+			faultinject.SiteLatency:     0.20,
+		},
+	}
+	for _, name := range []string{"parqo", "robustmap", "adaptiveswitch"} {
+		for qa := int32(0); qa < int32(s.Grid.NumPoints()); qa += 9 {
+			a, aerr := c.NewRun().WithFaults(faultinject.New(chaos)).DiscoverStrategy(name, qa)
+			b, berr := c.NewRun().WithFaults(faultinject.New(chaos)).DiscoverStrategy(name, qa)
+			if (aerr == nil) != (berr == nil) {
+				t.Fatalf("%s qa=%d: chaos errors diverge: %v vs %v", name, qa, aerr, berr)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s qa=%d: chaos outcome nondeterministic", name, qa)
+			}
+			if aerr != nil {
+				continue
+			}
+			nRetry := 0
+			for _, d := range a.Degradations {
+				if d.Kind == "retry" {
+					nRetry++
+				}
+			}
+			if nRetry != a.Retries {
+				t.Fatalf("%s qa=%d: %d retry degradations but Retries=%d", name, qa, nRetry, a.Retries)
+			}
+			if a.WastedCost > a.TotalCost {
+				t.Fatalf("%s qa=%d: wasted %v exceeds total %v", name, qa, a.WastedCost, a.TotalCost)
+			}
+		}
+	}
+}
+
+func TestStrategyGuarantees(t *testing.T) {
+	s := testutil.Space2D(t, 10)
+	c, err := Compile(s, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{PlanBouquet, SpillBound, AlignedBound} {
+		g, ok := c.StrategyGuarantee(string(alg))
+		if !ok {
+			t.Fatalf("%s: no strategy guarantee", alg)
+		}
+		want, err := c.Guarantee(alg)
+		if err != nil || g != want {
+			t.Fatalf("%s: strategy guarantee %v, algorithm %v (%v)", alg, g, want, err)
+		}
+	}
+	for _, name := range []string{"parqo", "robustmap", "adaptiveswitch", "zzz"} {
+		if g, ok := c.StrategyGuarantee(name); ok {
+			t.Fatalf("%s: unexpected guarantee %v", name, g)
+		}
+	}
+}
+
+func TestDiscoverStrategyUnknown(t *testing.T) {
+	s := testutil.Space2D(t, 8)
+	c, err := Compile(s, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, derr := c.NewRun().DiscoverStrategy("zzz", 0)
+	if derr == nil || !strings.Contains(derr.Error(), "unknown strategy") {
+		t.Fatalf("unknown strategy error = %v", derr)
+	}
+	if perr := c.PrepareStrategy("zzz"); perr == nil {
+		t.Fatal("PrepareStrategy must reject unknown names")
+	}
+	if perr := c.PrepareStrategy("parqo"); perr != nil {
+		t.Fatalf("PrepareStrategy(parqo): %v", perr)
+	}
+}

@@ -47,6 +47,10 @@ func (p *ExecutorPool) Put(e *exec.Executor) {
 type ThroughputOptions struct {
 	// Algorithm is the discovery algorithm driven (default SpillBound).
 	Algorithm core.Algorithm
+	// Strategy, when non-empty, drives the named registered strategy
+	// instead of Algorithm — any bake-off policy can be throughput-
+	// profiled behind the same latent/faulty engine stack.
+	Strategy string
 	// Parallel is the number of concurrent discoveries (default 1).
 	Parallel int
 	// Runs is the total number of discoveries (default 64).
@@ -136,7 +140,7 @@ func Throughput(c *core.Compiled, opts ThroughputOptions) (*ThroughputResult, er
 					run.WithContext(ctx)
 				}
 				t0 := time.Now()
-				out, err := discoverLatent(run, opts.Algorithm, qa, opts.ExecLatency)
+				out, err := discoverLatent(run, opts.Algorithm, opts.Strategy, qa, opts.ExecLatency)
 				lats[i] = time.Since(t0)
 				if err != nil {
 					errs[w] = fmt.Errorf("throughput: run %d (qa=%d): %w", i, qa, err)
@@ -177,10 +181,13 @@ func Throughput(c *core.Compiled, opts ThroughputOptions) (*ThroughputResult, er
 
 // discoverLatent is Run.Discover with the simulated engine behind a
 // discovery.Latent delay (and, with faults armed, behind the faulty
-// engine plus the resilient driver, as in Run.Discover).
-func discoverLatent(r *core.Run, alg core.Algorithm, qa int32, delay time.Duration) (*core.Outcome, error) {
+// engine plus the resilient driver, as in Run.Discover). A non-empty
+// strategy name routes through the strategy registry instead of the
+// algorithm dispatch, on the identical engine stack.
+func discoverLatent(r *core.Run, alg core.Algorithm, strategy string, qa int32, delay time.Duration) (*core.Outcome, error) {
 	sim := discovery.NewSimEngine(r.Compiled().Space, qa)
 	ctx := r.Context()
+	var eng discovery.Engine
 	if in := r.Faults(); in != nil {
 		lat := discovery.NewLatentFallible(discovery.NewFaultySim(sim, in), delay)
 		res := discovery.NewResilient(lat, discovery.DefaultRetryPolicy).WithJitter(in.Jitter)
@@ -188,11 +195,16 @@ func discoverLatent(r *core.Run, alg core.Algorithm, qa int32, delay time.Durati
 			lat.WithContext(ctx)
 			res.WithContext(ctx)
 		}
-		return r.DiscoverWith(alg, res)
+		eng = res
+	} else {
+		lat := discovery.NewLatent(sim, delay)
+		if ctx != nil {
+			lat.WithContext(ctx)
+		}
+		eng = lat
 	}
-	lat := discovery.NewLatent(sim, delay)
-	if ctx != nil {
-		lat.WithContext(ctx)
+	if strategy != "" {
+		return r.DiscoverStrategyWith(strategy, eng)
 	}
-	return r.DiscoverWith(alg, lat)
+	return r.DiscoverWith(alg, eng)
 }

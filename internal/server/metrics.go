@@ -1,0 +1,92 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// metrics holds the server's observability counters, exposed on GET
+// /metrics in the Prometheus text exposition format with no external
+// dependencies. The substrate already tracks every number: admission
+// queue depth, in-flight discovery work, per-workload breaker state,
+// and per-strategy request counts (the counter map is prebuilt from the
+// strategy registry at startup, so recording is a lock-free add).
+type metrics struct {
+	inflight atomic.Int64
+	// byStrategy counts discovery/MSO requests per routed strategy.
+	// Requests that fail validation before routing are not counted.
+	byStrategy map[string]*atomic.Int64
+}
+
+func newMetrics() *metrics {
+	m := &metrics{byStrategy: make(map[string]*atomic.Int64)}
+	for _, name := range core.Strategies() {
+		m.byStrategy[name] = &atomic.Int64{}
+	}
+	return m
+}
+
+// countRequest records one request routed to the named strategy.
+// Unknown names (impossible after registry validation) are dropped
+// rather than grown, keeping the map read-only after construction —
+// that is what makes the hot path lock-free.
+func (m *metrics) countRequest(strategy string) {
+	if c, ok := m.byStrategy[strategy]; ok {
+		c.Add(1)
+	}
+}
+
+// track brackets one in-flight request; call the returned func on exit.
+func (m *metrics) track() func() {
+	m.inflight.Add(1)
+	return func() { m.inflight.Add(-1) }
+}
+
+// breakerGauge maps breaker states onto a stable numeric encoding for
+// the rqp_breaker_state gauge.
+func breakerGauge(state string) int {
+	switch state {
+	case "open":
+		return 1
+	case "half-open":
+		return 2
+	default: // closed
+		return 0
+	}
+}
+
+// handleMetrics serves the Prometheus text format (version 0.0.4).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	fmt.Fprintln(w, "# HELP rqp_queue_depth Requests waiting in the bounded admission queue.")
+	fmt.Fprintln(w, "# TYPE rqp_queue_depth gauge")
+	fmt.Fprintf(w, "rqp_queue_depth %d\n", s.queued.Load())
+
+	fmt.Fprintln(w, "# HELP rqp_inflight Discovery and MSO requests currently executing.")
+	fmt.Fprintln(w, "# TYPE rqp_inflight gauge")
+	fmt.Fprintf(w, "rqp_inflight %d\n", s.metrics.inflight.Load())
+
+	fmt.Fprintln(w, "# HELP rqp_breaker_state Circuit breaker state per workload (0=closed, 1=open, 2=half-open).")
+	fmt.Fprintln(w, "# TYPE rqp_breaker_state gauge")
+	for _, name := range s.order {
+		fmt.Fprintf(w, "rqp_breaker_state{workload=%q} %d\n",
+			name, breakerGauge(s.workloads[name].breaker.State()))
+	}
+
+	fmt.Fprintln(w, "# HELP rqp_requests_total Discovery and MSO requests routed, per strategy.")
+	fmt.Fprintln(w, "# TYPE rqp_requests_total counter")
+	names := make([]string, 0, len(s.metrics.byStrategy))
+	for name := range s.metrics.byStrategy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "rqp_requests_total{strategy=%q} %d\n",
+			name, s.metrics.byStrategy[name].Load())
+	}
+}

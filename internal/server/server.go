@@ -184,6 +184,7 @@ type Server struct {
 
 	workloads map[string]*workloadState
 	order     []string
+	metrics   *metrics
 
 	draining atomic.Bool
 	inflight sync.WaitGroup
@@ -201,6 +202,7 @@ func New(cfg Config) (*Server, error) {
 		mux:       http.NewServeMux(),
 		sem:       make(chan struct{}, cfg.MaxConcurrent),
 		workloads: make(map[string]*workloadState, len(cfg.Workloads)),
+		metrics:   newMetrics(),
 	}
 	if cfg.FaultRate > 0 {
 		s.faults = faultinject.NewUniform(cfg.FaultSeed, cfg.FaultRate)
@@ -231,6 +233,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /discover", s.handleDiscover)
 	s.mux.HandleFunc("POST /mso", s.handleMSO)
 	return s, nil
@@ -409,10 +412,15 @@ func PprofHandler() http.Handler {
 
 // ---- wire types ----
 
-// DiscoverRequest is the POST /discover body.
+// DiscoverRequest is the POST /discover body. Algorithm and Strategy
+// both select the discovery policy: Algorithm accepts the three paper
+// algorithms (with pb/sb/ab aliases), Strategy any name in the strategy
+// registry. Setting both to different policies is a 400; setting
+// neither defaults to SpillBound.
 type DiscoverRequest struct {
 	Workload  string  `json:"workload"`
 	Algorithm string  `json:"algorithm"`
+	Strategy  string  `json:"strategy,omitempty"`
 	QA        int32   `json:"qa"`
 	TimeoutMS int64   `json:"timeout_ms,omitempty"`
 	FaultSeed uint64  `json:"fault_seed,omitempty"`
@@ -425,6 +433,7 @@ type DiscoverRequest struct {
 type DiscoverResponse struct {
 	Workload     string                  `json:"workload"`
 	Algorithm    string                  `json:"algorithm"`
+	Strategy     string                  `json:"strategy,omitempty"`
 	QA           int32                   `json:"qa"`
 	Completed    bool                    `json:"completed"`
 	TotalCost    float64                 `json:"total_cost"`
@@ -625,6 +634,39 @@ func parseAlgorithm(s string) (core.Algorithm, error) {
 	return "", fmt.Errorf("unknown algorithm %q", s)
 }
 
+// resolveStrategy maps a request's algorithm/strategy pair onto one
+// registry name. Strategy accepts any name in the strategy registry;
+// Algorithm keeps its pb/sb/ab aliases for the paper algorithms. The
+// paper algorithm names double as registry names, so both fields
+// resolve into the same namespace — and when both are set they must
+// agree, because a request naming two different policies is a
+// contradiction, not a preference order.
+func resolveStrategy(algField, stratField string) (string, error) {
+	if stratField == "" {
+		alg, err := parseAlgorithm(algField)
+		if err != nil {
+			return "", err
+		}
+		return string(alg), nil
+	}
+	st, ok := core.StrategyByName(stratField)
+	if !ok {
+		return "", fmt.Errorf("unknown strategy %q (registered: %s)",
+			stratField, strings.Join(core.StrategyNamesSorted(), ", "))
+	}
+	name := st.Name()
+	if algField != "" {
+		alg, err := parseAlgorithm(algField)
+		if err != nil {
+			return "", err
+		}
+		if string(alg) != name {
+			return "", fmt.Errorf("conflicting algorithm %q and strategy %q", algField, stratField)
+		}
+	}
+	return name, nil
+}
+
 // lookup resolves the workload or writes the rejection.
 func (s *Server) lookup(w http.ResponseWriter, name string) (*workloadState, *core.Compiled, bool) {
 	ws, ok := s.workloads[name]
@@ -649,6 +691,7 @@ func (s *Server) lookup(w http.ResponseWriter, name string) (*workloadState, *co
 func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	defer s.inflight.Done()
+	defer s.metrics.track()()
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, KindDraining, "server draining", time.Second)
 		return
@@ -658,7 +701,7 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, KindBadRequest, "invalid JSON body: "+err.Error(), 0)
 		return
 	}
-	alg, err := parseAlgorithm(req.Algorithm)
+	name, err := resolveStrategy(req.Algorithm, req.Strategy)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, KindBadRequest, err.Error(), 0)
 		return
@@ -672,6 +715,7 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("qa %d outside grid [0, %d)", req.QA, c.Space.Grid.NumPoints()), 0)
 		return
 	}
+	s.metrics.countRequest(name)
 
 	if allowed, wait := ws.breaker.Allow(); !allowed {
 		writeError(w, http.StatusServiceUnavailable, KindBreakerOpen,
@@ -708,8 +752,12 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	out, derr := s.discover(ctx, c, alg, req.QA, in)
-	resp := DiscoverResponse{Workload: req.Workload, Algorithm: string(alg), QA: req.QA}
+	out, derr := s.discover(ctx, c, name, req.QA, in)
+	resp := DiscoverResponse{Workload: req.Workload, Strategy: name, QA: req.QA}
+	if _, perr := parseAlgorithm(name); perr == nil {
+		// Paper strategies keep the legacy algorithm echo.
+		resp.Algorithm = name
+	}
 	if out != nil {
 		resp.Completed = out.Completed
 		resp.TotalCost = out.TotalCost
@@ -737,28 +785,29 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// discover runs one deadline-bounded discovery, with the simulated
-// engine behind the configured latency and, when chaos is armed, the
-// fault-injecting engine plus the resilient retry driver (capped
-// exponential backoff with deterministic jitter).
-func (s *Server) discover(ctx context.Context, c *core.Compiled, alg core.Algorithm, qa int32, in *faultinject.Injector) (*core.Outcome, error) {
+// discover runs one deadline-bounded discovery of the named strategy,
+// with the simulated engine behind the configured latency and, when
+// chaos is armed, the fault-injecting engine plus the resilient retry
+// driver (capped exponential backoff with deterministic jitter).
+func (s *Server) discover(ctx context.Context, c *core.Compiled, name string, qa int32, in *faultinject.Injector) (*core.Outcome, error) {
 	r := c.NewRun().WithFaults(in).WithContext(ctx)
 	if s.cfg.ExecLatency <= 0 {
-		return r.Discover(alg, qa)
+		return r.DiscoverStrategy(name, qa)
 	}
 	sim := discovery.NewSimEngine(c.Space, qa)
 	if in != nil {
 		eng := discovery.NewResilient(
 			discovery.NewLatentFallible(discovery.NewFaultySim(sim, in), s.cfg.ExecLatency).WithContext(ctx),
 			discovery.DefaultRetryPolicy).WithJitter(in.Jitter).WithContext(ctx)
-		return r.DiscoverWith(alg, eng)
+		return r.DiscoverStrategyWith(name, eng)
 	}
-	return r.DiscoverWith(alg, discovery.NewLatent(sim, s.cfg.ExecLatency).WithContext(ctx))
+	return r.DiscoverStrategyWith(name, discovery.NewLatent(sim, s.cfg.ExecLatency).WithContext(ctx))
 }
 
 func (s *Server) handleMSO(w http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	defer s.inflight.Done()
+	defer s.metrics.track()()
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, KindDraining, "server draining", time.Second)
 		return
@@ -787,6 +836,7 @@ func (s *Server) handleMSO(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.metrics.countRequest(string(alg))
 	if allowed, wait := ws.breaker.Allow(); !allowed {
 		writeError(w, http.StatusServiceUnavailable, KindBreakerOpen,
 			fmt.Sprintf("workload %s circuit open", req.Workload), wait)

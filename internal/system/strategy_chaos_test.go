@@ -1,0 +1,82 @@
+package system
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/core/discovery"
+	"repro/internal/faultinject"
+)
+
+// Every registered strategy — the three paper algorithms and the three
+// bake-off heuristics — must survive the shared chaos matrix: transient
+// faults retried away, the run completed, the degradation ledger
+// structurally valid (ValidateDegradations), the bill never below
+// wasted cost, and the whole episode bit-for-bit reproducible under the
+// same seed.
+func TestChaosAllStrategiesLedgerInvariants(t *testing.T) {
+	s := buildRandomSpace(t, 11, 4, 2, 6)
+	c, err := core.Compile(s, core.CompileOptions{PrimeAlignment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range core.Strategies() {
+		for qa := int32(0); qa < int32(s.Grid.NumPoints()); qa += 5 {
+			seed := uint64(qa)*31 + 7
+			run := func() (*discovery.Outcome, error) {
+				in := faultinject.New(chaosConfig(seed))
+				return c.NewRun().WithFaults(in).DiscoverStrategy(name, qa)
+			}
+			out, err := run()
+			if err != nil {
+				t.Fatalf("%s qa=%d: %v", name, qa, err)
+			}
+			if !out.Completed {
+				t.Fatalf("%s qa=%d: transient chaos must not prevent completion", name, qa)
+			}
+			if verr := discovery.ValidateDegradations(out, false); verr != nil {
+				t.Fatalf("%s qa=%d: %v\nledger: %+v", name, qa, verr, out.Degradations)
+			}
+			if out.WastedCost > out.TotalCost || out.TotalCost < s.PointCost[qa] {
+				t.Fatalf("%s qa=%d: implausible bill total=%v wasted=%v opt=%v",
+					name, qa, out.TotalCost, out.WastedCost, s.PointCost[qa])
+			}
+			again, err := run()
+			if err != nil {
+				t.Fatalf("%s qa=%d rerun: %v", name, qa, err)
+			}
+			if !reflect.DeepEqual(out, again) {
+				t.Fatalf("%s qa=%d: same seed diverged:\n%+v\n%+v", name, qa, out, again)
+			}
+		}
+	}
+}
+
+// An aborted run of any strategy carries exactly one run-level
+// exec-abandoned stamp — the invariant ValidateDegradations pins.
+func TestChaosAllStrategiesAbortStamp(t *testing.T) {
+	s := buildRandomSpace(t, 11, 4, 2, 6)
+	c, err := core.Compile(s, core.CompileOptions{PrimeAlignment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // every run aborts at its first execution boundary
+	qa := int32(s.Grid.NumPoints() / 2)
+	for _, name := range core.Strategies() {
+		in := faultinject.New(chaosConfig(3))
+		out, err := c.NewRun().WithFaults(in).WithContext(ctx).DiscoverStrategy(name, qa)
+		aerr := discovery.AbortCause(err)
+		if aerr == nil {
+			t.Fatalf("%s: canceled run returned err=%v, want abort", name, err)
+		}
+		if out == nil || out.Completed {
+			t.Fatalf("%s: aborted run outcome %+v", name, out)
+		}
+		if verr := discovery.ValidateDegradations(out, true); verr != nil {
+			t.Fatalf("%s: %v\nledger: %+v", name, verr, out.Degradations)
+		}
+	}
+}
