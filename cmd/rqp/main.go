@@ -17,7 +17,7 @@
 //	fig12    Fig. 12  sub-optimality histogram (4D_Q91)
 //	fig13    Fig. 13  empirical MSO, SB vs AB
 //	table2   Table 2  contour alignment penalties
-//	table3   Table 3  wall-clock drill-down (real executions)
+//	table3   Table 3  wall-clock drill-down (real executions; -exec-workers)
 //	table4   Table 4  AlignedBound maximum penalties
 //	job      §6.5     JOB benchmark query 1a
 //	summary            combined guarantees + MSOe overview
@@ -111,6 +111,7 @@ func run(args []string) error {
 	snapshotDir := fs.String("snapshot-dir", "", "crash-safe artifact cache directory for serve (empty = in-memory only)")
 	maxConcurrent := fs.Int("max-concurrent", 4, "concurrent discovery slots for serve")
 	maxQueue := fs.Int("max-queue", 16, "admission queue depth for serve (beyond it: 429)")
+	execWorkers := fs.Int("exec-workers", 0, "intra-query morsel workers for real executions: table3 applies it directly, serve uses it as the per-request exec_workers cap (0 = defaults: 1 local, 8 serve)")
 	exact := fs.Bool("exact", false, "force the exact one-DP-per-point POSP sweep")
 	theta := fs.Float64("theta", 0, "recost fallback gate width (0 = default, <0 = exact)")
 	coarse := fs.Int("coarse", 0, "phase-1 coarse lattice stride (0 = default)")
@@ -161,7 +162,7 @@ func run(args []string) error {
 	cfg := sweepCfg{res: *res, exact: *exact, theta: *theta, coarse: *coarse}
 	h := experiments.New(experiments.Options{
 		Scale: *scale, Res: *res, Lambda: *lambda, StrideHighD: *stride,
-		Exact: *exact, Theta: *theta,
+		Exact: *exact, Theta: *theta, ExecWorkers: *execWorkers,
 	})
 
 	type exp struct {
@@ -215,7 +216,7 @@ func run(args []string) error {
 			addr: *addr, pprofAddr: *pprofAddr, workloads: *serveWorkloads,
 			scale: *scale, res: *res,
 			snapshotDir: *snapshotDir, maxConcurrent: *maxConcurrent,
-			maxQueue: *maxQueue, defaultTimeout: *deadline,
+			maxQueue: *maxQueue, maxExecWorkers: *execWorkers, defaultTimeout: *deadline,
 			execLatency: *execLatency, chaosSeed: *chaosSeed, chaosRate: *chaosRate,
 			chaosAllowRequest: *chaosAllowRequest,
 		})
@@ -572,14 +573,15 @@ func discover(name, algName, qaFlag string, scale float64, cfg sweepCfg, chaosSe
 
 // serveConfig carries the serve subcommand's flags.
 type serveConfig struct {
-	addr, pprofAddr              string
-	workloads, snapshotDir       string
-	scale                        float64
-	res, maxConcurrent, maxQueue int
-	defaultTimeout, execLatency  time.Duration
-	chaosSeed                    uint64
-	chaosRate                    float64
-	chaosAllowRequest            bool
+	addr, pprofAddr             string
+	workloads, snapshotDir      string
+	scale                       float64
+	res, maxConcurrent          int
+	maxQueue, maxExecWorkers    int
+	defaultTimeout, execLatency time.Duration
+	chaosSeed                   uint64
+	chaosRate                   float64
+	chaosAllowRequest           bool
 }
 
 // serve runs the long-running discovery service until SIGTERM/SIGINT,
@@ -593,6 +595,7 @@ func serve(sc serveConfig) error {
 		SnapshotDir:        sc.snapshotDir,
 		MaxConcurrent:      sc.maxConcurrent,
 		MaxQueue:           sc.maxQueue,
+		MaxExecWorkers:     sc.maxExecWorkers,
 		DefaultTimeout:     sc.defaultTimeout,
 		ExecLatency:        sc.execLatency,
 		FaultSeed:          sc.chaosSeed,

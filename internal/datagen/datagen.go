@@ -104,6 +104,11 @@ func generateTable(cat *catalog.Catalog, t *catalog.Table, opts Options) (*stora
 		rel.Append(row)
 	}
 
+	// Column vectors are part of the storage layout, not an opt-in
+	// index: every generated relation gets them so the vectorized
+	// engine's kernels run columnar by default.
+	rel.BuildColumns()
+
 	if opts.BuildIndexes {
 		// PK hash + sorted index, FK hash indexes, plus sorted indexes on
 		// every generated attribute so the optimizer can consider index

@@ -132,3 +132,27 @@ func BenchmarkIndexNLTuple(b *testing.B) {
 		plan.NewScan(q.RelIndex("d"), plan.SeqScan))
 	benchRunEngine(b, q, f.store, p, 0, false)
 }
+
+// BenchmarkParallelExec pins the morsel scheduler's wall-clock win on
+// the star-schema hash join at a fixed worker count (8), so the ledger
+// tracks parallel speedup separately from the single-threaded
+// vectorized numbers above.
+func BenchmarkParallelExec(b *testing.B) {
+	f := newBenchFixture(b)
+	q := f.parse(b, `SELECT * FROM fact f, dim d WHERE f.f_dim = d.d_id`)
+	p := plan.NewJoin(plan.HashJoin, []int{0},
+		plan.NewScan(q.RelIndex("f"), plan.SeqScan),
+		plan.NewScan(q.RelIndex("d"), plan.SeqScan))
+	e := New(q, f.store, cost.DefaultParams()).WithWorkers(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(p, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("unbudgeted run should complete")
+		}
+	}
+}

@@ -87,6 +87,14 @@ type Meter struct {
 	// register the same constants in the same order in both engines
 	// (class registration follows plan build order).
 	classes []meterClass
+
+	// shared is non-nil on per-worker meters forked for morsel-parallel
+	// execution (see Meter.fork in morsel.go): ChargeN then bills into
+	// this worker's counter lane and checks the budget against the
+	// merged counts of all workers, so a kill fires at the same billed
+	// cost regardless of worker count.
+	shared *meterShared
+	wid    int
 }
 
 // meterClass is one per-tuple charge constant and its tuple count.
@@ -126,6 +134,12 @@ func (m *Meter) settle() error {
 
 // Charge adds units and fails with ErrBudgetExceeded past the budget.
 func (m *Meter) Charge(units float64) error {
+	if m.shared != nil {
+		// One-shot charges (descents, sorts) belong to blocking work,
+		// which runs in the sequential phase on the main meter; a worker
+		// meter seeing one is a scheduler bug, not a billing case.
+		panic("exec: one-shot Charge on a parallel worker meter")
+	}
 	m.oneShot += units
 	return m.settle()
 }
@@ -141,6 +155,9 @@ func (m *Meter) Charge(units float64) error {
 func (m *Meter) ChargeN(h int, n int64) (int64, error) {
 	if n <= 0 {
 		return 0, nil
+	}
+	if m.shared != nil {
+		return m.shared.charge(m, h, n)
 	}
 	cl := &m.classes[h]
 	cl.n += n
@@ -229,13 +246,26 @@ type Executor struct {
 	// fault injector forces capacity 1 (lockstep mode) regardless, so
 	// fault-site sequence numbers match the tuple engine exactly.
 	batchSize int
+	// workers is the intra-query parallelism degree: > 1 runs eligible
+	// vectorized plans morsel-at-a-time across a bounded worker pool
+	// (see morsel.go). An armed fault injector forces sequential
+	// execution regardless, preserving bit-for-bit chaos replay.
+	workers int
+
+	// pool recycles selection vectors, output arenas, and fetch scratch
+	// across batches and runs, so the columnar scan path allocates
+	// near-zero per execution.
+	pool bufPool
 }
+
+// MaxWorkers caps the intra-query parallelism degree.
+const MaxWorkers = 64
 
 // New creates an executor for the query over the store. Execution is
 // vectorized by default; Vectorized(false) selects the tuple-at-a-time
 // reference engine.
 func New(q *query.Query, store *storage.Store, params cost.Params) *Executor {
-	return &Executor{q: q, store: store, params: params, vectorized: true, batchSize: DefaultBatchSize}
+	return &Executor{q: q, store: store, params: params, vectorized: true, batchSize: DefaultBatchSize, workers: 1}
 }
 
 // WithFaults arms the executor with a fault injector (nil disarms) and
@@ -263,6 +293,27 @@ func (e *Executor) WithBatchSize(n int) *Executor {
 	e.batchSize = n
 	return e
 }
+
+// WithWorkers sets the intra-query parallelism degree (clamped to
+// [1, MaxWorkers]) and returns the executor for chaining. At n > 1 the
+// vectorized engine runs eligible plans morsel-at-a-time across n
+// workers inside one budgeted execution; every completed-run observable
+// (Cost, WastedCost, selectivities, degradations) is bit-identical to
+// sequential execution, and a budget kill bills exactly the budget at
+// any worker count. Armed faults force sequential lockstep regardless.
+func (e *Executor) WithWorkers(n int) *Executor {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxWorkers {
+		n = MaxWorkers
+	}
+	e.workers = n
+	return e
+}
+
+// Workers reports the configured intra-query parallelism degree.
+func (e *Executor) Workers() int { return e.workers }
 
 // Run executes the plan with the budget (0 = unlimited), discarding
 // output rows (the OLAP experiments measure work, not result delivery).

@@ -152,4 +152,8 @@ func (j *vecIndexNLJoin) innerMatches(inner expr.Row) bool {
 	return matchAll(j.filters, inner) && j.jc.residualsMatch(j.cur, inner)
 }
 
-func (j *vecIndexNLJoin) Close() error { return j.left.Close() }
+func (j *vecIndexNLJoin) Close() error {
+	j.e.pool.putOut(j.out)
+	j.out = nil
+	return j.left.Close()
+}

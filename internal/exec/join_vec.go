@@ -5,24 +5,164 @@ import (
 	"sort"
 
 	"repro/internal/expr"
+	"repro/internal/storage"
 )
+
+// graceTable is the hash join's partitioned (grace-style) build table:
+// keys are hash-partitioned into 8 partitions by their top hash bits,
+// and each partition keeps an open-addressed key directory over flat
+// parallel entry arrays. Compared to map[int64][]expr.Row this removes
+// the per-distinct-key slice allocations and the map's per-probe
+// hashing/bucket walk, keeps each partition's entries contiguous, and
+// preserves per-key insertion order through chain links — so match
+// emission order is identical to the map-append build.
+const (
+	gracePartBits = 3
+	graceParts    = 1 << gracePartBits
+)
+
+type graceTable struct {
+	parts [graceParts]gracePart
+}
+
+type gracePart struct {
+	// slots/tails form the open-addressed directory: a slot holds the
+	// entry index+1 of its key's chain head (0 = empty), tails the
+	// chain's last entry for O(1) in-order appends.
+	slots []int32
+	tails []int32
+	mask  uint64
+	// Entry arrays, parallel: key, next same-key entry (-1 ends the
+	// chain), and the build row.
+	keys []int64
+	next []int32
+	rows []expr.Row
+}
+
+// hashKey is Fibonacci hashing; the multiplier spreads consecutive ints
+// across both the top (partition) and low (slot) bits.
+func hashKey(k int64) uint64 { return uint64(k) * 0x9E3779B97F4A7C15 }
+
+func newGraceTable(hint int) *graceTable {
+	t := &graceTable{}
+	per := hint / graceParts
+	for i := range t.parts {
+		p := &t.parts[i]
+		n := 4
+		for n < 2*per {
+			n <<= 1
+		}
+		p.slots = make([]int32, n)
+		p.tails = make([]int32, n)
+		p.mask = uint64(n - 1)
+		p.keys = make([]int64, 0, per)
+		p.next = make([]int32, 0, per)
+		p.rows = make([]expr.Row, 0, per)
+	}
+	return t
+}
+
+func (t *graceTable) insert(k int64, row expr.Row) {
+	h := hashKey(k)
+	t.parts[h>>(64-gracePartBits)].insert(h, k, row)
+}
+
+func (p *gracePart) insert(h uint64, k int64, row expr.Row) {
+	if 2*(len(p.keys)+1) > len(p.slots) {
+		p.grow()
+	}
+	e := int32(len(p.keys))
+	p.keys = append(p.keys, k)
+	p.next = append(p.next, -1)
+	p.rows = append(p.rows, row)
+	s := h & p.mask
+	for {
+		head := p.slots[s]
+		if head == 0 {
+			p.slots[s] = e + 1
+			p.tails[s] = e + 1
+			return
+		}
+		if p.keys[head-1] == k {
+			p.next[p.tails[s]-1] = e
+			p.tails[s] = e + 1
+			return
+		}
+		s = (s + 1) & p.mask
+	}
+}
+
+// grow doubles the slot directory. Chains live in the entry arrays and
+// are untouched; only the distinct keys' heads re-probe.
+func (p *gracePart) grow() {
+	old, oldTails := p.slots, p.tails
+	n := len(old) * 2
+	p.slots = make([]int32, n)
+	p.tails = make([]int32, n)
+	p.mask = uint64(n - 1)
+	for i, head := range old {
+		if head == 0 {
+			continue
+		}
+		s := hashKey(p.keys[head-1]) & p.mask
+		for p.slots[s] != 0 {
+			s = (s + 1) & p.mask
+		}
+		p.slots[s] = head
+		p.tails[s] = oldTails[i]
+	}
+}
+
+// lookup returns the partition and first entry index of the key's
+// chain, or entry -1 when the key is absent.
+func (t *graceTable) lookup(k int64) (*gracePart, int32) {
+	h := hashKey(k)
+	p := &t.parts[h>>(64-gracePartBits)]
+	s := h & p.mask
+	for {
+		head := p.slots[s]
+		if head == 0 {
+			return p, -1
+		}
+		if p.keys[head-1] == k {
+			return p, head - 1
+		}
+		s = (s + 1) & p.mask
+	}
+}
+
+// buildKeyCol returns the typed int column behind a batch's key
+// position when the batch aliases a scanned relation with a clean,
+// null-free columnar projection — letting build and probe loops read
+// keys from the contiguous vector instead of chasing row pointers.
+func buildKeyCol(b *rowBatch, pos int) *storage.Column {
+	if b.rel == nil {
+		return nil
+	}
+	if c := b.rel.Col(pos); c != nil && c.Kind == expr.KindInt && !c.HasNulls() {
+		return c
+	}
+	return nil
+}
 
 // vecHashJoin builds on the right child and probes with the left, batch
 // at a time. The probe loop gathers all matches of consecutive probe
-// rows into the output arena and bills each gathered group with one
-// ChargeN; at capacity 1 (lockstep) this degenerates to the tuple
-// engine's exact charge order.
+// rows into the output arena; output charges accumulate in outPending
+// and bill as one ChargeN per emitted arena (flushed at take / EOF).
+// At capacity 1 (lockstep) the arena holds one row, so the flush
+// degenerates to the tuple engine's exact per-row charge order.
 type vecHashJoin struct {
 	vecJoinBase
 	hint                       int
 	clsBuild, clsProbe, clsOut int
 	out                        *outBuf
-	table                      map[int64][]expr.Row
+	table                      *graceTable
 	pb                         *rowBatch
 	pi                         int
 	cur                        expr.Row
-	matches                    []expr.Row
-	mi                         int
+	mp                         *gracePart
+	me                         int32
+	outPending                 int64
 	done                       bool
 }
 
@@ -33,7 +173,8 @@ func (h *vecHashJoin) Open() error {
 	if err := h.right.Open(); err != nil {
 		return err
 	}
-	h.table = make(map[int64][]expr.Row, h.hint)
+	h.table = newGraceTable(h.hint)
+	kpos := h.jc.rightPos[0]
 	for {
 		b, err := h.right.NextBatch()
 		if err == io.EOF {
@@ -47,22 +188,71 @@ func (h *vecHashJoin) Open() error {
 			return err
 		}
 		h.obs.RightRows += int64(n)
+		if kc := buildKeyCol(b, kpos); kc != nil {
+			// Columnar build: keys come straight off the typed vector at
+			// the batch's absolute offsets; scan batches are stable, so
+			// rows are referenced without cloning.
+			if b.sel == nil {
+				for i := 0; i < n; i++ {
+					h.table.insert(kc.Ints[b.off+i], b.base[i])
+				}
+			} else {
+				for _, s := range b.sel {
+					h.table.insert(kc.Ints[b.off+int(s)], b.base[s])
+				}
+			}
+			continue
+		}
 		for i := 0; i < n; i++ {
 			row := b.row(i)
-			k := row[h.jc.rightPos[0]]
+			k := row[kpos]
 			if k.IsNull() {
 				continue
 			}
 			if !b.stable {
 				row = cloneRow(row)
 			}
-			h.table[k.I] = append(h.table[k.I], row)
+			h.table.insert(k.I, row)
 		}
 	}
 	h.pb, h.pi = nil, 0
-	h.matches, h.mi = nil, 0
+	h.mp, h.me = nil, -1
+	h.outPending = 0
 	h.done = false
 	return nil
+}
+
+// flushOut bills the accumulated output charges of the current arena.
+func (h *vecHashJoin) flushOut() error {
+	if h.outPending == 0 {
+		return nil
+	}
+	n := h.outPending
+	h.outPending = 0
+	_, err := h.meter.ChargeN(h.clsOut, n)
+	return err
+}
+
+// fastProbe counts the build matches of every key in the probe batch.
+func (h *vecHashJoin) fastProbe(b *rowBatch, kc *storage.Column) int64 {
+	matches := int64(0)
+	ints := kc.Ints
+	if b.sel == nil {
+		for i := range b.base {
+			p, e := h.table.lookup(ints[b.off+i])
+			for ; e >= 0; e = p.next[e] {
+				matches++
+			}
+		}
+		return matches
+	}
+	for _, s := range b.sel {
+		p, e := h.table.lookup(ints[b.off+int(s)])
+		for ; e >= 0; e = p.next[e] {
+			matches++
+		}
+	}
+	return matches
 }
 
 func (h *vecHashJoin) NextBatch() (*rowBatch, error) {
@@ -73,9 +263,9 @@ func (h *vecHashJoin) NextBatch() (*rowBatch, error) {
 	for {
 		// Drain the current probe row's pending matches into the arena.
 		gathered := int64(0)
-		for h.mi < len(h.matches) && !h.out.full() {
-			r := h.matches[h.mi]
-			h.mi++
+		for h.me >= 0 && !h.out.full() {
+			r := h.mp.rows[h.me]
+			h.me = h.mp.next[h.me]
 			if !h.jc.residualsMatch(h.cur, r) {
 				continue
 			}
@@ -83,12 +273,13 @@ func (h *vecHashJoin) NextBatch() (*rowBatch, error) {
 			gathered++
 		}
 		if gathered > 0 {
-			if _, err := h.meter.ChargeN(h.clsOut, gathered); err != nil {
-				return nil, err
-			}
+			h.outPending += gathered
 			h.obs.OutRows += gathered
 		}
 		if h.out.full() {
+			if err := h.flushOut(); err != nil {
+				return nil, err
+			}
 			return h.out.take(), nil
 		}
 		// Matches exhausted: advance to the next probe row.
@@ -97,6 +288,9 @@ func (h *vecHashJoin) NextBatch() (*rowBatch, error) {
 			if err == io.EOF {
 				h.exact = true
 				h.done = true
+				if err := h.flushOut(); err != nil {
+					return nil, err
+				}
 				if h.out.len() > 0 {
 					return h.out.take(), nil
 				}
@@ -110,25 +304,49 @@ func (h *vecHashJoin) NextBatch() (*rowBatch, error) {
 			}
 			h.obs.LeftRows += int64(b.n())
 			h.pb, h.pi = b, 0
+			// Count-only fast probe: when the root arena discards rows and
+			// the join has no residual predicates, matches only need to be
+			// counted — the whole probe batch runs as one tight loop over
+			// the columnar key vector with no row fetches or emits.
+			if h.out.discard && len(h.jc.ids) == 1 {
+				if kc := buildKeyCol(b, h.jc.leftPos[0]); kc != nil {
+					m := h.fastProbe(b, kc)
+					h.outPending += m
+					h.obs.OutRows += m
+					h.out.count += int(m)
+					h.pi = b.n()
+					if h.out.full() {
+						if err := h.flushOut(); err != nil {
+							return nil, err
+						}
+						return h.out.take(), nil
+					}
+					continue
+				}
+			}
 		}
 		row := h.pb.row(h.pi)
 		h.pi++
 		k := row[h.jc.leftPos[0]]
 		if k.IsNull() {
-			h.matches, h.mi = nil, 0
+			h.mp, h.me = nil, -1
 			continue
 		}
 		h.cur = row
-		h.matches = h.table[k.I]
-		h.mi = 0
+		h.mp, h.me = h.table.lookup(k.I)
 	}
 }
 
 func (h *vecHashJoin) Close() error {
+	h.e.pool.putOut(h.out)
+	h.out = nil
 	if err := h.left.Close(); err != nil {
 		return err
 	}
-	return h.right.Close()
+	if h.right != nil {
+		return h.right.Close()
+	}
+	return nil
 }
 
 // vecMergeJoin drains and sorts both inputs at Open, then merges batch
@@ -266,6 +484,8 @@ func (m *vecMergeJoin) NextBatch() (*rowBatch, error) {
 }
 
 func (m *vecMergeJoin) Close() error {
+	m.e.pool.putOut(m.out)
+	m.out = nil
 	if err := m.left.Close(); err != nil {
 		return err
 	}
@@ -295,6 +515,9 @@ func (n *vecNLJoin) Open() error {
 	}
 	if err := n.right.Open(); err != nil {
 		return err
+	}
+	if n.inner == nil {
+		n.inner = n.e.pool.getRows(DefaultBatchSize)
 	}
 	n.inner = n.inner[:0]
 	for {
@@ -386,8 +609,18 @@ func (n *vecNLJoin) NextBatch() (*rowBatch, error) {
 }
 
 func (n *vecNLJoin) Close() error {
+	n.e.pool.putOut(n.out)
+	n.out = nil
 	if err := n.left.Close(); err != nil {
 		return err
 	}
-	return n.right.Close()
+	if n.right != nil {
+		// A morsel-worker clone shares the materialized inner with the
+		// original operator (right == nil marks the clone); only the
+		// owner recycles it.
+		n.e.pool.putRows(n.inner)
+		n.inner = nil
+		return n.right.Close()
+	}
+	return nil
 }

@@ -2,42 +2,180 @@ package exec
 
 import (
 	"io"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/faultinject"
 	"repro/internal/storage"
 )
 
+// Kernel shapes a compiled predicate can take over an int column.
+const (
+	kernelRange = iota // lo ≤ v ≤ hi as one unsigned compare
+	kernelNE           // v != ne
+	kernelIn           // IN-list membership
+)
+
+// colKernel is one filter predicate compiled against a typed column
+// vector: the scan hot loop runs it over contiguous int64 values with
+// no per-row type dispatch, no row pointer chase, and no calls. NULLs
+// are masked through the column's bitmap (a NULL row never matches,
+// matching boundFilter.eval).
+type colKernel struct {
+	ints  []int64
+	nulls []uint64 // nil when the column has no NULLs
+	kind  int8
+	lo    uint64 // kernelRange: lo, with span = hi-lo (unsigned trick)
+	span  uint64
+	ne    int64
+	in    map[int64]bool
+}
+
+// compileKernels compiles the filter conjunction against the
+// relation's column vectors. It returns nil — sending the scan down the
+// row-at-a-time path — unless every filter lands on a clean int column:
+// partial vectorization would still touch every row and just add
+// bookkeeping.
+func compileKernels(rel *storage.Relation, filters []boundFilter) []colKernel {
+	if len(filters) == 0 || !rel.HasColumns() {
+		return nil
+	}
+	ks := make([]colKernel, 0, len(filters))
+	for i := range filters {
+		f := &filters[i]
+		c := rel.Col(f.col)
+		if c == nil || c.Kind != expr.KindInt {
+			return nil
+		}
+		k := colKernel{ints: c.Ints, nulls: c.NullWords()}
+		switch {
+		case f.ranged:
+			k.kind = kernelRange
+			k.lo = uint64(f.lo)
+			k.span = uint64(f.hi) - uint64(f.lo)
+		case f.in != nil:
+			k.kind = kernelIn
+			k.in = f.in
+		case f.op == expr.NE:
+			k.kind = kernelNE
+			k.ne = f.val.I
+		default:
+			return nil
+		}
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// match evaluates the kernel on one absolute row ordinal (the refine
+// path for conjunctions; the dominant single-predicate case goes
+// through fill's tight loops instead).
+func (k *colKernel) match(i int) bool {
+	if k.nulls != nil && k.nulls[uint(i)>>6]>>(uint(i)&63)&1 != 0 {
+		return false
+	}
+	v := k.ints[i]
+	switch k.kind {
+	case kernelRange:
+		return uint64(v)-k.lo <= k.span
+	case kernelNE:
+		return v != k.ne
+	default:
+		return k.in[v]
+	}
+}
+
+// fill runs the kernel over the window [base, end), writing matching
+// window-relative ordinals into sel. The range shape — the common
+// single-predicate scan — runs as a two-instruction compare with an
+// unconditional selection store, so the loop carries no data-dependent
+// store branch.
+func (k *colKernel) fill(base, end int, sel []int32) []int32 {
+	n := 0
+	if k.kind == kernelRange && k.nulls == nil {
+		lo, span, vals := k.lo, k.span, k.ints
+		for i := base; i < end; i++ {
+			sel[n] = int32(i - base)
+			if uint64(vals[i])-lo <= span {
+				n++
+			}
+		}
+		return sel[:n]
+	}
+	for i := base; i < end; i++ {
+		sel[n] = int32(i - base)
+		if k.match(i) {
+			n++
+		}
+	}
+	return sel[:n]
+}
+
+// refine re-runs the kernel over an existing selection, compacting it
+// in place (conjunction predicates after the first).
+func (k *colKernel) refine(base int, sel []int32) []int32 {
+	n := 0
+	for _, s := range sel {
+		if k.match(base + int(s)) {
+			sel[n] = s
+			n++
+		}
+	}
+	return sel[:n]
+}
+
 // vecSeqScan reads the relation in zero-copy windows of up to cap rows:
 // each batch aliases the storage row array directly, one ChargeN bills
-// the whole window, and filters narrow it through a selection vector.
+// the whole window, and filters narrow it through a selection vector
+// driven by compiled columnar kernels (row-at-a-time fallback when the
+// relation has no clean columnar projection for a filter column).
+//
+// With cursor set (morsel mode) the window start is claimed from the
+// shared atomic scan cursor instead of private state, so any number of
+// worker clones can pull disjoint morsels from one scan.
 type vecSeqScan struct {
 	rel     *storage.Relation
 	filters []boundFilter
+	kernels []colKernel
 	meter   *Meter
 	ex      *Executor
 	cls     int
 	cap     int
 	pos     int
+	cursor  *atomic.Int64
 	sel     []int32
 	out     rowBatch
 }
 
 func (s *vecSeqScan) Open() error {
 	s.pos = 0
+	if len(s.filters) > 0 && s.sel == nil {
+		s.sel = s.ex.pool.getSel(s.cap)
+	}
 	return nil
 }
 
 func (s *vecSeqScan) NextBatch() (*rowBatch, error) {
-	for s.pos < len(s.rel.Rows) {
-		end := s.pos + s.cap
-		if end > len(s.rel.Rows) {
-			end = len(s.rel.Rows)
+	total := len(s.rel.Rows)
+	for {
+		var pos int
+		if s.cursor != nil {
+			pos = int(s.cursor.Add(int64(s.cap))) - s.cap
+		} else {
+			pos = s.pos
 		}
+		if pos >= total {
+			return nil, io.EOF
+		}
+		end := pos + s.cap
+		if end > total {
+			end = total
+		}
+		s.pos = end
 		if s.ex.faults != nil {
 			// Lockstep: fire the scan-tuple site at the same absolute row
 			// positions the tuple engine checks (every 64th row).
-			for p := s.pos; p < end; p++ {
+			for p := pos; p < end; p++ {
 				if p&cancelCheckMask == 0 {
 					if ferr := s.ex.faults.Check(faultinject.SiteScanTuple); ferr != nil {
 						return nil, opError("seqscan", ferr)
@@ -45,67 +183,51 @@ func (s *vecSeqScan) NextBatch() (*rowBatch, error) {
 				}
 			}
 		}
-		window := s.rel.Rows[s.pos:end]
-		s.pos = end
+		window := s.rel.Rows[pos:end]
 		if _, err := s.meter.ChargeN(s.cls, int64(len(window))); err != nil {
 			return nil, err
 		}
 		if len(s.filters) == 0 {
-			s.out = rowBatch{base: window, stable: true}
+			s.out = rowBatch{base: window, stable: true, rel: s.rel, off: pos}
 			return &s.out, nil
 		}
-		if cap(s.sel) < len(window) {
-			s.sel = make([]int32, len(window))
-		}
 		sel := s.sel[:len(window)]
+		if s.kernels != nil {
+			sel = s.kernels[0].fill(pos, end, sel)
+			for i := 1; i < len(s.kernels) && len(sel) > 0; i++ {
+				sel = s.kernels[i].refine(pos, sel)
+			}
+			if len(sel) > 0 {
+				s.out = rowBatch{base: window, sel: sel, stable: true, rel: s.rel, off: pos}
+				return &s.out, nil
+			}
+			continue // whole window filtered out; claim the next one
+		}
 		k := 0
-		if len(s.filters) == 1 && s.filters[0].ranged {
-			// The dominant shape — one int-range predicate — runs as a
-			// tight two-compare loop with no calls per row. The ordinal
-			// is stored unconditionally and the cursor advanced on match,
-			// so the selection write carries no extra branch.
-			f := &s.filters[0]
-			col, lo := f.col, f.lo
-			span := uint64(f.hi) - uint64(f.lo) // lo ≤ v ≤ hi as one unsigned compare
-			i := 0
-			for ; i < len(window); i++ {
-				v := &window[i][col]
-				if v.K != expr.KindInt {
-					break
-				}
-				sel[k] = int32(i)
-				if uint64(v.I)-uint64(lo) <= span {
-					k++
-				}
-			}
-			for ; i < len(window); i++ { // mixed-kind tail (NULLs, floats)
-				sel[k] = int32(i)
-				if matchAll(s.filters, window[i]) {
-					k++
-				}
-			}
-		} else {
-			for i := range window {
-				sel[k] = int32(i)
-				if matchAll(s.filters, window[i]) {
-					k++
-				}
+		for i := range window {
+			sel[k] = int32(i)
+			if matchAll(s.filters, window[i]) {
+				k++
 			}
 		}
 		if k > 0 {
-			s.out = rowBatch{base: window, sel: sel[:k], stable: true}
+			s.out = rowBatch{base: window, sel: sel[:k], stable: true, rel: s.rel, off: pos}
 			return &s.out, nil
 		}
-		// The whole window was filtered out; scan the next one.
 	}
-	return nil, io.EOF
 }
 
-func (s *vecSeqScan) Close() error { return nil }
+func (s *vecSeqScan) Close() error {
+	s.ex.pool.putSel(s.sel)
+	s.sel = nil
+	return nil
+}
 
 // vecIndexScan fetches the probed ordinals in windows, charging one
 // descent at Open (like the tuple engine) and IdxTuple per fetched row
-// in batches; residual filters narrow via a selection vector.
+// in batches; residual filters narrow via a selection vector. The fetch
+// scratch and selection vector come from the executor's buffer pool, so
+// steady-state batches allocate nothing.
 type vecIndexScan struct {
 	rel     *storage.Relation
 	rows    []int32
@@ -122,6 +244,12 @@ type vecIndexScan struct {
 
 func (s *vecIndexScan) Open() error {
 	s.pos = 0
+	if s.scratch == nil {
+		s.scratch = s.ex.pool.getRows(s.cap)
+	}
+	if len(s.filters) > 0 && s.sel == nil {
+		s.sel = s.ex.pool.getSel(s.cap)
+	}
 	if ferr := s.ex.faults.Check(faultinject.SiteIndexProbe); ferr != nil {
 		return opError("indexscan", ferr)
 	}
@@ -129,9 +257,6 @@ func (s *vecIndexScan) Open() error {
 }
 
 func (s *vecIndexScan) NextBatch() (*rowBatch, error) {
-	if s.scratch == nil {
-		s.scratch = make([]expr.Row, 0, s.cap)
-	}
 	for s.pos < len(s.rows) {
 		end := s.pos + s.cap
 		if end > len(s.rows) {
@@ -166,4 +291,10 @@ func (s *vecIndexScan) NextBatch() (*rowBatch, error) {
 	return nil, io.EOF
 }
 
-func (s *vecIndexScan) Close() error { return nil }
+func (s *vecIndexScan) Close() error {
+	s.ex.pool.putRows(s.scratch)
+	s.scratch = nil
+	s.ex.pool.putSel(s.sel)
+	s.sel = nil
+	return nil
+}

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/expr"
 	"repro/internal/faultinject"
 	"repro/internal/plan"
+	"repro/internal/storage"
 )
 
 // DefaultBatchSize is the row capacity operators exchange per NextBatch
@@ -28,6 +30,18 @@ type rowBatch struct {
 	base   []expr.Row
 	sel    []int32
 	stable bool
+
+	// rel/off identify columnar scan batches: base aliases
+	// rel.Rows[off : off+len(base)], so consumers that only need one
+	// column (hash-join key fetch) can read rel's typed vectors at
+	// absolute ordinal off+i instead of chasing row pointers.
+	rel *storage.Relation
+	off int
+
+	// count carries the row count of value-free batches (base == nil),
+	// produced by a discarding root arena — the drive loop only counts
+	// root output, so the root join never materializes joined rows.
+	count int
 }
 
 // n returns the number of selected rows.
@@ -35,7 +49,10 @@ func (b *rowBatch) n() int {
 	if b.sel != nil {
 		return len(b.sel)
 	}
-	return len(b.base)
+	if b.base != nil {
+		return len(b.base)
+	}
+	return b.count
 }
 
 // row returns the i-th selected row.
@@ -60,6 +77,13 @@ type outBuf struct {
 	vals  []expr.Value
 	rows  []expr.Row
 	b     rowBatch
+
+	// discard turns the arena into a pure counter: the plan root's rows
+	// are never read (the drive loop only counts them — §3.1 discards
+	// Result rows), so the root join skips materializing joined values
+	// entirely and emits count-only batches.
+	discard bool
+	count   int
 }
 
 func newOutBuf(width, cap int) *outBuf {
@@ -74,23 +98,132 @@ func newOutBuf(width, cap int) *outBuf {
 func (o *outBuf) reset() {
 	o.vals = o.vals[:0]
 	o.rows = o.rows[:0]
+	o.count = 0
 }
 
 // emit appends the concatenation of l and r as one output row.
 func (o *outBuf) emit(l, r expr.Row) {
+	if o.discard {
+		o.count++
+		return
+	}
 	s := len(o.vals)
 	o.vals = append(o.vals, l...)
 	o.vals = append(o.vals, r...)
 	o.rows = append(o.rows, o.vals[s:len(o.vals):len(o.vals)])
 }
 
-func (o *outBuf) full() bool { return len(o.rows) >= o.cap }
-func (o *outBuf) len() int   { return len(o.rows) }
+func (o *outBuf) full() bool { return o.len() >= o.cap }
+
+func (o *outBuf) len() int {
+	if o.discard {
+		return o.count
+	}
+	return len(o.rows)
+}
 
 // take returns the buffered rows as an (unstable) batch.
 func (o *outBuf) take() *rowBatch {
-	o.b = rowBatch{base: o.rows}
+	if o.discard {
+		o.b = rowBatch{count: o.count}
+	} else {
+		o.b = rowBatch{base: o.rows}
+	}
 	return &o.b
+}
+
+// bufPool recycles the vectorized engine's per-run scratch buffers
+// across driveVec attempts: selection vectors, join output arenas, and
+// index-scan fetch slabs. A plain mutex-guarded freelist beats
+// sync.Pool here — buffers are checked out a handful of times per
+// query, never concurrently contended on the sequential path, and the
+// typed slices avoid interface boxing on every get/put.
+type bufPool struct {
+	mu   sync.Mutex
+	sels [][]int32
+	outs []*outBuf
+	rows [][]expr.Row
+}
+
+func (p *bufPool) getSel(capacity int) []int32 {
+	p.mu.Lock()
+	for i := len(p.sels) - 1; i >= 0; i-- {
+		if cap(p.sels[i]) >= capacity {
+			s := p.sels[i]
+			p.sels = append(p.sels[:i], p.sels[i+1:]...)
+			p.mu.Unlock()
+			return s[:0]
+		}
+	}
+	p.mu.Unlock()
+	return make([]int32, 0, capacity)
+}
+
+func (p *bufPool) putSel(s []int32) {
+	if s == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.sels) < 64 {
+		p.sels = append(p.sels, s[:0])
+	}
+	p.mu.Unlock()
+}
+
+func (p *bufPool) getOut(width, capacity int) *outBuf {
+	p.mu.Lock()
+	for i := len(p.outs) - 1; i >= 0; i-- {
+		o := p.outs[i]
+		if o.width == width && o.cap >= capacity {
+			p.outs = append(p.outs[:i], p.outs[i+1:]...)
+			p.mu.Unlock()
+			o.reset()
+			o.discard = false
+			return o
+		}
+	}
+	p.mu.Unlock()
+	return newOutBuf(width, capacity)
+}
+
+func (p *bufPool) putOut(o *outBuf) {
+	if o == nil {
+		return
+	}
+	o.reset()
+	p.mu.Lock()
+	if len(p.outs) < 64 {
+		p.outs = append(p.outs, o)
+	}
+	p.mu.Unlock()
+}
+
+func (p *bufPool) getRows(capacity int) []expr.Row {
+	p.mu.Lock()
+	for i := len(p.rows) - 1; i >= 0; i-- {
+		if cap(p.rows[i]) >= capacity {
+			r := p.rows[i]
+			p.rows = append(p.rows[:i], p.rows[i+1:]...)
+			p.mu.Unlock()
+			return r[:0]
+		}
+	}
+	p.mu.Unlock()
+	return make([]expr.Row, 0, capacity)
+}
+
+func (p *bufPool) putRows(r []expr.Row) {
+	if r == nil {
+		return
+	}
+	for i := range r {
+		r[i] = nil
+	}
+	p.mu.Lock()
+	if len(p.rows) < 64 {
+		p.rows = append(p.rows, r[:0])
+	}
+	p.mu.Unlock()
 }
 
 // batchOperator is the vectorized iterator interface: NextBatch returns
@@ -99,6 +232,28 @@ type batchOperator interface {
 	Open() error
 	NextBatch() (*rowBatch, error)
 	Close() error
+}
+
+// markDiscardRoot flips the plan root's output arena into count-only
+// mode. Result rows of the root are discarded by every consumer (the
+// drive loop just counts them), so materializing the joined values is
+// pure overhead. Lockstep runs (faults armed) skip this: the tuple
+// engine materializes, and lockstep must replay its exact allocation-
+// free observables — charge order is unaffected either way, but we keep
+// the fault path maximally conservative.
+func markDiscardRoot(op batchOperator) {
+	switch o := op.(type) {
+	case *vecHashJoin:
+		o.out.discard = true
+	case *vecMergeJoin:
+		o.out.discard = true
+	case *vecNLJoin:
+		o.out.discard = true
+	case *vecIndexNLJoin:
+		if !o.ls {
+			o.out.discard = true
+		}
+	}
 }
 
 // driveVec runs one batch-at-a-time execution attempt. Semantics are
@@ -132,6 +287,18 @@ func (e *Executor) driveVec(ctx context.Context, root *plan.Node, budget float64
 		res.Cost = meter.Used + meter.Drifted
 		res.Drift = meter.Drifted
 		return res, opError("build", err)
+	}
+	if e.faults == nil {
+		markDiscardRoot(op)
+		// Morsel-driven parallel path: multiple workers share one budget
+		// and one result, splitting the driving scan into fixed windows.
+		// Armed faults force the sequential lockstep path above (capacity
+		// 1), so chaos replay stays bit-for-bit regardless of workers.
+		if e.workers > 1 {
+			if scan := morselScanOf(op); scan != nil {
+				return e.driveMorsels(ctx, op, scan, meter, res, spill)
+			}
+		}
 	}
 	steps := 0
 	err = func() error {
@@ -191,9 +358,11 @@ func (e *Executor) buildScanVec(n *plan.Node, meter *Meter, res *Result, capacit
 	}
 	sch := e.relSchema(rel)
 	seq := func() (batchOperator, *schema, error) {
+		filters := e.compileFilters(rel, -1)
 		return &vecSeqScan{
 			rel:     relation,
-			filters: e.compileFilters(rel, -1),
+			filters: filters,
+			kernels: compileKernels(relation, filters),
 			meter:   meter,
 			ex:      e,
 			cls:     meter.Class(e.params.SeqTuple),
@@ -249,7 +418,7 @@ func (e *Executor) buildJoinVec(n *plan.Node, meter *Meter, res *Result, capacit
 		}
 		sch := concatSchema(ls, rs)
 		base := vecJoinBase{e: e, meter: meter, jc: jc, left: lop, right: rop}
-		out := newOutBuf(len(sch.cols), capacity)
+		out := e.pool.getOut(len(sch.cols), capacity)
 		switch n.Join.Method {
 		case plan.HashJoin:
 			return &vecHashJoin{
@@ -300,7 +469,7 @@ func (e *Executor) buildJoinVec(n *plan.Node, meter *Meter, res *Result, capacit
 			clsDescend:  meter.Class(e.params.IdxDescend * log2g(float64(relation.NumRows()))),
 			clsFetch:    meter.Class(e.params.IdxTuple),
 			clsOut:      meter.Class(e.params.Tuple),
-			out:         newOutBuf(len(sch.cols), capacity),
+			out:         e.pool.getOut(len(sch.cols), capacity),
 			ls:          e.faults != nil,
 		}, sch, nil
 	default:

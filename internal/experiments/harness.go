@@ -27,6 +27,11 @@ type Options struct {
 	// Theta is the recost sweep's fallback gate width (0 = ess default;
 	// ess.ThetaExact disables recosting).
 	Theta float64
+	// ExecWorkers is the intra-query worker count handed to the real
+	// vectorized executor in wall-clock experiments (default 1). Modeled
+	// costs are worker-count invariant, so this changes wall-clock
+	// latency only, never a reported cost number.
+	ExecWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -38,6 +43,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StrideHighD == 0 {
 		o.StrideHighD = 3
+	}
+	if o.ExecWorkers < 1 {
+		o.ExecWorkers = 1
 	}
 	return o
 }

@@ -36,10 +36,12 @@ func NewExecutorPool(q *query.Query, store *storage.Store, params cost.Params) *
 // Get returns an executor, creating one if the pool is empty.
 func (p *ExecutorPool) Get() *exec.Executor { return p.pool.Get().(*exec.Executor) }
 
-// Put returns an executor to the pool, disarming any fault injector the
-// borrower attached so the next borrower starts clean.
+// Put returns an executor to the pool, disarming any fault injector and
+// resetting the worker count the borrower attached so the next borrower
+// starts clean.
 func (p *ExecutorPool) Put(e *exec.Executor) {
 	e.WithFaults(nil)
+	e.WithWorkers(1)
 	p.pool.Put(e)
 }
 

@@ -46,9 +46,12 @@ func (h *Harness) Table3WallClock() (*Report, error) {
 		return nil, err
 	}
 	// Executors are per-run state; the pool recycles them the way the
-	// concurrent throughput driver does.
+	// concurrent throughput driver does. Each borrowed executor gets the
+	// harness's intra-query worker count: morsel parallelism cuts the
+	// wall-clock of every real execution without moving a single metered
+	// cost (the engine's merge contract).
 	execPool := NewExecutorPool(q, store, cost.DefaultParams())
-	executor := execPool.Get()
+	executor := execPool.Get().WithWorkers(h.Opts.ExecWorkers)
 	defer execPool.Put(executor)
 
 	// Ground truth: measure the data's actual epp selectivities.
@@ -103,8 +106,9 @@ func (h *Harness) Table3WallClock() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	sbExec := execPool.Get()
-	sbOut, err := compiled.NewRun().DiscoverWith(core.SpillBound,
+	sbRun := compiled.NewRun().WithExecWorkers(h.Opts.ExecWorkers)
+	sbExec := execPool.Get().WithWorkers(sbRun.ExecWorkers())
+	sbOut, err := sbRun.DiscoverWith(core.SpillBound,
 		discovery.NewResilient(NewRealEngine(space, sbExec), discovery.DefaultRetryPolicy))
 	execPool.Put(sbExec)
 	if err != nil {
@@ -112,8 +116,9 @@ func (h *Harness) Table3WallClock() (*Report, error) {
 	}
 	// AlignedBound over real executions (fresh run and pooled executor:
 	// both are per-run state).
-	abExec := execPool.Get()
-	abOut, err := compiled.NewRun().DiscoverWith(core.AlignedBound,
+	abRun := compiled.NewRun().WithExecWorkers(h.Opts.ExecWorkers)
+	abExec := execPool.Get().WithWorkers(abRun.ExecWorkers())
+	abOut, err := abRun.DiscoverWith(core.AlignedBound,
 		discovery.NewResilient(NewRealEngine(space, abExec), discovery.DefaultRetryPolicy))
 	execPool.Put(abExec)
 	if err != nil {

@@ -17,6 +17,12 @@ import (
 // strategy registry at startup, so recording is a lock-free add).
 type metrics struct {
 	inflight atomic.Int64
+	// execWorkers sums the intra-query exec-worker reservations of
+	// discoveries currently executing: each in-flight discovery holds its
+	// clamped exec_workers count for the duration of the run. The gauge
+	// is an operator's view of how much engine parallelism the service
+	// has promised at this instant.
+	execWorkers atomic.Int64
 	// byStrategy counts discovery/MSO requests per routed strategy.
 	// Requests that fail validation before routing are not counted.
 	byStrategy map[string]*atomic.Int64
@@ -46,6 +52,13 @@ func (m *metrics) track() func() {
 	return func() { m.inflight.Add(-1) }
 }
 
+// trackWorkers brackets one discovery's exec-worker reservation; call
+// the returned func when the discovery finishes.
+func (m *metrics) trackWorkers(n int) func() {
+	m.execWorkers.Add(int64(n))
+	return func() { m.execWorkers.Add(int64(-n)) }
+}
+
 // breakerGauge maps breaker states onto a stable numeric encoding for
 // the rqp_breaker_state gauge.
 func breakerGauge(state string) int {
@@ -70,6 +83,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP rqp_inflight Discovery and MSO requests currently executing.")
 	fmt.Fprintln(w, "# TYPE rqp_inflight gauge")
 	fmt.Fprintf(w, "rqp_inflight %d\n", s.metrics.inflight.Load())
+
+	fmt.Fprintln(w, "# HELP rqp_exec_workers Intra-query exec workers reserved by in-flight discoveries.")
+	fmt.Fprintln(w, "# TYPE rqp_exec_workers gauge")
+	fmt.Fprintf(w, "rqp_exec_workers %d\n", s.metrics.execWorkers.Load())
+
+	fmt.Fprintln(w, "# HELP rqp_exec_workers_max Per-request exec_workers cap (Config.MaxExecWorkers).")
+	fmt.Fprintln(w, "# TYPE rqp_exec_workers_max gauge")
+	fmt.Fprintf(w, "rqp_exec_workers_max %d\n", s.cfg.MaxExecWorkers)
 
 	fmt.Fprintln(w, "# HELP rqp_breaker_state Circuit breaker state per workload (0=closed, 1=open, 2=half-open).")
 	fmt.Fprintln(w, "# TYPE rqp_breaker_state gauge")

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core/discovery"
 	"repro/internal/cost"
 	"repro/internal/ess"
+	"repro/internal/exec"
 	"repro/internal/faultinject"
 	"repro/internal/mso"
 	"repro/internal/optimizer"
@@ -51,6 +52,12 @@ type Config struct {
 	// MaxQueue bounds requests waiting for a slot; beyond it requests
 	// are shed with 429 + Retry-After (default 16).
 	MaxQueue int
+	// MaxExecWorkers caps the per-request exec_workers knob — the
+	// intra-query morsel parallelism a discovery's real executions may
+	// claim (default 8, hard-capped at exec.MaxWorkers). Requests asking
+	// for more are clamped, mirroring the timeout cap: over-asking is a
+	// preference, not an error.
+	MaxExecWorkers int
 
 	// DefaultTimeout bounds requests that carry no timeout_ms
 	// (default 30s); MaxTimeout caps client-supplied deadlines
@@ -114,6 +121,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 16
+	}
+	if c.MaxExecWorkers <= 0 {
+		c.MaxExecWorkers = 8
+	}
+	if c.MaxExecWorkers > exec.MaxWorkers {
+		c.MaxExecWorkers = exec.MaxWorkers
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
@@ -425,6 +438,11 @@ type DiscoverRequest struct {
 	TimeoutMS int64   `json:"timeout_ms,omitempty"`
 	FaultSeed uint64  `json:"fault_seed,omitempty"`
 	FaultRate float64 `json:"fault_rate,omitempty"`
+	// ExecWorkers asks for intra-query morsel parallelism on the run's
+	// real executions (0 = sequential; clamped to Config.MaxExecWorkers;
+	// negative is a 400). Worker count never changes any cost in the
+	// response — only wall-clock latency.
+	ExecWorkers int `json:"exec_workers,omitempty"`
 }
 
 // DiscoverResponse is the POST /discover result: the outcome ledger of
@@ -715,6 +733,18 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("qa %d outside grid [0, %d)", req.QA, c.Space.Grid.NumPoints()), 0)
 		return
 	}
+	if req.ExecWorkers < 0 {
+		writeError(w, http.StatusBadRequest, KindBadRequest,
+			fmt.Sprintf("exec_workers %d must be non-negative", req.ExecWorkers), 0)
+		return
+	}
+	workers := req.ExecWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > s.cfg.MaxExecWorkers {
+		workers = s.cfg.MaxExecWorkers
+	}
 	s.metrics.countRequest(name)
 
 	if allowed, wait := ws.breaker.Allow(); !allowed {
@@ -752,7 +782,9 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	out, derr := s.discover(ctx, c, name, req.QA, in)
+	releaseWorkers := s.metrics.trackWorkers(workers)
+	out, derr := s.discover(ctx, c, name, req.QA, in, workers)
+	releaseWorkers()
 	resp := DiscoverResponse{Workload: req.Workload, Strategy: name, QA: req.QA}
 	if _, perr := parseAlgorithm(name); perr == nil {
 		// Paper strategies keep the legacy algorithm echo.
@@ -789,8 +821,8 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 // with the simulated engine behind the configured latency and, when
 // chaos is armed, the fault-injecting engine plus the resilient retry
 // driver (capped exponential backoff with deterministic jitter).
-func (s *Server) discover(ctx context.Context, c *core.Compiled, name string, qa int32, in *faultinject.Injector) (*core.Outcome, error) {
-	r := c.NewRun().WithFaults(in).WithContext(ctx)
+func (s *Server) discover(ctx context.Context, c *core.Compiled, name string, qa int32, in *faultinject.Injector, workers int) (*core.Outcome, error) {
+	r := c.NewRun().WithFaults(in).WithContext(ctx).WithExecWorkers(workers)
 	if s.cfg.ExecLatency <= 0 {
 		return r.DiscoverStrategy(name, qa)
 	}

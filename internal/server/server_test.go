@@ -9,9 +9,12 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/exec"
 )
 
 // fakeClock is an injectable breaker clock.
@@ -528,5 +531,65 @@ func TestPprofHandler(t *testing.T) {
 	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
 	if rec.Code == http.StatusOK {
 		t.Fatal("service mux should not serve /debug/pprof/")
+	}
+}
+
+// The exec_workers knob: negative values are typed 400s, over-asking is
+// clamped to the configured cap (a preference, like timeouts), and the
+// reservation gauge pair is exported on /metrics.
+func TestDiscoverExecWorkers(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MaxExecWorkers = 4
+	s := newTestServer(t, cfg)
+
+	rec, body := postJSON(t, s.Handler(), "/discover",
+		DiscoverRequest{Workload: "EQ", Algorithm: "sb", QA: 7, ExecWorkers: -1})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("negative exec_workers: status %d: %s", rec.Code, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Kind != KindBadRequest || !strings.Contains(er.Error, "exec_workers") {
+		t.Fatalf("negative exec_workers error %+v", er)
+	}
+
+	// Over the cap: clamped, not rejected — the discovery still runs.
+	rec, body = postJSON(t, s.Handler(), "/discover",
+		DiscoverRequest{Workload: "EQ", Algorithm: "sb", QA: 7, ExecWorkers: 999})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("clamped exec_workers: status %d: %s", rec.Code, body)
+	}
+	var resp DiscoverResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Completed {
+		t.Fatalf("clamped exec_workers run did not complete: %+v", resp)
+	}
+
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	metricsBody := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE rqp_exec_workers gauge",
+		"rqp_exec_workers 0", // nothing in flight after the requests drained
+		"rqp_exec_workers_max 4",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Fatalf("metrics body missing %q:\n%s", want, metricsBody)
+		}
+	}
+}
+
+// Config.MaxExecWorkers defaults to 8 and is hard-capped by the
+// engine's MaxWorkers.
+func TestMaxExecWorkersDefaults(t *testing.T) {
+	if got := (Config{}).withDefaults().MaxExecWorkers; got != 8 {
+		t.Fatalf("default MaxExecWorkers = %d, want 8", got)
+	}
+	if got := (Config{MaxExecWorkers: 10000}).withDefaults().MaxExecWorkers; got != exec.MaxWorkers {
+		t.Fatalf("huge MaxExecWorkers = %d, want engine cap %d", got, exec.MaxWorkers)
 	}
 }

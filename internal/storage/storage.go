@@ -1,7 +1,9 @@
-// Package storage implements the in-memory row store backing the
-// executor: per-table row slices plus hash and sorted indexes on single
-// columns. The store is immutable after loading, matching the paper's
-// read-only OLAP setting.
+// Package storage implements the in-memory store backing the executor:
+// per-table row slices plus hash and sorted indexes on single columns,
+// and typed column vectors (see columnar.go) built at load time for the
+// vectorized engine. The store is immutable after loading, matching the
+// paper's read-only OLAP setting; appending after derived structures
+// exist discards them so they can never be silently stale.
 package storage
 
 import (
@@ -23,6 +25,7 @@ type Relation struct {
 	hashIdx   map[int]map[int64][]int32
 	sortedIdx map[int][]int32
 	colIdx    map[string]int
+	cols      []*Column
 }
 
 // NewRelation creates an empty relation with the given column names.
@@ -59,11 +62,32 @@ func (r *Relation) ColumnIndex(name string) int {
 }
 
 // Append adds a row; it must have exactly len(Cols) values.
+//
+// Appending after indexes or column vectors have been built discards
+// those derived structures rather than leaving them silently stale:
+// index probes over a half-indexed relation would drop the new rows
+// without any error. Callers that append post-build must re-run
+// BuildHashIndex/BuildSortedIndex/BuildColumns before using them again
+// (the accessors panic loudly on a discarded index).
 func (r *Relation) Append(row expr.Row) {
 	if len(row) != len(r.Cols) {
 		panic(fmt.Sprintf("storage: row width %d != %d for %s", len(row), len(r.Cols), r.Name))
 	}
+	if len(r.hashIdx) > 0 || len(r.sortedIdx) > 0 || r.cols != nil {
+		r.invalidateDerived()
+	}
 	r.Rows = append(r.Rows, row)
+}
+
+// invalidateDerived drops every structure derived from the rows.
+func (r *Relation) invalidateDerived() {
+	if len(r.hashIdx) > 0 {
+		r.hashIdx = make(map[int]map[int64][]int32)
+	}
+	if len(r.sortedIdx) > 0 {
+		r.sortedIdx = make(map[int][]int32)
+	}
+	r.cols = nil
 }
 
 // NumRows returns the relation cardinality.
