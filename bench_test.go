@@ -237,6 +237,46 @@ func BenchmarkSpaceBuild6DExact(b *testing.B) {
 	}
 }
 
+// BenchmarkLazyDiscover6D is the demand-driven counterpart of
+// BenchmarkSpaceBuild6D: cold LazySpace construction plus one full
+// SpillBound discovery at the 6D_Q91 grid midpoint. res=5 matches the
+// eager sweep's grid; res=10 has 64x the points (10^6) yet must stay
+// cheaper than the eager res-5 build, because discovery settles only
+// the points the budget ladder touches.
+func BenchmarkLazyDiscover6D(b *testing.B) {
+	spec, err := workload.ByName("6D_Q91")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, res := range []int{5, 10} {
+		b.Run(fmt.Sprintf("res=%d", res), func(b *testing.B) {
+			var settled, points int
+			for i := 0; i < b.N; i++ {
+				ls, err := spec.LazySpaceWith(1.0, ess.Config{Res: res})
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := core.CompileSource(ls, core.CompileOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				g := ls.Geometry()
+				mid := make([]int, g.D)
+				for d := range mid {
+					mid[d] = g.Res / 2
+				}
+				if _, err := c.NewRun().Discover(core.SpillBound, int32(g.Linear(mid))); err != nil {
+					b.Fatal(err)
+				}
+				p := ls.Profile()
+				settled, points = p.Settled, p.Points
+			}
+			b.ReportMetric(float64(settled), "settled")
+			b.ReportMetric(float64(settled)/float64(points), "settled-frac")
+		})
+	}
+}
+
 // BenchmarkContours isolates iso-cost contour extraction on a built 2D
 // space.
 func BenchmarkContours(b *testing.B) {

@@ -81,10 +81,21 @@ type sweepCfg struct {
 	exact  bool
 	theta  float64
 	coarse int
+	mode   string // -ess-mode: eager | lazy
 }
 
 func (c sweepCfg) config() ess.Config {
 	return ess.Config{Res: c.res, Exact: c.exact, Theta: c.theta, CoarseStep: c.coarse}
+}
+
+// source builds the spec's contour provider per -ess-mode: the eager
+// full-sweep Space, or the demand-driven LazySpace that materializes
+// contours as discovery climbs the budget ladder.
+func (c sweepCfg) source(spec workload.Spec, scale float64) (ess.ContourSource, error) {
+	if c.mode == "lazy" {
+		return spec.LazySpaceWith(scale, c.config())
+	}
+	return spec.SpaceWith(scale, c.config())
 }
 
 func run(args []string) error {
@@ -112,6 +123,7 @@ func run(args []string) error {
 	maxConcurrent := fs.Int("max-concurrent", 4, "concurrent discovery slots for serve")
 	maxQueue := fs.Int("max-queue", 16, "admission queue depth for serve (beyond it: 429)")
 	execWorkers := fs.Int("exec-workers", 0, "intra-query morsel workers for real executions: table3 applies it directly, serve uses it as the per-request exec_workers cap (0 = defaults: 1 local, 8 serve)")
+	essMode := fs.String("ess-mode", "eager", "contour provider: eager (full POSP sweep up front) or lazy (demand-driven)")
 	exact := fs.Bool("exact", false, "force the exact one-DP-per-point POSP sweep")
 	theta := fs.Float64("theta", 0, "recost fallback gate width (0 = default, <0 = exact)")
 	coarse := fs.Int("coarse", 0, "phase-1 coarse lattice stride (0 = default)")
@@ -159,10 +171,13 @@ func run(args []string) error {
 		}()
 	}
 
-	cfg := sweepCfg{res: *res, exact: *exact, theta: *theta, coarse: *coarse}
+	if *essMode != "eager" && *essMode != "lazy" {
+		return fmt.Errorf("unknown -ess-mode %q (eager|lazy)", *essMode)
+	}
+	cfg := sweepCfg{res: *res, exact: *exact, theta: *theta, coarse: *coarse, mode: *essMode}
 	h := experiments.New(experiments.Options{
 		Scale: *scale, Res: *res, Lambda: *lambda, StrideHighD: *stride,
-		Exact: *exact, Theta: *theta, ExecWorkers: *execWorkers,
+		Exact: *exact, Theta: *theta, ExecWorkers: *execWorkers, EssMode: *essMode,
 	})
 
 	type exp struct {
@@ -214,7 +229,7 @@ func run(args []string) error {
 	case "serve":
 		return serve(serveConfig{
 			addr: *addr, pprofAddr: *pprofAddr, workloads: *serveWorkloads,
-			scale: *scale, res: *res,
+			scale: *scale, res: *res, essMode: *essMode,
 			snapshotDir: *snapshotDir, maxConcurrent: *maxConcurrent,
 			maxQueue: *maxQueue, maxExecWorkers: *execWorkers, defaultTimeout: *deadline,
 			execLatency: *execLatency, chaosSeed: *chaosSeed, chaosRate: *chaosRate,
@@ -253,17 +268,25 @@ func render(f func() (*experiments.Report, error)) error {
 	return nil
 }
 
-// printSweepStats reports how the space was compiled: exact DP calls
-// versus recost-settled points (see ess.SweepStats).
-func printSweepStats(space *ess.Space) {
-	st := space.Stats
-	if st.RecostPoints == 0 && st.Fallbacks == 0 {
-		fmt.Printf("sweep: exact, %d DP calls, %d plans\n", st.DPCalls, space.NumPlans())
-		return
+// printSweepStats reports how the contour provider did its work, in
+// provider-agnostic form: a lazy source reports settled points and
+// cache/refinement activity instead of the misleading zeros that
+// reading eager sweep counters directly would produce.
+func printSweepStats(src ess.ContourSource) {
+	p := src.Profile()
+	switch {
+	case strings.HasPrefix(p.Mode, "lazy"):
+		fmt.Printf("sweep: %s, %d/%d points settled on demand (%d contours built, %d hits / %d misses), %d DP calls, %d recost-settled (%d recosts), %d refinement rounds (%d points changed, epoch %d), %d plans\n",
+			p.Mode, p.Settled, p.Points, p.ContoursBuilt, p.Hits, p.Misses,
+			p.DPCalls, p.RecostPoints, p.RecostCalls,
+			p.Refinements, p.RefinedPoints, p.Epoch, src.NumPlans())
+	case p.RecostPoints == 0 && p.Fallbacks == 0:
+		fmt.Printf("sweep: %s, %d DP calls, %d plans\n", p.Mode, p.DPCalls, src.NumPlans())
+	default:
+		fmt.Printf("sweep: %s, %d points, %d DP calls (%.1fx reduction: %d lattice, %d fallback, %d repair), %d recost-settled (%d recosts), fallback rate %.2f, %d plans\n",
+			p.Mode, p.Points, p.DPCalls, p.DPReduction(), p.LatticeDP, p.Fallbacks,
+			p.Repairs, p.RecostPoints, p.RecostCalls, p.FallbackRate(), src.NumPlans())
 	}
-	fmt.Printf("sweep: %d points, %d DP calls (%.1fx reduction: %d lattice, %d fallback, %d repair), %d recost-settled (%d recosts), fallback rate %.2f, %d plans\n",
-		st.Points, st.DPCalls, st.DPReduction(), st.LatticeDP, st.Fallbacks,
-		st.Repairs, st.RecostPoints, st.RecostCalls, st.FallbackRate(), space.NumPlans())
 }
 
 // memSummary prints a one-line allocation/GC profile of the run so far,
@@ -301,17 +324,17 @@ func msoSweep(name, algName string, scale float64, cfg sweepCfg, stride int, dea
 	if err != nil {
 		return err
 	}
-	space, err := spec.SpaceWith(scale, cfg.config())
+	src, err := cfg.source(spec, scale)
 	if err != nil {
 		return err
 	}
 	ctx, cancel := deadlineCtx(deadline)
 	defer cancel()
-	c, err := core.Compile(space, core.CompileOptions{})
+	c, err := core.CompileSource(src, core.CompileOptions{})
 	if err != nil {
 		return err
 	}
-	res, err := mso.Sweep(space, func(qa int32) (*core.Outcome, error) {
+	res, err := mso.Sweep(src, func(qa int32) (*core.Outcome, error) {
 		r := c.NewRun()
 		if ctx != nil {
 			r.WithContext(ctx)
@@ -325,10 +348,10 @@ func msoSweep(name, algName string, scale float64, cfg sweepCfg, stride int, dea
 		return err
 	}
 	g, _ := c.Guarantee(core.Algorithm(algName))
-	sel := space.Grid.Sel(int(res.ArgMax), nil)
+	sel := src.Geometry().Sel(int(res.ArgMax), nil)
 	fmt.Printf("%s via %s: MSOe %.4f (guarantee %.1f), ASO %.4f over %d locations, worst at %v\n",
 		name, algName, res.MSO, g, res.ASO, len(res.Points), sel)
-	printSweepStats(space)
+	printSweepStats(src)
 	memSummary()
 	return nil
 }
@@ -344,11 +367,11 @@ func bakeoff(name, strategiesFlag string, scale float64, cfg sweepCfg,
 	if err != nil {
 		return err
 	}
-	space, err := spec.SpaceWith(scale, cfg.config())
+	src, err := cfg.source(spec, scale)
 	if err != nil {
 		return err
 	}
-	c, err := core.Compile(space, core.CompileOptions{PrimeAlignment: true})
+	c, err := core.CompileSource(src, core.CompileOptions{PrimeAlignment: true})
 	if err != nil {
 		return err
 	}
@@ -358,7 +381,7 @@ func bakeoff(name, strategiesFlag string, scale float64, cfg sweepCfg,
 			opts.Strategies = append(opts.Strategies, strings.TrimSpace(s))
 		}
 	}
-	if space.Grid.D >= 5 {
+	if src.Geometry().D >= 5 {
 		opts.Stride = stride
 	}
 	res, err := experiments.Bakeoff(c, name, opts)
@@ -366,7 +389,7 @@ func bakeoff(name, strategiesFlag string, scale float64, cfg sweepCfg,
 		return err
 	}
 	res.Report().Render(os.Stdout)
-	printSweepStats(space)
+	printSweepStats(src)
 	if experimentsFile != "" {
 		if err := res.UpdateExperimentsFile(experimentsFile); err != nil {
 			return err
@@ -383,54 +406,55 @@ func explain(name, qaFlag string, scale float64, cfg sweepCfg) error {
 	if err != nil {
 		return err
 	}
-	space, err := spec.SpaceWith(scale, cfg.config())
+	src, err := cfg.source(spec, scale)
 	if err != nil {
 		return err
 	}
-	qaIdx, err := parseQA(space, qaFlag)
+	g, q := src.Geometry(), src.Query()
+	qaIdx, err := parseQA(g, qaFlag)
 	if err != nil {
 		return err
 	}
-	qa := space.Grid.Linear(qaIdx)
-	pid := space.PointPlan[qa]
-	root := space.Plan(pid).Root
-	sel := space.Grid.Sel(qa, nil)
+	qa := int32(g.Linear(qaIdx))
+	pid := src.PlanAt(qa)
+	root := src.Plan(pid).Root
+	sel := g.Sel(int(qa), nil)
 	fmt.Printf("%s: optimal plan P%d at selectivities %v (cost %.4g)\n\n",
-		name, pid, sel, space.PointCost[qa])
-	fmt.Print(plan.Format(root, space.Q))
+		name, pid, sel, src.CostAt(qa))
+	fmt.Print(plan.Format(root, q))
 	fmt.Println("\npipelines (execution order):")
-	fmt.Print(plan.FormatPipelines(root, space.Q))
+	fmt.Print(plan.FormatPipelines(root, q))
 	remaining := map[int]bool{}
-	for _, id := range space.Q.EPPs {
+	for _, id := range q.EPPs {
 		remaining[id] = true
 	}
 	if j := plan.SpillJoin(root, remaining); j >= 0 {
 		fmt.Printf("\nspill-node identification: join %d (ESS dimension %d)\n",
-			j, space.Q.EPPDim(j))
+			j, q.EPPDim(j))
 	}
 	return nil
 }
 
 // parseQA resolves a comma-separated selectivity list (or the grid
 // midpoint when empty) to grid indexes.
-func parseQA(space *ess.Space, qaFlag string) ([]int, error) {
+func parseQA(g *ess.Grid, qaFlag string) ([]int, error) {
 	var qaIdx []int
 	if qaFlag == "" {
-		for d := 0; d < space.Grid.D; d++ {
-			qaIdx = append(qaIdx, space.Grid.Res/2)
+		for d := 0; d < g.D; d++ {
+			qaIdx = append(qaIdx, g.Res/2)
 		}
 		return qaIdx, nil
 	}
 	parts := strings.Split(qaFlag, ",")
-	if len(parts) != space.Grid.D {
-		return nil, fmt.Errorf("query needs %d selectivities, got %d", space.Grid.D, len(parts))
+	if len(parts) != g.D {
+		return nil, fmt.Errorf("query needs %d selectivities, got %d", g.D, len(parts))
 	}
 	for _, p := range parts {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
 			return nil, err
 		}
-		qaIdx = append(qaIdx, space.Grid.NearestIndex(v))
+		qaIdx = append(qaIdx, g.NearestIndex(v))
 	}
 	return qaIdx, nil
 }
@@ -454,11 +478,11 @@ func throughput(name, algName string, scale float64, cfg sweepCfg, parallelFlag 
 		}
 		levels = append(levels, n)
 	}
-	space, err := spec.SpaceWith(scale, cfg.config())
+	src, err := cfg.source(spec, scale)
 	if err != nil {
 		return err
 	}
-	compiled, err := core.Compile(space, core.CompileOptions{PrimeAlignment: true})
+	compiled, err := core.CompileSource(src, core.CompileOptions{PrimeAlignment: true})
 	if err != nil {
 		return err
 	}
@@ -505,25 +529,28 @@ func discover(name, algName, qaFlag string, scale float64, cfg sweepCfg, chaosSe
 	if err != nil {
 		return err
 	}
-	space, err := spec.SpaceWith(scale, cfg.config())
+	src, err := cfg.source(spec, scale)
 	if err != nil {
 		return err
 	}
-	qaIdx, err := parseQA(space, qaFlag)
+	g := src.Geometry()
+	qaIdx, err := parseQA(g, qaFlag)
 	if err != nil {
 		return err
 	}
-	qa := int32(space.Grid.Linear(qaIdx))
+	qa := int32(g.Linear(qaIdx))
 
-	sess := core.NewSession(space)
+	c, err := core.CompileSource(src, core.CompileOptions{})
+	if err != nil {
+		return err
+	}
 	var chaos *faultinject.Injector
 	if chaosRate > 0 {
 		chaos = faultinject.NewUniform(chaosSeed, chaosRate)
-		sess.SetFaults(chaos)
 	}
 	ctx, cancel := deadlineCtx(deadline)
 	defer cancel()
-	r := sess.Compiled().NewRun().WithFaults(chaos)
+	r := c.NewRun().WithFaults(chaos)
 	if ctx != nil {
 		r.WithContext(ctx)
 	}
@@ -532,7 +559,7 @@ func discover(name, algName, qaFlag string, scale float64, cfg sweepCfg, chaosSe
 	if err != nil && aborted == nil {
 		return err
 	}
-	sel := space.Grid.Sel(int(qa), nil)
+	sel := g.Sel(int(qa), nil)
 	fmt.Printf("%s via %s at qa=%v (grid point %d)\n", name, algName, sel, qa)
 	if aborted != nil {
 		fmt.Printf("  ABORTED by -deadline %v (%v); partial trace follows\n", deadline, aborted.Err)
@@ -549,10 +576,11 @@ func discover(name, algName, qaFlag string, scale float64, cfg sweepCfg, chaosSe
 		fmt.Printf("  %2d. IC%-2d %s P%-3d dim=%-2d budget=%.4g cost=%.4g %s\n",
 			i+1, st.Contour, mode, st.PlanID, st.Dim, st.Budget, st.Cost, status)
 	}
-	g, _ := sess.Guarantee(core.Algorithm(algName))
+	guar, _ := c.Guarantee(core.Algorithm(algName))
+	opt := src.CostAt(qa)
 	fmt.Printf("total cost %.4g, optimal %.4g, sub-optimality %.2f (guarantee %.1f)\n",
-		out.TotalCost, space.PointCost[qa], out.SubOpt(space.PointCost[qa]), g)
-	printSweepStats(space)
+		out.TotalCost, opt, out.SubOpt(opt), guar)
+	printSweepStats(src)
 	memSummary()
 	if chaos != nil {
 		fmt.Printf("chaos: seed=%d rate=%g, %d faults fired, %d retries, wasted cost %.4g\n",
@@ -575,6 +603,7 @@ func discover(name, algName, qaFlag string, scale float64, cfg sweepCfg, chaosSe
 type serveConfig struct {
 	addr, pprofAddr             string
 	workloads, snapshotDir      string
+	essMode                     string
 	scale                       float64
 	res, maxConcurrent          int
 	maxQueue, maxExecWorkers    int
@@ -592,6 +621,7 @@ func serve(sc serveConfig) error {
 		Workloads:          strings.Split(sc.workloads, ","),
 		Scale:              sc.scale,
 		Res:                sc.res,
+		ESSMode:            sc.essMode,
 		SnapshotDir:        sc.snapshotDir,
 		MaxConcurrent:      sc.maxConcurrent,
 		MaxQueue:           sc.maxQueue,

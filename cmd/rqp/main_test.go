@@ -115,7 +115,7 @@ func TestRunMSOExactSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "sweep: exact") {
+	if !strings.Contains(out, "sweep: eager-exact") {
 		t.Errorf("exact sweep not reported:\n%s", out)
 	}
 }

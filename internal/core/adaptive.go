@@ -49,8 +49,8 @@ func estPoint(st *discovery.State, res int, idx []int) []int {
 // Discover climbs the budget ladder, re-planning from the observed
 // selectivities before every execution.
 func (adaptiveSwitchStrategy) Discover(r *Run, _ any, eng discovery.Engine) (*discovery.Outcome, error) {
-	s := r.c.Space
-	g := s.Grid
+	s := r.c.Source
+	g := s.Geometry()
 	out := &discovery.Outcome{}
 	st := discovery.NewState(g.D)
 	ladder := budgetLadder(s)
@@ -62,7 +62,7 @@ func (adaptiveSwitchStrategy) Discover(r *Run, _ any, eng discovery.Engine) (*di
 		// loop runs at most D+1 executions per rung.
 		for {
 			est := int32(g.Linear(estPoint(st, g.Res, idx)))
-			pid := s.PointPlan[est]
+			pid := s.PlanAt(est)
 			if aerr := discovery.AbortOf(eng); aerr != nil {
 				return out, aerr
 			}
@@ -94,5 +94,5 @@ func (adaptiveSwitchStrategy) Discover(r *Run, _ any, eng discovery.Engine) (*di
 		}
 	}
 	return out, fmt.Errorf("adaptiveswitch: did not complete within %d budget rungs (query %s)",
-		len(ladder), s.Q.Name)
+		len(ladder), s.Query().Name)
 }

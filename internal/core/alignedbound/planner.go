@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/core/bouquet"
@@ -41,24 +42,23 @@ type Decision struct {
 }
 
 // Planner computes and caches alignment decisions. Decisions depend only
-// on the contour and the learned-dimension slice, so they are shared
-// across discovery runs (and across goroutines in MSO sweeps).
+// on the contour, the learned-dimension slice, and the source's
+// refinement epoch, so they are shared across discovery runs (and across
+// goroutines in MSO sweeps) and recomputed exactly when online
+// refinement publishes a new overlay.
 //
-// The planner's replacement candidates are frozen at construction to
-// the space's compile-time plan pool: plans interned at run time (by
-// this or any concurrent planner) never enter the candidate set, so a
-// decision is a pure function of the cost surface, the base pool, and
-// the (slice, contour) key — identical no matter how many runs race to
-// compute it.
+// Replacement candidates are drawn from the plans appearing on the
+// contour being decided (in canonical signature order) plus the
+// optimizer probe — a pure function of the contour itself, so eager and
+// lazy sources over the same surface decide identically regardless of
+// how much of the grid either has materialized.
 type Planner struct {
-	// S is the search space.
-	S *ess.Space
+	// S is the contour provider.
+	S ess.ContourSource
 	// UseOptimizer enables per-spill-class optimizer probes when the
-	// POSP pool lacks a plan spilling on the needed dimension cheaply —
+	// contour lacks a plan spilling on the needed dimension cheaply —
 	// the engine hook of §6.1.
 	UseOptimizer bool
-
-	pool []*ess.PlanInfo // frozen compile-time candidate pool
 
 	mu    sync.Mutex
 	cache map[decisionKey]*Decision
@@ -68,13 +68,14 @@ type Planner struct {
 type decisionKey struct {
 	slice   string
 	contour int
+	epoch   uint64
 }
 
-// NewPlanner creates a planner over the space with optimizer probes on.
-func NewPlanner(s *ess.Space) *Planner {
+// NewPlanner creates a planner over the source with optimizer probes on.
+func NewPlanner(src ess.ContourSource) *Planner {
 	return &Planner{
-		S: s, UseOptimizer: true, pool: s.BasePlans(),
-		cache: make(map[decisionKey]*Decision), ev: s.NewEvaluator(),
+		S: src, UseOptimizer: true,
+		cache: make(map[decisionKey]*Decision), ev: src.NewEvaluator(),
 	}
 }
 
@@ -82,11 +83,11 @@ func NewPlanner(s *ess.Space) *Planner {
 // concurrent runs start from a warm cache instead of serializing on the
 // planner mutex while it fills.
 func (p *Planner) Prime() {
-	learned := make([]int, p.S.Grid.D)
+	learned := make([]int, p.S.Geometry().D)
 	for d := range learned {
 		learned[d] = -1
 	}
-	for ci := range p.S.ContoursFor(learned) {
+	for ci := 0; ci < p.S.NumContours(); ci++ {
 		p.Decide(learned, ci)
 	}
 }
@@ -94,7 +95,7 @@ func (p *Planner) Prime() {
 // Decide returns the alignment decision for the contour of the slice
 // identified by learned (learned[d] ≥ 0 pins dimension d).
 func (p *Planner) Decide(learned []int, contourIdx int) *Decision {
-	key := decisionKey{slice: sliceKeyOf(learned), contour: contourIdx}
+	key := decisionKey{slice: sliceKeyOf(learned), contour: contourIdx, epoch: p.S.Epoch()}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if d, ok := p.cache[key]; ok {
@@ -119,9 +120,7 @@ func sliceKeyOf(learned []int) string {
 // compute builds the decision: per-dimension spill geometry, induced
 // alignment penalties, and the minimum-penalty partition cover.
 func (p *Planner) compute(learned []int, contourIdx int) *Decision {
-	s := p.S
-	contours := s.ContoursFor(learned)
-	ic := &contours[contourIdx]
+	ic := p.S.ContourAt(learned, contourIdx)
 
 	var rem []int
 	var remMask uint16
@@ -142,7 +141,7 @@ func (p *Planner) compute(learned []int, contourIdx int) *Decision {
 		if r, ok := induceCache[k]; ok {
 			return r
 		}
-		pid, budget, penalty := p.induceAlignment(ic, geo, remMask, dim, coord)
+		pid, budget, penalty := p.induceAlignment(ic, remMask, dim, coord)
 		r := induceRes{planID: pid, budget: budget, penalty: penalty}
 		induceCache[k] = r
 		return r
@@ -203,8 +202,9 @@ type geometry struct {
 }
 
 func (p *Planner) contourGeometry(ic *ess.Contour, remMask uint16) *geometry {
-	s := p.S
-	D := s.Grid.D
+	src := p.S
+	grid := src.Geometry()
+	D := grid.D
 	g := &geometry{
 		maxCoord: make([][]int, D),
 		argmax:   make([]int32, D),
@@ -219,9 +219,9 @@ func (p *Planner) contourGeometry(ic *ess.Contour, remMask uint16) *geometry {
 		g.extreme[d] = -1
 	}
 	for _, pt := range ic.Points {
-		sd := s.SpillDim(s.PointPlan[pt], remMask)
+		sd := src.SpillDim(src.PlanAt(pt), remMask)
 		for j := 0; j < D; j++ {
-			c := s.Grid.Coord(int(pt), j)
+			c := grid.Coord(int(pt), j)
 			if c > g.extreme[j] {
 				g.extreme[j] = c
 			}
@@ -275,7 +275,7 @@ func (p *Planner) bestLeader(ic *ess.Contour, geo *geometry, part []int,
 		// Native PSA: q^j_max reaches the part's extreme along j.
 		if geo.argmax[j] >= 0 && geo.maxCoord[j][j] >= coord {
 			ex := LeaderExec{
-				Dim: j, PlanID: p.S.PointPlan[geo.argmax[j]],
+				Dim: j, PlanID: p.S.PlanAt(geo.argmax[j]),
 				Budget: ic.Cost, Penalty: 1, Induced: false,
 			}
 			if ex.Penalty < best.Penalty {
@@ -304,8 +304,9 @@ func (p *Planner) bestLeader(ic *ess.Contour, geo *geometry, part []int,
 // plan must spill on dim and sit at a contour location whose
 // dim-coordinate equals the target (§5.2.1). Returns penalty +Inf if no
 // candidate exists.
-func (p *Planner) induceAlignment(ic *ess.Contour, geo *geometry, remMask uint16, dim, coord int) (int32, float64, float64) {
-	s := p.S
+func (p *Planner) induceAlignment(ic *ess.Contour, remMask uint16, dim, coord int) (int32, float64, float64) {
+	src := p.S
+	grid := src.Geometry()
 	bestPlan := int32(-1)
 	bestCost := math.Inf(1)
 	bestOpt := 1.0
@@ -313,23 +314,33 @@ func (p *Planner) induceAlignment(ic *ess.Contour, geo *geometry, remMask uint16
 	// Location set S: contour points at the target coordinate.
 	var locs []int32
 	for _, pt := range ic.Points {
-		if s.Grid.Coord(int(pt), dim) == coord {
+		if grid.Coord(int(pt), dim) == coord {
 			locs = append(locs, pt)
 		}
 	}
 
-	// Candidate plans spilling on dim, drawn from the frozen
-	// compile-time pool only (see the Planner doc).
+	// Candidate plans spilling on dim, drawn from the distinct plans
+	// appearing on this contour, in canonical signature order (pool IDs
+	// are settle-order dependent; signatures are not — see Planner doc).
+	seen := map[int32]bool{}
 	var pool []int32
-	for _, pi := range p.pool {
-		if s.SpillDim(int32(pi.ID), remMask) == dim {
-			pool = append(pool, int32(pi.ID))
+	for _, pt := range ic.Points {
+		pid := src.PlanAt(pt)
+		if seen[pid] {
+			continue
+		}
+		seen[pid] = true
+		if src.SpillDim(pid, remMask) == dim {
+			pool = append(pool, pid)
 		}
 	}
+	sort.Slice(pool, func(a, b int) bool {
+		return src.Plan(pool[a]).Sig < src.Plan(pool[b]).Sig
+	})
 	for _, q := range locs {
 		for _, pid := range pool {
 			if c := p.ev.PlanCost(pid, q); c < bestCost {
-				bestCost, bestPlan, bestOpt = c, pid, s.PointCost[q]
+				bestCost, bestPlan, bestOpt = c, pid, src.CostAt(q)
 			}
 		}
 	}
@@ -339,22 +350,23 @@ func (p *Planner) induceAlignment(ic *ess.Contour, geo *geometry, remMask uint16
 	if p.UseOptimizer && len(locs) > 0 {
 		qBest := locs[0]
 		for _, q := range locs[1:] {
-			if s.PointCost[q] < s.PointCost[qBest] {
+			if src.CostAt(q) < src.CostAt(qBest) {
 				qBest = q
 			}
 		}
+		qry := src.Query()
 		remaining := map[int]bool{}
-		for d, joinID := range s.Q.EPPs {
+		for d, joinID := range qry.EPPs {
 			if remMask&(1<<uint(d)) != 0 {
 				remaining[joinID] = true
 			}
 		}
 		env := p.ev.Env(qBest)
-		perClass := s.Optimizer().BestPerSpillClass(env, remaining)
-		if pl, ok := perClass[s.Q.EPPs[dim]]; ok && pl.Cost < bestCost {
+		perClass := src.Optimizer().BestPerSpillClass(env, remaining)
+		if pl, ok := perClass[qry.EPPs[dim]]; ok && pl.Cost < bestCost {
 			bestCost = pl.Cost
-			bestPlan = s.AddPlan(pl.Root)
-			bestOpt = s.PointCost[qBest]
+			bestPlan = src.AddPlan(pl.Root)
+			bestOpt = src.CostAt(qBest)
 		}
 	}
 
@@ -380,16 +392,16 @@ func GuaranteeRange(d int) (lo, hi float64) {
 // Run executes the AlignedBound discovery (Algorithm 2) for one query
 // instance. It returns the outcome and the maximum partition penalty π*
 // encountered (the quantity of Table 4).
-func Run(s *ess.Space, pl *Planner, eng discovery.Engine) (*discovery.Outcome, float64, error) {
+func Run(src ess.ContourSource, pl *Planner, eng discovery.Engine) (*discovery.Outcome, float64, error) {
 	out := &discovery.Outcome{}
-	st := discovery.NewState(s.Grid.D)
-	m := len(s.ContourCosts())
+	st := discovery.NewState(src.Geometry().D)
+	m := src.NumContours()
 	maxPenalty := 0.0
 
 	ci := 0
 	for ci < m {
 		if st.Remaining() == 1 {
-			if err := bouquet.RunOneD(s, st, eng, ci, out); err != nil {
+			if err := bouquet.RunOneD(src, st, eng, ci, out); err != nil {
 				return out, maxPenalty, err
 			}
 			return out, maxPenalty, nil
@@ -425,5 +437,5 @@ func Run(s *ess.Space, pl *Planner, eng discovery.Engine) (*discovery.Outcome, f
 		}
 	}
 	return out, maxPenalty, fmt.Errorf("alignedbound: exhausted contours with %d epps unlearned (query %s)",
-		st.Remaining(), s.Q.Name)
+		st.Remaining(), src.Query().Name)
 }

@@ -18,19 +18,19 @@ type ContourAlignment struct {
 	MinPenalty float64
 }
 
-// Profile computes the alignment status of every contour of the space
+// Profile computes the alignment status of every contour of the source
 // under the full epp set.
 func (p *Planner) Profile() []ContourAlignment {
 	s := p.S
-	D := s.Grid.D
+	D := s.Geometry().D
 	remMask := uint16(1)<<uint(D) - 1
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
-	out := make([]ContourAlignment, len(s.Contours))
-	for ci := range s.Contours {
-		ic := &s.Contours[ci]
+	out := make([]ContourAlignment, s.NumContours())
+	for ci := range out {
+		ic := s.ContourAt(nil, ci)
 		geo := p.contourGeometry(ic, remMask)
 		ca := ContourAlignment{Contour: ci + 1, MinPenalty: math.Inf(1)}
 		for j := 0; j < D; j++ {
@@ -43,7 +43,7 @@ func (p *Planner) Profile() []ContourAlignment {
 				ca.MinPenalty = 1
 				break
 			}
-			_, _, penalty := p.induceAlignment(ic, geo, remMask, j, geo.extreme[j])
+			_, _, penalty := p.induceAlignment(ic, remMask, j, geo.extreme[j])
 			if penalty < ca.MinPenalty {
 				ca.MinPenalty = penalty
 			}

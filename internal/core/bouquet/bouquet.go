@@ -25,12 +25,12 @@ func Guarantee(red *ess.Reduction) float64 {
 }
 
 // Run executes the PlanBouquet discovery for one query instance through
-// the engine. The reduction must come from the same space.
-func Run(s *ess.Space, red *ess.Reduction, eng discovery.Engine) (*discovery.Outcome, error) {
+// the engine. The reduction must come from the same source.
+func Run(src ess.ContourSource, red *ess.Reduction, eng discovery.Engine) (*discovery.Outcome, error) {
 	out := &discovery.Outcome{}
 	budgetFactor := 1 + red.Lambda
-	for ci := range s.Contours {
-		budget := s.Contours[ci].Cost * budgetFactor
+	for ci := 0; ci < src.NumContours(); ci++ {
+		budget := src.ContourAt(nil, ci).Cost * budgetFactor
 		for _, pid := range red.ContourPlans[ci] {
 			if aerr := discovery.AbortOf(eng); aerr != nil {
 				return out, aerr
@@ -47,31 +47,31 @@ func Run(s *ess.Space, red *ess.Reduction, eng discovery.Engine) (*discovery.Out
 			}
 		}
 	}
-	return out, fmt.Errorf("bouquet: no plan completed on any contour (query %s)", s.Q.Name)
+	return out, fmt.Errorf("bouquet: no plan completed on any contour (query %s)", src.Query().Name)
 }
 
 // RunOneD is the terminal 1-D bouquet phase shared with SpillBound and
 // AlignedBound (§4.1): with a single unlearned dimension remaining, each
 // contour of the residual line holds one plan, executed in regular
 // (non-spill) mode until one completes. startContour is 0-based.
-func RunOneD(s *ess.Space, st *discovery.State, eng discovery.Engine, startContour int, out *discovery.Outcome) error {
+func RunOneD(src ess.ContourSource, st *discovery.State, eng discovery.Engine, startContour int, out *discovery.Outcome) error {
 	dims := st.RemainingDims()
 	if len(dims) != 1 {
 		return fmt.Errorf("bouquet: 1-D phase with %d dims remaining", len(dims))
 	}
 	dim := dims[0]
-	contours := s.ContoursFor(st.Learned)
-	for ci := startContour; ci < len(contours); ci++ {
-		ic := &contours[ci]
+	g := src.Geometry()
+	for ci := startContour; ci < src.NumContours(); ci++ {
+		ic := src.ContourAt(st.Learned, ci)
 		// The residual line's contour is its max-selectivity in-budget
 		// point; pick the compatible one with the largest coordinate.
 		best := int32(-1)
 		bestCoord := -1
 		for _, pt := range ic.Points {
-			if !st.Compatible(s.Grid, pt) {
+			if !st.Compatible(g, pt) {
 				continue
 			}
-			if c := s.Grid.Coord(int(pt), dim); c > bestCoord {
+			if c := g.Coord(int(pt), dim); c > bestCoord {
 				best, bestCoord = pt, c
 			}
 		}
@@ -81,7 +81,7 @@ func RunOneD(s *ess.Space, st *discovery.State, eng discovery.Engine, startConto
 		if aerr := discovery.AbortOf(eng); aerr != nil {
 			return aerr
 		}
-		pid := s.PointPlan[best]
+		pid := src.PlanAt(best)
 		c, done := eng.ExecFull(pid, ic.Cost)
 		out.Add(discovery.Step{
 			Contour: ci + 1, PlanID: pid, Dim: -1,
@@ -94,5 +94,5 @@ func RunOneD(s *ess.Space, st *discovery.State, eng discovery.Engine, startConto
 		}
 		st.Raise(dim, bestCoord)
 	}
-	return fmt.Errorf("bouquet: 1-D phase exhausted contours (query %s)", s.Q.Name)
+	return fmt.Errorf("bouquet: 1-D phase exhausted contours (query %s)", src.Query().Name)
 }

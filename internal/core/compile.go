@@ -26,18 +26,29 @@ type CompileOptions struct {
 }
 
 // Compiled is the immutable compile-time artifact of a search space:
-// the anorexic reduction, the contour set (already on the Space), and
-// the alignment planner with its candidate pool frozen. Building it is
-// the expensive, once-per-workload step; afterwards any number of
-// concurrent Runs — and the MSO sweep's worker pool — share one
-// Compiled without synchronization on the discovery hot path.
+// the contour provider, the anorexic reduction, and the alignment
+// planner. Building it is the once-per-workload step; afterwards any
+// number of concurrent Runs — and the MSO sweep's worker pool — share
+// one Compiled without synchronization on the discovery hot path.
+//
+// The reduction is built on first use (sync.Once): over a lazy source
+// it enumerates every full-grid contour, which is exactly the eager
+// materialization the demand-driven path avoids, so SpillBound- and
+// AlignedBound-only serving never pays for it. The structure stays
+// immutable under online refinement — a refining source publishes its
+// overlay behind an atomic pointer and bumps its Epoch, which the
+// planner keys its decision cache by.
 type Compiled struct {
-	// Space is the underlying search space.
+	// Space is the underlying eager search space; nil when the artifact
+	// was compiled over a demand-driven source (use Source).
 	Space *ess.Space
+	// Source is the contour provider every run consumes.
+	Source ess.ContourSource
 	// Lambda is the anorexic-reduction threshold the artifact was
 	// compiled with.
 	Lambda float64
 
+	redOnce   sync.Once
 	reduction *ess.Reduction
 	planner   *alignedbound.Planner
 
@@ -48,11 +59,23 @@ type Compiled struct {
 
 // Compile eagerly builds the compile-time artifact for the space.
 func Compile(space *ess.Space, opts CompileOptions) (*Compiled, error) {
+	c, err := CompileSource(space, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.Space = space
+	return c, nil
+}
+
+// CompileSource builds the compile-time artifact over any contour
+// provider. Over a *LazySpace nothing materializes up front: the
+// reduction and the planner's decisions are computed on first use.
+func CompileSource(src ess.ContourSource, opts CompileOptions) (*Compiled, error) {
 	lambda := opts.Lambda
 	if lambda == 0 {
 		lambda = DefaultLambda
 	}
-	c, err := newCompiled(space, lambda)
+	c, err := newCompiled(src, lambda)
 	if err != nil {
 		return nil, err
 	}
@@ -74,20 +97,33 @@ func validateLambda(lambda float64) (float64, error) {
 	return lambda, nil
 }
 
-func newCompiled(space *ess.Space, lambda float64) (*Compiled, error) {
+func newCompiled(src ess.ContourSource, lambda float64) (*Compiled, error) {
 	if _, err := validateLambda(lambda); err != nil {
 		return nil, err
 	}
+	if s, ok := src.(*ess.Space); ok {
+		return &Compiled{
+			Space:   s,
+			Source:  src,
+			Lambda:  lambda,
+			planner: alignedbound.NewPlanner(src),
+		}, nil
+	}
 	return &Compiled{
-		Space:     space,
-		Lambda:    lambda,
-		reduction: space.Reduce(lambda),
-		planner:   alignedbound.NewPlanner(space),
+		Source:  src,
+		Lambda:  lambda,
+		planner: alignedbound.NewPlanner(src),
 	}, nil
 }
 
-// Reduction returns the compiled anorexic reduction.
-func (c *Compiled) Reduction() *ess.Reduction { return c.reduction }
+// Reduction returns the compiled anorexic reduction, building it on
+// first use (full contour enumeration — see the Compiled doc).
+func (c *Compiled) Reduction() *ess.Reduction {
+	c.redOnce.Do(func() {
+		c.reduction = ess.ReduceSource(c.Source, c.Lambda)
+	})
+	return c.reduction
+}
 
 // Planner returns the compiled alignment planner. Its decision cache
 // fills on demand and is shared by every run over this artifact.
@@ -97,10 +133,10 @@ func (c *Compiled) Planner() *alignedbound.Planner { return c.planner }
 // the a-priori bound the paper proves. For AlignedBound the upper end
 // of its range is returned (use alignedbound.GuaranteeRange for both).
 func (c *Compiled) Guarantee(alg Algorithm) (float64, error) {
-	d := c.Space.Grid.D
+	d := c.Source.Geometry().D
 	switch alg {
 	case PlanBouquet:
-		return bouquet.Guarantee(c.reduction), nil
+		return bouquet.Guarantee(c.Reduction()), nil
 	case SpillBound:
 		return spillbound.Guarantee(d), nil
 	case AlignedBound:
@@ -115,7 +151,7 @@ func (c *Compiled) Guarantee(alg Algorithm) (float64, error) {
 // and ASO over the grid, one fresh Run per location, all sharing this
 // artifact.
 func (c *Compiled) MSO(alg Algorithm, opts mso.Options) (*mso.Result, error) {
-	return mso.Sweep(c.Space, func(qa int32) (*discovery.Outcome, error) {
+	return mso.Sweep(c.Source, func(qa int32) (*discovery.Outcome, error) {
 		return c.NewRun().Discover(alg, qa)
 	}, opts)
 }
@@ -123,5 +159,5 @@ func (c *Compiled) MSO(alg Algorithm, opts mso.Options) (*mso.Result, error) {
 // NativeWorstCaseMSO evaluates the traditional optimizer's worst-case
 // MSO (Eq. 2) on this space.
 func (c *Compiled) NativeWorstCaseMSO(opts mso.Options) *mso.Result {
-	return mso.NativeWorstCase(c.Space, opts)
+	return mso.NativeWorstCase(c.Source, opts)
 }

@@ -9,16 +9,16 @@ import "repro/internal/ess"
 // simulation of the engine under the paper's perfect-cost-model
 // assumption (δ = 0 in §7).
 type SimEngine struct {
-	s  *ess.Space
-	qa int32
-	ev *ess.Evaluator
+	src ess.ContourSource
+	qa  int32
+	ev  *ess.Evaluator
 }
 
 // NewSimEngine returns an engine for the true location qa (linear grid
 // index). Engines are not safe for concurrent use; create one per
 // goroutine.
-func NewSimEngine(s *ess.Space, qa int32) *SimEngine {
-	return &SimEngine{s: s, qa: qa, ev: s.NewEvaluator()}
+func NewSimEngine(src ess.ContourSource, qa int32) *SimEngine {
+	return &SimEngine{src: src, qa: qa, ev: src.NewEvaluator()}
 }
 
 // QA returns the true location the engine simulates.
@@ -41,7 +41,7 @@ func (e *SimEngine) ExecFull(planID int32, budget float64) (float64, bool) {
 func (e *SimEngine) ExecSpill(planID int32, dim int, budget float64) (float64, bool, int) {
 	sc := e.ev.SpillCost(planID, e.qa, dim)
 	if sc <= budget {
-		return sc, true, e.s.Grid.Coord(int(e.qa), dim)
+		return sc, true, e.src.Geometry().Coord(int(e.qa), dim)
 	}
 	learned := e.ev.MaxSelIndexWithin(planID, e.qa, dim, budget)
 	return budget, false, learned

@@ -109,13 +109,13 @@ const maxLadderRungs = 64
 // past Cmax by continued CostRatio growth (the chosen plan is generally
 // not optimal at the true location, so its completion cost can exceed
 // the optimal terminus cost), capped at maxLadderRungs rungs.
-func budgetLadder(s *ess.Space) []float64 {
-	costs := s.ContourCosts()
+func budgetLadder(src ess.ContourSource) []float64 {
+	costs := src.ContourCosts()
 	if len(costs) > maxLadderRungs {
 		return costs[:maxLadderRungs]
 	}
 	ladder := append(make([]float64, 0, maxLadderRungs), costs...)
-	ratio := s.CostRatio
+	ratio := src.Ratio()
 	if ratio <= 1 {
 		ratio = 2
 	}

@@ -36,18 +36,19 @@ type parqoPrep struct {
 // break toward the cheaper plan at the estimate, then the lower ID, so
 // the choice is deterministic.
 func (parqoStrategy) Prepare(c *Compiled) (any, error) {
-	s := c.Space
-	ev := s.NewEvaluator()
-	qe := estimatePoint(s.Grid)
-	nb := errorNeighborhood(s.Grid, qe)
+	src := c.Source
+	ev := src.NewEvaluator()
+	g := src.Geometry()
+	qe := estimatePoint(g)
+	nb := errorNeighborhood(g, qe)
 
 	var bestID int32 = -1
 	bestPenalty, bestAtQe := 0.0, 0.0
-	for _, p := range s.BasePlans() {
+	for _, p := range src.BasePlans() {
 		id := int32(p.ID)
 		penalty := 0.0
 		for i, pt := range nb.Points {
-			if over := ev.PlanCost(id, pt) - s.PointCost[pt]; over > 0 {
+			if over := ev.PlanCost(id, pt) - ev.OptCost(pt); over > 0 {
 				penalty += nb.Weights[i] * over
 			}
 		}
@@ -58,9 +59,9 @@ func (parqoStrategy) Prepare(c *Compiled) (any, error) {
 		}
 	}
 	if bestID < 0 {
-		return nil, fmt.Errorf("parqo: empty plan pool (query %s)", s.Q.Name)
+		return nil, fmt.Errorf("parqo: empty plan pool (query %s)", src.Query().Name)
 	}
-	return &parqoPrep{planID: bestID, start: startRung(budgetLadder(s), bestAtQe)}, nil
+	return &parqoPrep{planID: bestID, start: startRung(budgetLadder(src), bestAtQe)}, nil
 }
 
 // Discover runs the chosen plan up the budget ladder: full executions
@@ -68,7 +69,7 @@ func (parqoStrategy) Prepare(c *Compiled) (any, error) {
 func (parqoStrategy) Discover(r *Run, prep any, eng discovery.Engine) (*discovery.Outcome, error) {
 	p := prep.(*parqoPrep)
 	out := &discovery.Outcome{}
-	ladder := budgetLadder(r.c.Space)
+	ladder := budgetLadder(r.c.Source)
 	for rung := p.start; rung < len(ladder); rung++ {
 		if aerr := discovery.AbortOf(eng); aerr != nil {
 			return out, aerr
@@ -85,5 +86,5 @@ func (parqoStrategy) Discover(r *Run, prep any, eng discovery.Engine) (*discover
 		}
 	}
 	return out, fmt.Errorf("parqo: plan %d did not complete within %d budget rungs (query %s)",
-		p.planID, len(ladder), r.c.Space.Q.Name)
+		p.planID, len(ladder), r.c.Source.Query().Name)
 }

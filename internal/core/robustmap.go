@@ -41,18 +41,19 @@ type robustMapPrep struct {
 // contour ratio (one budget rung). Ties break toward the cheaper plan
 // at the estimate, then the lower ID.
 func (robustMapStrategy) Prepare(c *Compiled) (any, error) {
-	s := c.Space
-	ev := s.NewEvaluator()
-	qe := estimatePoint(s.Grid)
-	nb := errorNeighborhood(s.Grid, qe)
-	maxAtQe := s.PointCost[qe] * s.CostRatio
-	if s.CostRatio <= 1 {
-		maxAtQe = s.PointCost[qe] * 2
+	src := c.Source
+	ev := src.NewEvaluator()
+	g := src.Geometry()
+	qe := estimatePoint(g)
+	nb := errorNeighborhood(g, qe)
+	maxAtQe := src.CostAt(qe) * src.Ratio()
+	if src.Ratio() <= 1 {
+		maxAtQe = src.CostAt(qe) * 2
 	}
 
 	var bestID int32 = -1
 	bestSteep, bestAtQe := 0.0, 0.0
-	for _, p := range s.BasePlans() {
+	for _, p := range src.BasePlans() {
 		id := int32(p.ID)
 		atQe := ev.PlanCost(id, qe)
 		if atQe <= 0 || atQe > maxAtQe {
@@ -60,7 +61,7 @@ func (robustMapStrategy) Prepare(c *Compiled) (any, error) {
 		}
 		steep := 1.0
 		for _, pt := range nb.Points {
-			if opt := s.PointCost[pt]; opt > 0 {
+			if opt := ev.OptCost(pt); opt > 0 {
 				if ratio := ev.PlanCost(id, pt) / opt; ratio > steep {
 					steep = ratio
 				}
@@ -75,7 +76,7 @@ func (robustMapStrategy) Prepare(c *Compiled) (any, error) {
 		// The optimal plan at the estimate always passes the filter in
 		// exact spaces; recost drift can exclude everything in degenerate
 		// pools, in which case the estimate's own plan is the map's pick.
-		bestID = s.PointPlan[qe]
+		bestID = src.PlanAt(qe)
 	}
 	return &robustMapPrep{planID: bestID}, nil
 }
@@ -87,9 +88,9 @@ func (robustMapStrategy) Prepare(c *Compiled) (any, error) {
 // too, since full cost dominates spill cost).
 func (robustMapStrategy) Discover(r *Run, prep any, eng discovery.Engine) (*discovery.Outcome, error) {
 	p := prep.(*robustMapPrep)
-	s := r.c.Space
+	s := r.c.Source
 	out := &discovery.Outcome{}
-	st := discovery.NewState(s.Grid.D)
+	st := discovery.NewState(s.Geometry().D)
 	ladder := budgetLadder(s)
 	for rung := 0; rung < len(ladder); rung++ {
 		budget := ladder[rung]
@@ -133,5 +134,5 @@ func (robustMapStrategy) Discover(r *Run, prep any, eng discovery.Engine) (*disc
 		}
 	}
 	return out, fmt.Errorf("robustmap: plan %d did not complete within %d budget rungs (query %s)",
-		p.planID, len(ladder), s.Q.Name)
+		p.planID, len(ladder), s.Query().Name)
 }

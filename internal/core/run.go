@@ -88,7 +88,7 @@ func (r *Run) MaxPenalty() float64 { return r.maxPenalty }
 // discovery entry point (algorithm or strategy) shares this one stack,
 // so all six bake-off policies see identical plumbing.
 func (r *Run) simStack(qa int32) discovery.Engine {
-	sim := discovery.NewSimEngine(r.c.Space, qa)
+	sim := discovery.NewSimEngine(r.c.Source, qa)
 	if in := r.faults; in != nil {
 		res := discovery.NewResilient(discovery.NewFaultySim(sim, in), discovery.DefaultRetryPolicy).
 			WithJitter(in.Jitter)
@@ -145,9 +145,9 @@ func (r *Run) finish(out *discovery.Outcome, err error, eng discovery.Engine) (*
 func (r *Run) dispatch(alg Algorithm, eng discovery.Engine) (*discovery.Outcome, error) {
 	switch alg {
 	case PlanBouquet:
-		return bouquet.Run(r.c.Space, r.c.reduction, eng)
+		return bouquet.Run(r.c.Source, r.c.Reduction(), eng)
 	case SpillBound:
-		return spillbound.Run(r.c.Space, eng)
+		return spillbound.Run(r.c.Source, eng)
 	case AlignedBound:
 		return r.runAligned(eng)
 	default:
@@ -172,7 +172,7 @@ func (r *Run) runAligned(eng discovery.Engine) (out *discovery.Outcome, err erro
 			}
 		}()
 	}
-	out, pen, err := alignedbound.Run(r.c.Space, r.c.planner, eng)
+	out, pen, err := alignedbound.Run(r.c.Source, r.c.planner, eng)
 	if out != nil {
 		out.AlignPenalty = pen
 	}
@@ -185,7 +185,7 @@ func (r *Run) runAligned(eng discovery.Engine) (out *discovery.Outcome, err erro
 // alignFallback degrades an AlignedBound discovery to SpillBound,
 // stamping the Outcome with the "alignment-fallback" degradation.
 func (r *Run) alignFallback(eng discovery.Engine, detail string) (*discovery.Outcome, error) {
-	out, err := spillbound.Run(r.c.Space, eng)
+	out, err := spillbound.Run(r.c.Source, eng)
 	if out != nil {
 		out.Degradations = append(out.Degradations, discovery.Degradation{
 			Kind: "alignment-fallback", Detail: detail,

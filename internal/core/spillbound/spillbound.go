@@ -21,25 +21,24 @@ func Guarantee(d int) float64 {
 
 // Run executes the SpillBound discovery (Algorithm 1) for one query
 // instance through the engine.
-func Run(s *ess.Space, eng discovery.Engine) (*discovery.Outcome, error) {
+func Run(src ess.ContourSource, eng discovery.Engine) (*discovery.Outcome, error) {
 	out := &discovery.Outcome{}
-	st := discovery.NewState(s.Grid.D)
-	m := len(s.ContourCosts())
+	st := discovery.NewState(src.Geometry().D)
+	m := src.NumContours()
 
 	ci := 0
 	for ci < m {
 		if st.Remaining() == 1 {
 			// Terminal 1-D phase: hand over to PlanBouquet from the
 			// present contour (§4.1), in regular execution mode.
-			if err := bouquet.RunOneD(s, st, eng, ci, out); err != nil {
+			if err := bouquet.RunOneD(src, st, eng, ci, out); err != nil {
 				return out, err
 			}
 			return out, nil
 		}
 
-		contours := s.ContoursFor(st.Learned)
-		ic := &contours[ci]
-		execs := ChooseSpillPlans(s, st, ic)
+		ic := src.ContourAt(st.Learned, ci)
+		execs := ChooseSpillPlans(src, st, ic)
 		progressed := false
 		for _, ex := range execs {
 			if aerr := discovery.AbortOf(eng); aerr != nil {
@@ -63,7 +62,7 @@ func Run(s *ess.Space, eng discovery.Engine) (*discovery.Outcome, error) {
 		}
 	}
 	return out, fmt.Errorf("spillbound: exhausted contours with %d epps unlearned (query %s)",
-		st.Remaining(), s.Q.Name)
+		st.Remaining(), src.Query().Name)
 }
 
 // SpillExec is one chosen spill-mode execution: the P^j_max plan for a
@@ -82,7 +81,8 @@ type SpillExec struct {
 // effective contour locations whose optimal plan spills on the
 // dimension, the one with the largest coordinate (§3.2). Dimensions with
 // no spilling plan on the contour are skipped (§4.2).
-func ChooseSpillPlans(s *ess.Space, st *discovery.State, ic *ess.Contour) []SpillExec {
+func ChooseSpillPlans(src ess.ContourSource, st *discovery.State, ic *ess.Contour) []SpillExec {
+	g := src.Geometry()
 	rem := st.RemMask()
 	type best struct {
 		pt    int32
@@ -90,15 +90,15 @@ func ChooseSpillPlans(s *ess.Space, st *discovery.State, ic *ess.Contour) []Spil
 	}
 	bests := make(map[int]best)
 	for _, pt := range ic.Points {
-		if !st.Compatible(s.Grid, pt) {
+		if !st.Compatible(g, pt) {
 			continue
 		}
-		pid := s.PointPlan[pt]
-		dim := s.SpillDim(pid, rem)
+		pid := src.PlanAt(pt)
+		dim := src.SpillDim(pid, rem)
 		if dim < 0 {
 			continue
 		}
-		c := s.Grid.Coord(int(pt), dim)
+		c := g.Coord(int(pt), dim)
 		b, ok := bests[dim]
 		if !ok || c > b.coord || (c == b.coord && pt > b.pt) {
 			bests[dim] = best{pt: pt, coord: c}
@@ -107,7 +107,7 @@ func ChooseSpillPlans(s *ess.Space, st *discovery.State, ic *ess.Contour) []Spil
 	var out []SpillExec
 	for _, dim := range st.RemainingDims() {
 		if b, ok := bests[dim]; ok {
-			out = append(out, SpillExec{Dim: dim, PlanID: s.PointPlan[b.pt], Point: b.pt})
+			out = append(out, SpillExec{Dim: dim, PlanID: src.PlanAt(b.pt), Point: b.pt})
 		}
 	}
 	return out

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"io"
 	"math"
 	"os"
@@ -79,6 +80,11 @@ type LoadOptions struct {
 
 // spaceDTO is the gob wire format of a built space: enough to skip the
 // expensive POSP sweep on reload. Contours and caches are rebuilt.
+//
+// Gob ignores unknown fields and zero-fills missing ones, so the
+// GridSig / sparse additions are read compatibly by both directions of
+// version skew: an old frame loads with GridSig 0 (no strict fast
+// path) and Sparse false (dense).
 type spaceDTO struct {
 	QueryName string
 	D, Res    int
@@ -87,6 +93,21 @@ type spaceDTO struct {
 	PlanRoots []*plan.Node
 	PointPlan []int32
 	PointCost []float64
+
+	// GridSig is the save-time verification signature: non-zero only
+	// when the writer recost-verified the frame's recorded costs against
+	// its environment before saving, hashed together with the grid
+	// parameters and bit-exact probe recosts. A strict load whose own
+	// probe recosts reproduce the signature may skip the full recost the
+	// writer already performed; any mismatch (or 0) takes the full path.
+	GridSig uint64
+
+	// Sparse marks a demand-driven frame: only SolvedPoints are
+	// recorded, with PointPlan/PointCost/SolvedExact parallel to it,
+	// instead of full grid arrays.
+	Sparse       bool
+	SolvedPoints []int32
+	SolvedExact  []bool
 }
 
 // Save serializes the space's POSP sweep results in the framed snapshot
@@ -107,19 +128,77 @@ func (s *Space) Save(w io.Writer) error {
 	for _, p := range s.Plans() {
 		dto.PlanRoots = append(dto.PlanRoots, p.Root)
 	}
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(&dto); err != nil {
-		return fmt.Errorf("ess: encoding space: %w", err)
+	dto.GridSig = s.gridSig()
+	return writeFrame(w, snapshotMagic, &dto)
+}
+
+// gridSig recost-verifies every contour-member point against the
+// space's own environment and, only when verification passes, returns
+// the frame signature; 0 when any point fails, so a strict load of the
+// frame always takes the full recost path.
+func (s *Space) gridSig() uint64 {
+	ev := s.NewEvaluator()
+	for ci := range s.Contours {
+		for _, pt := range s.Contours[ci].Points {
+			if checkPoint(ev, s, pt) != nil {
+				return 0
+			}
+		}
+	}
+	return frameSig(s.Q.Name, s.Grid.D, s.Grid.Res, s.Grid.Vals[0], s.CostRatio, s.denseProbes(ev))
+}
+
+// denseProbes recosts the recorded plan at the three spot-check points;
+// the bit patterns feed frameSig, so any environment or model drift
+// that moves a probe by one ULP already invalidates the signature.
+func (s *Space) denseProbes(ev *Evaluator) []float64 {
+	g := s.Grid
+	probes := make([]float64, 0, 3)
+	for _, pt := range []int32{int32(g.Origin()), int32(g.Terminus()), int32(g.NumPoints() / 2)} {
+		probes = append(probes, ev.PlanCost(s.PointPlan[pt], pt))
+	}
+	return probes
+}
+
+// frameSig hashes the grid parameters together with bit-exact probe
+// recosts into the save-time verification signature. A zero digest is
+// remapped to 1 so 0 stays reserved for "unverified".
+func frameSig(name string, d, res int, selMin, ratio float64, probes []float64) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, name)
+	var b [8]byte
+	put := func(v uint64) { binary.LittleEndian.PutUint64(b[:], v); h.Write(b[:]) }
+	put(uint64(d))
+	put(uint64(res))
+	put(math.Float64bits(selMin))
+	put(math.Float64bits(ratio))
+	put(uint64(len(probes)))
+	for _, p := range probes {
+		put(math.Float64bits(p))
+	}
+	sig := h.Sum64()
+	if sig == 0 {
+		sig = 1
+	}
+	return sig
+}
+
+// writeFrame gob-encodes the payload and writes one framed record
+// (magic, version, length, CRC, payload).
+func writeFrame(w io.Writer, magic string, payload any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return fmt.Errorf("ess: encoding snapshot: %w", err)
 	}
 	hdr := make([]byte, 0, headerSize)
-	hdr = append(hdr, snapshotMagic...)
+	hdr = append(hdr, magic...)
 	hdr = binary.LittleEndian.AppendUint32(hdr, SnapshotVersion)
-	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(payload.Len()))
-	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(payload.Bytes()))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(buf.Len()))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(buf.Bytes()))
 	if _, err := w.Write(hdr); err != nil {
 		return fmt.Errorf("ess: writing snapshot header: %w", err)
 	}
-	if _, err := w.Write(payload.Bytes()); err != nil {
+	if _, err := w.Write(buf.Bytes()); err != nil {
 		return fmt.Errorf("ess: writing snapshot payload: %w", err)
 	}
 	return nil
@@ -137,6 +216,12 @@ func (s *Space) SaveFile(path string) error { return s.SaveFileWith(path, nil) }
 // untouched on any failure and the temp file is removed best-effort;
 // orphans from real crashes are reclaimed by SweepTemps.
 func (s *Space) SaveFileWith(path string, in *faultinject.Injector) error {
+	return saveFileWith(path, in, s.Save)
+}
+
+// saveFileWith implements the atomic temp+fsync+rename publish for any
+// snapshot writer (dense or sparse).
+func saveFileWith(path string, in *faultinject.Injector, save func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, tempPattern)
 	if err != nil {
@@ -146,7 +231,7 @@ func (s *Space) SaveFileWith(path string, in *faultinject.Injector) error {
 	if in != nil {
 		w = &faultyWriter{w: f, in: in}
 	}
-	err = s.Save(w)
+	err = save(w)
 	if err == nil {
 		err = f.Sync()
 	}
@@ -277,27 +362,41 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-// buildFromDTO validates the decoded DTO — treating every field as
-// attacker-controllable — and rebuilds the space.
-func buildFromDTO(dto *spaceDTO, q *query.Query, baseEnv *cost.Env, model *cost.Model, opt LoadOptions) (*Space, error) {
+// validateGridHeader bounds-checks the frame's grid parameters —
+// treating every field as attacker-controllable — and returns the
+// implied grid point count.
+func validateGridHeader(dto *spaceDTO) (int, error) {
 	if dto.D < 1 || dto.D > maxD {
-		return nil, fmt.Errorf("%w: dimensionality %d outside [1, %d]", ErrCorrupt, dto.D, maxD)
+		return 0, fmt.Errorf("%w: dimensionality %d outside [1, %d]", ErrCorrupt, dto.D, maxD)
 	}
 	if dto.Res < 2 || dto.Res > maxRes {
-		return nil, fmt.Errorf("%w: resolution %d outside [2, %d]", ErrCorrupt, dto.Res, maxRes)
+		return 0, fmt.Errorf("%w: resolution %d outside [2, %d]", ErrCorrupt, dto.Res, maxRes)
 	}
 	if !(dto.SelMin > 0 && dto.SelMin < 1) { // NaN fails both comparisons
-		return nil, fmt.Errorf("%w: selectivity floor %v outside (0, 1)", ErrCorrupt, dto.SelMin)
+		return 0, fmt.Errorf("%w: selectivity floor %v outside (0, 1)", ErrCorrupt, dto.SelMin)
 	}
 	if !(dto.CostRatio > 1) || math.IsInf(dto.CostRatio, 1) {
-		return nil, fmt.Errorf("%w: cost ratio %v not in (1, +Inf)", ErrCorrupt, dto.CostRatio)
+		return 0, fmt.Errorf("%w: cost ratio %v not in (1, +Inf)", ErrCorrupt, dto.CostRatio)
 	}
 	np := 1
 	for i := 0; i < dto.D; i++ {
 		np *= dto.Res
 		if np > maxPoints {
-			return nil, fmt.Errorf("%w: grid %d^%d exceeds %d points", ErrCorrupt, dto.Res, dto.D, maxPoints)
+			return 0, fmt.Errorf("%w: grid %d^%d exceeds %d points", ErrCorrupt, dto.Res, dto.D, maxPoints)
 		}
+	}
+	return np, nil
+}
+
+// buildFromDTO validates the decoded DTO — treating every field as
+// attacker-controllable — and rebuilds the space.
+func buildFromDTO(dto *spaceDTO, q *query.Query, baseEnv *cost.Env, model *cost.Model, opt LoadOptions) (*Space, error) {
+	if dto.Sparse {
+		return nil, fmt.Errorf("%w: sparse (lazy) snapshot in dense loader", ErrCorrupt)
+	}
+	np, err := validateGridHeader(dto)
+	if err != nil {
+		return nil, err
 	}
 	if len(dto.PointPlan) != np || len(dto.PointCost) != np {
 		return nil, fmt.Errorf("%w: point arrays (%d, %d) inconsistent with grid (%d points)",
@@ -351,11 +450,22 @@ func buildFromDTO(dto *spaceDTO, q *query.Query, baseEnv *cost.Env, model *cost.
 		return nil, fmt.Errorf("%w: saved cost surface degenerate", ErrCorrupt)
 	}
 	s.Contours = s.contoursOn(s.allPoints(), nil)
+	s.loaded = true
 	// Verify recorded optimal costs against recosting the recorded plans
 	// under the supplied environment and model: every contour-member
-	// point in Strict mode, a three-point spot check otherwise.
+	// point in Strict mode, a three-point spot check otherwise. A frame
+	// the writer already recost-verified (GridSig != 0) skips the full
+	// strict pass when our own probe recosts reproduce the signature
+	// bit-for-bit — any environment, model, or grid drift falls back to
+	// the full recost, as does a frame whose save-time verification
+	// failed (sig 0).
 	ev := s.NewEvaluator()
-	if opt.Strict {
+	strictFull := opt.Strict
+	if strictFull && dto.GridSig != 0 &&
+		frameSig(dto.QueryName, dto.D, dto.Res, dto.SelMin, dto.CostRatio, s.denseProbes(ev)) == dto.GridSig {
+		strictFull = false
+	}
+	if strictFull {
 		for ci := range s.Contours {
 			for _, pt := range s.Contours[ci].Points {
 				if err := checkPoint(ev, s, pt); err != nil {
@@ -380,6 +490,412 @@ func checkPoint(ev *Evaluator, s *Space, pt int32) error {
 	want := s.PointCost[pt]
 	if diff := got - want; diff > 1e-6*want || diff < -1e-6*want {
 		return fmt.Errorf("ess: saved costs disagree with environment at point %d (%v vs %v)", pt, got, want)
+	}
+	return nil
+}
+
+// --- demand-driven (sparse) snapshots and refinement deltas -----------
+//
+// A lazy snapshot is a sparse base frame (the spaceDTO with Sparse set,
+// recording only settled points) followed by zero or more refinement-
+// delta frames, each framed exactly like the base but under its own
+// magic:
+//
+//	magic    [8]byte  "RQPDELT\x01"
+//	version  uint32   little-endian format version
+//	length   uint64   little-endian payload byte count
+//	crc32    uint32   IEEE CRC of the payload bytes
+//	payload  []byte   gob-encoded deltaDTO
+//
+// Deltas are appended in place (O_APPEND), deliberately without the
+// base frame's atomic rename: a crash mid-append leaves a torn tail
+// that LoadLazy reports as ErrCorrupt, and the server's quarantine-
+// and-rebuild path recovers exactly as it does for a corrupt base.
+
+const deltaMagic = "RQPDELT\x01"
+
+// deltaDTO is the gob wire format of one refinement-delta record: a
+// self-contained batch of settled or refined point values. PlanIdx
+// indexes the delta's own PlanRoots table (interned into the pool at
+// load), so a delta never depends on pool IDs assigned by whichever
+// process wrote the base frame.
+type deltaDTO struct {
+	Points    []int32
+	Costs     []float64
+	PlanIdx   []int32
+	Exact     []bool
+	PlanRoots []*plan.Node
+}
+
+// Delta is one batch of point values to append after a lazy snapshot's
+// base frame. Plans holds pool IDs in the saving source's pool; the
+// encoder translates them to a self-contained plan table.
+type Delta struct {
+	Points []int32
+	Costs  []float64
+	Plans  []int32
+	Exact  []bool
+}
+
+// DeltaSince collects every settled point whose current value has not
+// been persisted yet and advances the watermark map (point → persisted
+// as exact-grade). A recost-settled point re-emits once refinement
+// upgrades it to exact grade; nil is returned when nothing new settled.
+func (ls *LazySpace) DeltaSince(mark map[int32]bool) *Delta {
+	d := &Delta{}
+	for _, pt := range ls.SettledPoints() {
+		c, pid, exact := ls.ValueAt(pt)
+		if was, ok := mark[pt]; ok && (was || !exact) {
+			continue
+		}
+		mark[pt] = exact
+		d.Points = append(d.Points, pt)
+		d.Costs = append(d.Costs, c)
+		d.Plans = append(d.Plans, pid)
+		d.Exact = append(d.Exact, exact)
+	}
+	if len(d.Points) == 0 {
+		return nil
+	}
+	return d
+}
+
+// Save serializes the lazy space's settled points as a sparse base
+// frame. Reload with LoadLazy (the dense Load rejects sparse frames).
+func (ls *LazySpace) Save(w io.Writer) error {
+	s := ls.inner
+	pts := ls.SettledPoints()
+	dto := spaceDTO{
+		QueryName:    s.Q.Name,
+		D:            s.Grid.D,
+		Res:          s.Grid.Res,
+		SelMin:       s.Grid.Vals[0],
+		CostRatio:    s.CostRatio,
+		Sparse:       true,
+		SolvedPoints: pts,
+		SolvedExact:  make([]bool, len(pts)),
+		PointPlan:    make([]int32, len(pts)),
+		PointCost:    make([]float64, len(pts)),
+	}
+	for i, pt := range pts {
+		dto.PointCost[i], dto.PointPlan[i], dto.SolvedExact[i] = ls.ValueAt(pt)
+	}
+	for _, p := range s.Plans() {
+		dto.PlanRoots = append(dto.PlanRoots, p.Root)
+	}
+	dto.GridSig = ls.gridSig(&dto)
+	return writeFrame(w, snapshotMagic, &dto)
+}
+
+// gridSig recost-verifies every recorded point value against the
+// source's own environment (mirroring Space.gridSig, which verifies
+// contour members) and signs the frame only on success.
+func (ls *LazySpace) gridSig(dto *spaceDTO) uint64 {
+	ev := ls.inner.NewEvaluator()
+	for i, pt := range dto.SolvedPoints {
+		got := ev.PlanCost(dto.PointPlan[i], pt)
+		want := dto.PointCost[i]
+		if diff := got - want; diff > 1e-6*want || diff < -1e-6*want {
+			return 0
+		}
+	}
+	return frameSig(dto.QueryName, dto.D, dto.Res, dto.SelMin, dto.CostRatio, ls.sparseProbes(ev))
+}
+
+// sparseProbes recosts the recorded plan at the two always-settled
+// anchors of a lazy space (origin and terminus; a sparse frame has no
+// guaranteed midpoint).
+func (ls *LazySpace) sparseProbes(ev *Evaluator) []float64 {
+	g := ls.inner.Grid
+	probes := make([]float64, 0, 2)
+	for _, pt := range []int32{int32(g.Origin()), int32(g.Terminus())} {
+		probes = append(probes, ev.PlanCost(ls.inner.PointPlan[pt], pt))
+	}
+	return probes
+}
+
+// SaveFile atomically persists the sparse base frame to path (see
+// Space.SaveFile). Any previously appended deltas are folded away: the
+// published snapshot is base-only with every settled point inline.
+func (ls *LazySpace) SaveFile(path string) error { return ls.SaveFileWith(path, nil) }
+
+// SaveFileWith is SaveFile with a fault injector on the write stream.
+func (ls *LazySpace) SaveFileWith(path string, in *faultinject.Injector) error {
+	return saveFileWith(path, in, ls.Save)
+}
+
+// AppendDelta frames the delta and writes it to w.
+func (ls *LazySpace) AppendDelta(w io.Writer, d *Delta) error {
+	n := len(d.Points)
+	if len(d.Costs) != n || len(d.Plans) != n || len(d.Exact) != n {
+		return fmt.Errorf("ess: delta arrays inconsistent (%d, %d, %d, %d)",
+			n, len(d.Costs), len(d.Plans), len(d.Exact))
+	}
+	dto := deltaDTO{Points: d.Points, Costs: d.Costs, Exact: d.Exact}
+	local := make(map[int32]int32)
+	for _, pid := range d.Plans {
+		li, ok := local[pid]
+		if !ok {
+			li = int32(len(dto.PlanRoots))
+			local[pid] = li
+			dto.PlanRoots = append(dto.PlanRoots, ls.Plan(pid).Root)
+		}
+		dto.PlanIdx = append(dto.PlanIdx, li)
+	}
+	return writeFrame(w, deltaMagic, &dto)
+}
+
+// AppendDeltaFile appends the framed delta to the snapshot at path.
+// The append is deliberately not atomic — a crash mid-append leaves a
+// torn tail that the next LoadLazy reports as ErrCorrupt, routing the
+// snapshot through quarantine-and-rebuild.
+func (ls *LazySpace) AppendDeltaFile(path string, d *Delta) error {
+	return ls.AppendDeltaFileWith(path, d, nil)
+}
+
+// AppendDeltaFileWith is AppendDeltaFile with a fault injector: each
+// write checks faultinject.SiteSnapshotSave, and a fired fault tears
+// the append mid-write (simulating a crash while persisting a delta).
+func (ls *LazySpace) AppendDeltaFileWith(path string, d *Delta, in *faultinject.Injector) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("ess: opening snapshot for delta append: %w", err)
+	}
+	var w io.Writer = f
+	if in != nil {
+		w = &faultyWriter{w: f, in: in}
+	}
+	err = ls.AppendDelta(w, d)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// LoadLazy reconstructs a demand-driven space from a sparse base frame
+// plus any refinement-delta frames appended after it. See LoadLazyWith.
+func LoadLazy(r io.Reader, q *query.Query, baseEnv *cost.Env, model *cost.Model, cfg Config) (*LazySpace, error) {
+	return LoadLazyWith(r, q, baseEnv, model, cfg, LoadOptions{})
+}
+
+// LoadLazyWith reconstructs a lazy space saved with LazySpace.Save and
+// grown with AppendDelta. The grid geometry comes from the frame; cfg
+// supplies the settle policy (Exact/Theta/CoarseStep) for points the
+// snapshot does not cover. The origin and terminus are re-solved
+// exactly and checked against the recorded values, so a frame from a
+// different environment is rejected up front; Strict additionally
+// recost-verifies every recorded point, with the same GridSig fast
+// path as the dense loader. Integrity violations — including a torn
+// delta tail from a crashed append — return errors wrapping ErrCorrupt.
+func LoadLazyWith(r io.Reader, q *query.Query, baseEnv *cost.Env, model *cost.Model, cfg Config, opt LoadOptions) (*LazySpace, error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	var dto spaceDTO
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("%w: decoding payload: %v", ErrCorrupt, err)
+	}
+	ls, err := lazyFromDTO(&dto, q, baseEnv, model, cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		dp, err := readDeltaFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := ls.applyDeltaPayload(dp); err != nil {
+			return nil, err
+		}
+	}
+	return ls, nil
+}
+
+// LoadLazyFile loads the lazy snapshot at path via LoadLazyWith.
+func LoadLazyFile(path string, q *query.Query, baseEnv *cost.Env, model *cost.Model, cfg Config, opt LoadOptions) (*LazySpace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadLazyWith(f, q, baseEnv, model, cfg, opt)
+}
+
+// lazyFromDTO validates the sparse base frame and reconstructs the
+// lazy space: a fresh skeleton (origin and terminus solved exactly,
+// fixing the ladder) preloaded with the recorded settled points.
+func lazyFromDTO(dto *spaceDTO, q *query.Query, baseEnv *cost.Env, model *cost.Model, cfg Config, opt LoadOptions) (*LazySpace, error) {
+	if !dto.Sparse {
+		return nil, fmt.Errorf("ess: dense snapshot in lazy loader (use Load)")
+	}
+	np, err := validateGridHeader(dto)
+	if err != nil {
+		return nil, err
+	}
+	n := len(dto.SolvedPoints)
+	if len(dto.PointPlan) != n || len(dto.PointCost) != n || len(dto.SolvedExact) != n {
+		return nil, fmt.Errorf("%w: sparse arrays (%d, %d, %d, %d) inconsistent",
+			ErrCorrupt, n, len(dto.PointPlan), len(dto.PointCost), len(dto.SolvedExact))
+	}
+	if n > np {
+		return nil, fmt.Errorf("%w: %d settled points on a %d-point grid", ErrCorrupt, n, np)
+	}
+	if len(dto.PlanRoots) == 0 {
+		return nil, fmt.Errorf("%w: empty plan pool", ErrCorrupt)
+	}
+	for i, pt := range dto.SolvedPoints {
+		if pt < 0 || int(pt) >= np {
+			return nil, fmt.Errorf("%w: settled point %d outside grid", ErrCorrupt, pt)
+		}
+		if i > 0 && pt <= dto.SolvedPoints[i-1] {
+			return nil, fmt.Errorf("%w: settled points not strictly ascending at %d", ErrCorrupt, i)
+		}
+		if c := dto.PointCost[i]; !(c > 0) || math.IsInf(c, 1) {
+			return nil, fmt.Errorf("%w: point %d cost %v not a positive finite number", ErrCorrupt, pt, c)
+		}
+		if pid := dto.PointPlan[i]; pid < 0 || int(pid) >= len(dto.PlanRoots) {
+			return nil, fmt.Errorf("%w: saved point references plan %d of %d", ErrCorrupt, pid, len(dto.PlanRoots))
+		}
+	}
+	if dto.QueryName != q.Name {
+		return nil, fmt.Errorf("ess: space was saved for query %q, not %q", dto.QueryName, q.Name)
+	}
+	if dto.D != q.D() {
+		return nil, fmt.Errorf("ess: saved dimensionality %d != query D %d", dto.D, q.D())
+	}
+
+	cfg.Res = dto.Res
+	cfg.SelMin = dto.SelMin
+	cfg.CostRatio = dto.CostRatio
+	ls, err := BuildLazy(q, baseEnv, model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int32, len(dto.PlanRoots))
+	for i, root := range dto.PlanRoots {
+		if root == nil {
+			return nil, fmt.Errorf("%w: saved plan %d is nil", ErrCorrupt, i)
+		}
+		if err := root.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: saved plan %d invalid: %v", ErrCorrupt, i, err)
+		}
+		ids[i] = ls.AddPlan(root)
+	}
+	g := ls.Geometry()
+	origin, terminus := int32(g.Origin()), int32(g.Terminus())
+	seenOrigin, seenTerminus := false, false
+	for i, pt := range dto.SolvedPoints {
+		if pt == origin || pt == terminus {
+			// Already solved exactly by BuildLazy: the fresh value is
+			// authoritative, the recorded one must agree with this
+			// environment.
+			got, want := ls.inner.PointCost[pt], dto.PointCost[i]
+			if diff := got - want; diff > 1e-6*want || diff < -1e-6*want {
+				return nil, fmt.Errorf("ess: saved costs disagree with environment at point %d (%v vs %v)", pt, want, got)
+			}
+			seenOrigin = seenOrigin || pt == origin
+			seenTerminus = seenTerminus || pt == terminus
+			continue
+		}
+		ls.preload(pt, dto.PointCost[i], ids[dto.PointPlan[i]], dto.SolvedExact[i])
+	}
+	if !seenOrigin || !seenTerminus {
+		return nil, fmt.Errorf("%w: sparse frame missing origin or terminus", ErrCorrupt)
+	}
+	if opt.Strict {
+		ev := ls.inner.NewEvaluator()
+		if dto.GridSig == 0 ||
+			frameSig(dto.QueryName, dto.D, dto.Res, dto.SelMin, dto.CostRatio, ls.sparseProbes(ev)) != dto.GridSig {
+			for i, pt := range dto.SolvedPoints {
+				got, want := ev.PlanCost(ids[dto.PointPlan[i]], pt), dto.PointCost[i]
+				if diff := got - want; diff > 1e-6*want || diff < -1e-6*want {
+					return nil, fmt.Errorf("ess: saved costs disagree with environment at point %d (%v vs %v)", pt, got, want)
+				}
+			}
+		}
+	}
+	return ls, nil
+}
+
+// readDeltaFrame reads one framed delta record, returning io.EOF at a
+// clean end of stream and an ErrCorrupt-wrapped error for a torn tail.
+func readDeltaFrame(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: reading delta header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:len(deltaMagic)]) != deltaMagic {
+		return nil, fmt.Errorf("%w: bad delta magic", ErrCorrupt)
+	}
+	off := len(deltaMagic)
+	version := binary.LittleEndian.Uint32(hdr[off:])
+	length := binary.LittleEndian.Uint64(hdr[off+4:])
+	sum := binary.LittleEndian.Uint32(hdr[off+12:])
+	if version != SnapshotVersion {
+		return nil, fmt.Errorf("%w: delta is v%d, this build reads v%d", ErrVersion, version, SnapshotVersion)
+	}
+	if length > maxSnapshotBytes {
+		return nil, fmt.Errorf("%w: delta length %d exceeds limit", ErrCorrupt, length)
+	}
+	payload, err := io.ReadAll(io.LimitReader(r, int64(length)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading delta payload: %v", ErrCorrupt, err)
+	}
+	if uint64(len(payload)) != length {
+		return nil, fmt.Errorf("%w: delta truncated (%d of %d bytes)", ErrCorrupt, len(payload), length)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("%w: delta CRC mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// applyDeltaPayload decodes one delta record and installs its values,
+// interning the delta's plan table into the pool. Later deltas win over
+// earlier ones and over the base frame, matching append order.
+func (ls *LazySpace) applyDeltaPayload(payload []byte) error {
+	var d deltaDTO
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&d); err != nil {
+		return fmt.Errorf("%w: decoding delta: %v", ErrCorrupt, err)
+	}
+	n := len(d.Points)
+	if len(d.Costs) != n || len(d.PlanIdx) != n || len(d.Exact) != n {
+		return fmt.Errorf("%w: delta arrays (%d, %d, %d, %d) inconsistent",
+			ErrCorrupt, n, len(d.Costs), len(d.PlanIdx), len(d.Exact))
+	}
+	ids := make([]int32, len(d.PlanRoots))
+	for i, root := range d.PlanRoots {
+		if root == nil {
+			return fmt.Errorf("%w: delta plan %d is nil", ErrCorrupt, i)
+		}
+		if err := root.Validate(); err != nil {
+			return fmt.Errorf("%w: delta plan %d invalid: %v", ErrCorrupt, i, err)
+		}
+		ids[i] = ls.AddPlan(root)
+	}
+	np := ls.Geometry().NumPoints()
+	for i, pt := range d.Points {
+		if pt < 0 || int(pt) >= np {
+			return fmt.Errorf("%w: delta point %d outside grid", ErrCorrupt, pt)
+		}
+		if c := d.Costs[i]; !(c > 0) || math.IsInf(c, 1) {
+			return fmt.Errorf("%w: delta point %d cost %v not a positive finite number", ErrCorrupt, pt, c)
+		}
+		li := d.PlanIdx[i]
+		if li < 0 || int(li) >= len(ids) {
+			return fmt.Errorf("%w: delta point references plan %d of %d", ErrCorrupt, li, len(ids))
+		}
+		ls.preload(pt, d.Costs[i], ids[li], d.Exact[i])
 	}
 	return nil
 }

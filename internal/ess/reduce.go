@@ -13,37 +13,44 @@ type Reduction struct {
 	Lambda float64
 	// PointPlan maps contour points to their (possibly replaced) plan.
 	PointPlan map[int32]int32
-	// ContourPlans lists, per contour, the distinct surviving plan IDs.
+	// ContourPlans lists, per contour, the distinct surviving plan IDs,
+	// ordered by plan signature (the build-independent canonical order).
 	ContourPlans [][]int32
 	// Rho is the maximum plan count over all contours after reduction —
 	// the ρ_red in PlanBouquet's 4(1+λ)ρ_red guarantee.
 	Rho int
 }
 
-// Reduce computes the anorexic reduction of the space's contour plan
-// diagram at threshold lambda, using the CostGreedy strategy: try to
-// swallow small-territory plans into large-territory ones whenever the
-// replacement never exceeds (1+lambda) of optimal anywhere in the
+// ReduceSource computes the anorexic reduction of the source's contour
+// plan diagram at threshold lambda, using the CostGreedy strategy: try
+// to swallow small-territory plans into large-territory ones whenever
+// the replacement never exceeds (1+lambda) of optimal anywhere in the
 // swallowed territory.
-func (s *Space) Reduce(lambda float64) *Reduction {
+//
+// All orderings are keyed by plan signature, not pool ID: pool IDs
+// depend on settle order (and, for a lazy source, on which points
+// discovery happened to touch first), while signatures are canonical —
+// so eager and lazy sources over the same surface reduce identically.
+func ReduceSource(src ContourSource, lambda float64) *Reduction {
 	r := &Reduction{Lambda: lambda, PointPlan: make(map[int32]int32)}
 
 	// Collect the contour points and the plan territories on them.
 	territory := make(map[int32][]int32) // planID -> points
-	for _, c := range s.Contours {
-		for _, pt := range c.Points {
+	for ci := 0; ci < src.NumContours(); ci++ {
+		for _, pt := range src.ContourAt(nil, ci).Points {
 			if _, seen := r.PointPlan[pt]; seen {
 				continue // a point can sit on two adjacent contours
 			}
-			pid := s.PointPlan[pt]
+			pid := src.PlanAt(pt)
 			r.PointPlan[pt] = pid
 			territory[pid] = append(territory[pid], pt)
 		}
 	}
 
-	ev := s.NewEvaluator()
+	ev := src.NewEvaluator()
 	removed := make(map[int32]bool)
 	threshold := 1 + lambda
+	sig := func(pid int32) string { return src.Plan(pid).Sig }
 	// Multi-pass greedy to a fixpoint: each pass tries to swallow the
 	// smallest surviving territory into the surviving plan (from the
 	// full POSP pool) that covers it within threshold, preferring
@@ -62,7 +69,7 @@ func (s *Space) Reduce(lambda float64) *Reduction {
 			if ta != tb {
 				return ta < tb
 			}
-			return plans[a] < plans[b]
+			return sig(plans[a]) < sig(plans[b])
 		})
 		for i, victim := range plans {
 			if removed[victim] {
@@ -75,7 +82,7 @@ func (s *Space) Reduce(lambda float64) *Reduction {
 				}
 				ok := true
 				for _, pt := range territory[victim] {
-					if ev.PlanCost(cand, pt) > threshold*s.PointCost[pt] {
+					if ev.PlanCost(cand, pt) > threshold*src.CostAt(pt) {
 						ok = false
 						break
 					}
@@ -95,11 +102,11 @@ func (s *Space) Reduce(lambda float64) *Reduction {
 		}
 	}
 
-	// Per-contour surviving plan lists and ρ_red.
-	r.ContourPlans = make([][]int32, len(s.Contours))
-	for i, c := range s.Contours {
+	// Per-contour surviving plan lists (signature order) and ρ_red.
+	r.ContourPlans = make([][]int32, src.NumContours())
+	for i := range r.ContourPlans {
 		seen := make(map[int32]bool)
-		for _, pt := range c.Points {
+		for _, pt := range src.ContourAt(nil, i).Points {
 			pid := r.PointPlan[pt]
 			if !seen[pid] {
 				seen[pid] = true
@@ -107,7 +114,7 @@ func (s *Space) Reduce(lambda float64) *Reduction {
 			}
 		}
 		sort.Slice(r.ContourPlans[i], func(a, b int) bool {
-			return r.ContourPlans[i][a] < r.ContourPlans[i][b]
+			return sig(r.ContourPlans[i][a]) < sig(r.ContourPlans[i][b])
 		})
 		if len(r.ContourPlans[i]) > r.Rho {
 			r.Rho = len(r.ContourPlans[i])
@@ -116,14 +123,20 @@ func (s *Space) Reduce(lambda float64) *Reduction {
 	return r
 }
 
-// RhoUnreduced returns the maximum plan density over contours without
-// any reduction — the ρ in PlanBouquet's raw 4ρ guarantee.
-func (s *Space) RhoUnreduced() int {
+// Reduce computes the anorexic reduction of the space's contour plan
+// diagram at threshold lambda.
+func (s *Space) Reduce(lambda float64) *Reduction {
+	return ReduceSource(s, lambda)
+}
+
+// RhoUnreducedSource returns the maximum plan density over contours
+// without any reduction — the ρ in PlanBouquet's raw 4ρ guarantee.
+func RhoUnreducedSource(src ContourSource) int {
 	rho := 0
-	for _, c := range s.Contours {
+	for ci := 0; ci < src.NumContours(); ci++ {
 		seen := make(map[int32]bool)
-		for _, pt := range c.Points {
-			seen[s.PointPlan[pt]] = true
+		for _, pt := range src.ContourAt(nil, ci).Points {
+			seen[src.PlanAt(pt)] = true
 		}
 		if len(seen) > rho {
 			rho = len(seen)
@@ -131,3 +144,7 @@ func (s *Space) RhoUnreduced() int {
 	}
 	return rho
 }
+
+// RhoUnreduced returns the unreduced maximum plan density over the
+// space's contours.
+func (s *Space) RhoUnreduced() int { return RhoUnreducedSource(s) }

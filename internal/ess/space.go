@@ -151,6 +151,9 @@ type Space struct {
 	// values are pure functions of the immutable cost surface, so a
 	// racing double-compute is benign; LoadOrStore keeps one winner.
 	slices sync.Map
+
+	// loaded marks spaces reconstructed from a snapshot (Profile mode).
+	loaded bool
 }
 
 // Build optimizes every grid location and assembles the space.
@@ -447,6 +450,10 @@ type Evaluator struct {
 	s   *Space
 	env *cost.Env
 	sel []float64
+	// optCost, when set, routes OptCost through a demand-driven source
+	// (a lazy space settles the point on first touch); nil reads the
+	// eager PointCost array directly.
+	optCost func(pt int32) float64
 }
 
 // NewEvaluator returns a fresh evaluator over the space.
@@ -479,8 +486,14 @@ func (e *Evaluator) SpillCost(planID, pt int32, dim int) float64 {
 	return res.Cost
 }
 
-// OptCost returns the optimal cost at the grid point.
-func (e *Evaluator) OptCost(pt int32) float64 { return e.s.PointCost[pt] }
+// OptCost returns the optimal cost at the grid point, settling it first
+// when the evaluator belongs to a lazy source.
+func (e *Evaluator) OptCost(pt int32) float64 {
+	if e.optCost != nil {
+		return e.optCost(pt)
+	}
+	return e.s.PointCost[pt]
+}
 
 // MaxSelIndexWithin returns the largest grid index k along dim such
 // that the spill-mode cost of the plan — with dim's selectivity set to

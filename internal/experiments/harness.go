@@ -32,6 +32,11 @@ type Options struct {
 	// costs are worker-count invariant, so this changes wall-clock
 	// latency only, never a reported cost number.
 	ExecWorkers int
+	// EssMode selects the contour provider behind compiled artifacts:
+	// "eager" (default, full POSP sweep up front) or "lazy" (demand-driven
+	// discovery-time construction). Experiments that read the dense cost
+	// surface directly always build eagerly.
+	EssMode string
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +51,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ExecWorkers < 1 {
 		o.ExecWorkers = 1
+	}
+	if o.EssMode == "" {
+		o.EssMode = "eager"
 	}
 	return o
 }
@@ -89,8 +97,32 @@ func (h *Harness) space(spec workload.Spec) (*ess.Space, error) {
 	return s, nil
 }
 
-// compiled returns the (cached) compiled artifact of a workload spec.
+// compiled returns the (cached) compiled artifact of a workload spec,
+// backed by the Options.EssMode contour provider.
 func (h *Harness) compiled(spec workload.Spec) (*core.Compiled, error) {
+	switch h.Opts.EssMode {
+	case "eager":
+	case "lazy":
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if c, ok := h.artifacts[spec.Name]; ok {
+			return c, nil
+		}
+		ls, err := spec.LazySpaceWith(h.Opts.Scale, ess.Config{
+			Res: h.Opts.Res, Exact: h.Opts.Exact, Theta: h.Opts.Theta,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: building %s (lazy): %w", spec.Name, err)
+		}
+		c, err := core.CompileSource(ls, core.CompileOptions{Lambda: h.Opts.Lambda})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: compiling %s: %w", spec.Name, err)
+		}
+		h.artifacts[spec.Name] = c
+		return c, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown EssMode %q (eager|lazy)", h.Opts.EssMode)
+	}
 	s, err := h.space(spec)
 	if err != nil {
 		return nil, err

@@ -65,9 +65,9 @@ type Result struct {
 // from a shared atomic queue, so a straggling discovery never
 // serializes the tail; per-location results land in preallocated slots,
 // keeping the aggregation deterministic regardless of scheduling.
-func Sweep(s *ess.Space, run Runner, opts Options) (*Result, error) {
+func Sweep(src ess.ContourSource, run Runner, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	n := s.Grid.NumPoints()
+	n := src.Geometry().NumPoints()
 	var pts []int32
 	for p := 0; p < n; p += opts.Stride {
 		pts = append(pts, int32(p))
@@ -104,7 +104,7 @@ func Sweep(s *ess.Space, run Runner, opts Options) (*Result, error) {
 					stop.Store(true)
 					return
 				}
-				res.SubOpts[i] = out.SubOpt(s.PointCost[qa])
+				res.SubOpts[i] = out.SubOpt(src.CostAt(qa))
 				pens[i] = out.AlignPenalty
 			}
 		}(w)
@@ -174,9 +174,9 @@ func Histogram(subopts []float64, width float64) []Bucket {
 // for each true location the adversarial estimate is the POSP plan that
 // performs worst there — estimation errors can land on any qe, so the
 // bound maximizes over both coordinates.
-func NativeWorstCase(s *ess.Space, opts Options) *Result {
+func NativeWorstCase(src ess.ContourSource, opts Options) *Result {
 	opts = opts.withDefaults()
-	n := s.Grid.NumPoints()
+	n := src.Geometry().NumPoints()
 	var pts []int32
 	for p := 0; p < n; p += opts.Stride {
 		pts = append(pts, int32(p))
@@ -196,16 +196,16 @@ func NativeWorstCase(s *ess.Space, opts Options) *Result {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			ev := s.NewEvaluator()
+			ev := src.NewEvaluator()
 			for i := lo; i < hi; i++ {
 				qa := pts[i]
 				worst := 0.0
-				for pid := range s.Plans() {
+				for pid := 0; pid < src.NumPlans(); pid++ {
 					if c := ev.PlanCost(int32(pid), qa); c > worst {
 						worst = c
 					}
 				}
-				res.SubOpts[i] = worst / s.PointCost[qa]
+				res.SubOpts[i] = worst / src.CostAt(qa)
 			}
 		}(lo, hi)
 	}
@@ -228,19 +228,19 @@ func NativeWorstCase(s *ess.Space, opts Options) *Result {
 // NativeAt computes the sub-optimality profile of the plan a traditional
 // optimizer would pick at the estimate location qe, across all true
 // locations: SubOpt(qe, qa) of Eq. 1.
-func NativeAt(s *ess.Space, qe int32, opts Options) *Result {
+func NativeAt(src ess.ContourSource, qe int32, opts Options) *Result {
 	opts = opts.withDefaults()
-	pid := s.PointPlan[qe]
-	n := s.Grid.NumPoints()
+	pid := src.PlanAt(qe)
+	n := src.Geometry().NumPoints()
 	var pts []int32
 	for p := 0; p < n; p += opts.Stride {
 		pts = append(pts, int32(p))
 	}
 	res := &Result{Points: pts, SubOpts: make([]float64, len(pts)), ArgMax: -1}
-	ev := s.NewEvaluator()
+	ev := src.NewEvaluator()
 	sum := 0.0
 	for i, qa := range pts {
-		so := ev.PlanCost(pid, qa) / s.PointCost[qa]
+		so := ev.PlanCost(pid, qa) / src.CostAt(qa)
 		res.SubOpts[i] = so
 		sum += so
 		if so > res.MSO {

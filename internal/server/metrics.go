@@ -26,6 +26,11 @@ type metrics struct {
 	// byStrategy counts discovery/MSO requests per routed strategy.
 	// Requests that fail validation before routing are not counted.
 	byStrategy map[string]*atomic.Int64
+	// refineObs counts spill-step selectivity observations fed back into
+	// lazy surfaces; refinedPoints counts point values those refinements
+	// actually changed. Both stay zero in eager mode.
+	refineObs     atomic.Int64
+	refinedPoints atomic.Int64
 }
 
 func newMetrics() *metrics {
@@ -97,6 +102,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, name := range s.order {
 		fmt.Fprintf(w, "rqp_breaker_state{workload=%q} %d\n",
 			name, breakerGauge(s.workloads[name].breaker.State()))
+	}
+
+	fmt.Fprintln(w, "# HELP rqp_refine_observations_total Spill selectivity observations fed into lazy ESS surfaces.")
+	fmt.Fprintln(w, "# TYPE rqp_refine_observations_total counter")
+	fmt.Fprintf(w, "rqp_refine_observations_total %d\n", s.metrics.refineObs.Load())
+
+	fmt.Fprintln(w, "# HELP rqp_refined_points_total Lazy ESS point values changed by online refinement.")
+	fmt.Fprintln(w, "# TYPE rqp_refined_points_total counter")
+	fmt.Fprintf(w, "rqp_refined_points_total %d\n", s.metrics.refinedPoints.Load())
+
+	// Demand-driven sources expose their work profile per workload; the
+	// section is empty when every workload is eager.
+	lazyHeader := false
+	for _, name := range s.order {
+		ws := s.workloads[name]
+		ws.mu.RLock()
+		lz := ws.lazy
+		ws.mu.RUnlock()
+		if lz == nil {
+			continue
+		}
+		if !lazyHeader {
+			lazyHeader = true
+			fmt.Fprintln(w, "# HELP rqp_lazy_settled_points Grid points settled by the demand-driven ESS, per workload.")
+			fmt.Fprintln(w, "# TYPE rqp_lazy_settled_points gauge")
+		}
+		prof := lz.Profile()
+		fmt.Fprintf(w, "rqp_lazy_settled_points{workload=%q} %d\n", name, prof.Settled)
+		fmt.Fprintf(w, "rqp_lazy_contour_hits_total{workload=%q} %d\n", name, prof.Hits)
+		fmt.Fprintf(w, "rqp_lazy_contour_misses_total{workload=%q} %d\n", name, prof.Misses)
+		fmt.Fprintf(w, "rqp_lazy_refinement_rounds_total{workload=%q} %d\n", name, prof.Refinements)
+		fmt.Fprintf(w, "rqp_lazy_epoch{workload=%q} %d\n", name, prof.Epoch)
 	}
 
 	fmt.Fprintln(w, "# HELP rqp_requests_total Discovery and MSO requests routed, per strategy.")

@@ -46,6 +46,12 @@ type Config struct {
 	Scale float64
 	// Res overrides the per-dimension grid resolution (0 = spec default).
 	Res int
+	// ESSMode selects the contour provider: "eager" (default) sweeps the
+	// full grid at build time; "lazy" serves from a demand-driven source
+	// that settles points as discoveries touch them, folds observed
+	// selectivities back into the surface after each request, and
+	// persists sparse snapshots with refinement deltas.
+	ESSMode string
 
 	// MaxConcurrent bounds discoveries running at once (default 4).
 	MaxConcurrent int
@@ -113,6 +119,9 @@ func (c Config) withDefaults() Config {
 	if len(c.Workloads) == 0 {
 		c.Workloads = []string{"EQ"}
 	}
+	if c.ESSMode == "" {
+		c.ESSMode = "eager"
+	}
 	if c.Scale == 0 {
 		c.Scale = 1.0
 	}
@@ -164,6 +173,18 @@ type workloadState struct {
 	buildErr    error
 	quarantined string // path a corrupt snapshot was renamed to
 	warmLoaded  bool
+
+	// lazy is set when the workload serves from a demand-driven source
+	// (Config.ESSMode "lazy"): the server feeds observed selectivities
+	// back into it after each discovery and appends refinement deltas to
+	// its snapshot.
+	lazy *ess.LazySpace
+	// persistMu serializes delta appends; persistMark is the watermark
+	// of point values already on disk (nil when snapshotting is off or
+	// the base save failed).
+	persistMu   sync.Mutex
+	persistMark map[int32]bool
+	snapPath    string
 
 	ready chan struct{} // closed when the first build/load attempt ends
 }
@@ -217,6 +238,9 @@ func New(cfg Config) (*Server, error) {
 		workloads: make(map[string]*workloadState, len(cfg.Workloads)),
 		metrics:   newMetrics(),
 	}
+	if cfg.ESSMode != "eager" && cfg.ESSMode != "lazy" {
+		return nil, fmt.Errorf("server: unknown ESS mode %q (want eager or lazy)", cfg.ESSMode)
+	}
 	if cfg.FaultRate > 0 {
 		s.faults = faultinject.NewUniform(cfg.FaultSeed, cfg.FaultRate)
 	}
@@ -254,9 +278,16 @@ func New(cfg Config) (*Server, error) {
 
 // buildWorkload warm-loads the workload's snapshot if one exists (and
 // verifies it strictly), quarantining and rebuilding on any corruption,
-// then persists fresh builds atomically.
+// then persists fresh builds atomically. In lazy mode the snapshot is
+// the sparse base frame plus refinement deltas; a torn delta tail from
+// a crashed append quarantines and rebuilds exactly like a corrupt
+// base.
 func (s *Server) buildWorkload(ws *workloadState) {
 	defer close(ws.ready)
+	if s.cfg.ESSMode == "lazy" {
+		s.buildLazyWorkload(ws)
+		return
+	}
 	var snapPath string
 	if s.cfg.SnapshotDir != "" {
 		snapPath = filepath.Join(s.cfg.SnapshotDir, ws.name+".snap")
@@ -279,6 +310,76 @@ func (s *Server) buildWorkload(ws *workloadState) {
 		}
 	}
 	s.install(ws, sp, false)
+}
+
+// buildLazyWorkload is buildWorkload's demand-driven arm. Lazy
+// snapshots live beside the eager ones under a distinct suffix, so
+// flipping -ess-mode never quarantines the other mode's valid artifact.
+func (s *Server) buildLazyWorkload(ws *workloadState) {
+	var snapPath string
+	if s.cfg.SnapshotDir != "" {
+		snapPath = filepath.Join(s.cfg.SnapshotDir, ws.name+".lazy.snap")
+		if ls, ok := s.warmLoadLazy(ws, snapPath); ok {
+			s.installLazy(ws, ls, snapPath, true)
+			return
+		}
+	}
+	ls, err := ws.spec.LazySpaceWith(s.cfg.Scale, ess.Config{Res: s.cfg.Res})
+	if err != nil {
+		ws.mu.Lock()
+		ws.buildErr = err
+		ws.mu.Unlock()
+		s.cfg.Logf("server: building %s (lazy): %v", ws.name, err)
+		return
+	}
+	if snapPath != "" {
+		if err := ls.SaveFileWith(snapPath, s.faults); err != nil {
+			s.cfg.Logf("server: persisting %s lazy snapshot: %v (serving from memory)", ws.name, err)
+			snapPath = "" // no base on disk: delta appends would be orphaned
+		}
+	}
+	s.installLazy(ws, ls, snapPath, false)
+}
+
+// warmLoadLazy mirrors warmLoad for sparse snapshots: strict
+// verification, a clean miss on absence or a res mismatch, and
+// quarantine-and-rebuild on anything else — including the ErrCorrupt a
+// torn refinement-delta tail produces.
+func (s *Server) warmLoadLazy(ws *workloadState, path string) (*ess.LazySpace, bool) {
+	q, err := ws.spec.Load(s.cfg.Scale)
+	if err != nil {
+		return nil, false
+	}
+	env := optimizer.BuildEnv(q, stats.FromCatalog(q.Cat))
+	model := cost.NewModel(cost.DefaultParams())
+	ls, err := ess.LoadLazyFile(path, q, env, model,
+		ess.Config{Res: s.cfg.Res}, ess.LoadOptions{Strict: true})
+	if err == nil {
+		wantRes := s.cfg.Res
+		if wantRes <= 0 {
+			wantRes = ws.spec.Res
+		}
+		if ls.Geometry().Res != wantRes {
+			s.cfg.Logf("server: %s lazy snapshot has res %d, config wants %d; rebuilding",
+				ws.name, ls.Geometry().Res, wantRes)
+			return nil, false
+		}
+		s.cfg.Logf("server: %s warm-loaded (lazy, %d settled) from %s",
+			ws.name, ls.Profile().Settled, path)
+		return ls, true
+	}
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false
+	}
+	qpath := path + ".quarantined"
+	if rerr := os.Rename(path, qpath); rerr != nil {
+		qpath = ""
+	}
+	ws.mu.Lock()
+	ws.quarantined = qpath
+	ws.mu.Unlock()
+	s.cfg.Logf("server: %s lazy snapshot rejected (%v); quarantined to %q, rebuilding", ws.name, err, qpath)
+	return nil, false
 }
 
 // warmLoad tries the snapshot at path with strict verification. A
@@ -336,6 +437,64 @@ func (s *Server) install(ws *workloadState, sp *ess.Space, warm bool) {
 	}
 	ws.compiled = c
 	ws.warmLoaded = warm
+}
+
+// installLazy compiles over the demand-driven source and publishes the
+// artifact plus the delta-persistence watermark (primed to what the
+// base frame on disk already holds).
+func (s *Server) installLazy(ws *workloadState, ls *ess.LazySpace, snapPath string, warm bool) {
+	c, err := core.CompileSource(ls, core.CompileOptions{})
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if err != nil {
+		ws.buildErr = err
+		return
+	}
+	ws.compiled = c
+	ws.warmLoaded = warm
+	ws.lazy = ls
+	ws.snapPath = snapPath
+	if snapPath != "" {
+		ws.persistMark = make(map[int32]bool)
+		ls.DeltaSince(ws.persistMark) // the base frame holds these already
+	}
+}
+
+// feedRefinements folds one discovery's observed selectivities back
+// into a lazy workload's surface: every spill step that learned (or
+// bounded) a dimension index becomes an Observe, queued refinements are
+// applied, and newly settled or refined point values are appended to
+// the snapshot as a delta. Non-lazy workloads and nil outcomes are
+// no-ops.
+func (s *Server) feedRefinements(ws *workloadState, out *discovery.Outcome) {
+	if ws.lazy == nil || out == nil {
+		return
+	}
+	observed := false
+	for _, st := range out.Steps {
+		if st.Dim >= 0 && st.LearnedIdx >= 0 {
+			ws.lazy.Observe(st.Dim, st.LearnedIdx)
+			observed = true
+			s.metrics.refineObs.Add(1)
+		}
+	}
+	if observed {
+		if n := ws.lazy.ApplyRefinements(); n > 0 {
+			s.metrics.refinedPoints.Add(int64(n))
+		}
+	}
+	if ws.snapPath == "" {
+		return
+	}
+	ws.persistMu.Lock()
+	defer ws.persistMu.Unlock()
+	d := ws.lazy.DeltaSince(ws.persistMark)
+	if d == nil {
+		return
+	}
+	if err := ws.lazy.AppendDeltaFileWith(ws.snapPath, d, s.faults); err != nil {
+		s.cfg.Logf("server: appending %s refinement delta: %v (next load will rebuild)", ws.name, err)
+	}
 }
 
 // WaitReady blocks until every workload's first build/load attempt has
@@ -512,6 +671,8 @@ type WorkloadInfo struct {
 	Breaker     string `json:"breaker"`
 	D           int    `json:"d,omitempty"`
 	Points      int    `json:"points,omitempty"`
+	Mode        string `json:"mode,omitempty"`
+	Settled     int    `json:"settled,omitempty"`
 	WarmLoaded  bool   `json:"warm_loaded,omitempty"`
 	Quarantined string `json:"quarantined,omitempty"`
 	Error       string `json:"error,omitempty"`
@@ -573,9 +734,13 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		info := WorkloadInfo{Name: name, Status: ws.status(), Breaker: ws.breaker.State()}
 		ws.mu.RLock()
 		if ws.compiled != nil {
-			info.D = ws.compiled.Space.Grid.D
-			info.Points = ws.compiled.Space.Grid.NumPoints()
+			g := ws.compiled.Source.Geometry()
+			info.D = g.D
+			info.Points = g.NumPoints()
 			info.WarmLoaded = ws.warmLoaded
+			prof := ws.compiled.Source.Profile()
+			info.Mode = prof.Mode
+			info.Settled = prof.Settled
 		}
 		if ws.buildErr != nil {
 			info.Error = ws.buildErr.Error()
@@ -728,9 +893,9 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if req.QA < 0 || int(req.QA) >= c.Space.Grid.NumPoints() {
+	if req.QA < 0 || int(req.QA) >= c.Source.Geometry().NumPoints() {
 		writeError(w, http.StatusBadRequest, KindBadRequest,
-			fmt.Sprintf("qa %d outside grid [0, %d)", req.QA, c.Space.Grid.NumPoints()), 0)
+			fmt.Sprintf("qa %d outside grid [0, %d)", req.QA, c.Source.Geometry().NumPoints()), 0)
 		return
 	}
 	if req.ExecWorkers < 0 {
@@ -785,6 +950,9 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	releaseWorkers := s.metrics.trackWorkers(workers)
 	out, derr := s.discover(ctx, c, name, req.QA, in, workers)
 	releaseWorkers()
+	// Completed spill observations are valid selectivity knowledge even
+	// when the run itself aborted: fold them into a lazy surface.
+	s.feedRefinements(ws, out)
 	resp := DiscoverResponse{Workload: req.Workload, Strategy: name, QA: req.QA}
 	if _, perr := parseAlgorithm(name); perr == nil {
 		// Paper strategies keep the legacy algorithm echo.
@@ -793,7 +961,7 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	if out != nil {
 		resp.Completed = out.Completed
 		resp.TotalCost = out.TotalCost
-		resp.SubOpt = out.SubOpt(c.Space.PointCost[req.QA])
+		resp.SubOpt = out.SubOpt(c.Source.CostAt(req.QA))
 		resp.Steps = len(out.Steps)
 		resp.Retries = out.Retries
 		resp.WastedCost = out.WastedCost
@@ -826,7 +994,7 @@ func (s *Server) discover(ctx context.Context, c *core.Compiled, name string, qa
 	if s.cfg.ExecLatency <= 0 {
 		return r.DiscoverStrategy(name, qa)
 	}
-	sim := discovery.NewSimEngine(c.Space, qa)
+	sim := discovery.NewSimEngine(c.Source, qa)
 	if in != nil {
 		eng := discovery.NewResilient(
 			discovery.NewLatentFallible(discovery.NewFaultySim(sim, in), s.cfg.ExecLatency).WithContext(ctx),
@@ -891,7 +1059,7 @@ func (s *Server) handleMSO(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	res, merr := mso.Sweep(c.Space, func(qa int32) (*core.Outcome, error) {
+	res, merr := mso.Sweep(c.Source, func(qa int32) (*core.Outcome, error) {
 		return c.NewRun().WithContext(ctx).Discover(alg, qa)
 	}, mso.Options{Stride: req.Stride, Workers: req.Workers})
 	if aerr := discovery.AbortCause(merr); aerr != nil {

@@ -91,6 +91,21 @@ func (s Spec) SpaceWith(scale float64, cfg ess.Config) (*ess.Space, error) {
 	return ess.Build(q, env, cost.NewModel(cost.DefaultParams()), cfg)
 }
 
+// LazySpaceWith builds the demand-driven ESS source for the spec: only
+// the grid corners are optimized up front, everything else settles as
+// discovery touches it. Configuration mirrors SpaceWith.
+func (s Spec) LazySpaceWith(scale float64, cfg ess.Config) (*ess.LazySpace, error) {
+	q, err := s.Load(scale)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Res <= 0 {
+		cfg.Res = s.Res
+	}
+	env := optimizer.BuildEnv(q, stats.FromCatalog(q.Cat))
+	return ess.BuildLazy(q, env, cost.NewModel(cost.DefaultParams()), cfg)
+}
+
 // q91SQL is the shared 7-relation Q91 body (call-center returns join).
 const q91SQL = `
 SELECT *
