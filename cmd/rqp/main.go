@@ -31,8 +31,13 @@
 //	                   -experiments-file); see DESIGN.md §12
 //	throughput         concurrent discovery throughput (-parallel, -runs,
 //	                   -exec-latency); emits benchdiff-parsable lines
+//	herd               request-herd scenario: -runs identical /discover
+//	                   requests against an in-process replica, measuring
+//	                   compile coalescing and 429 Retry-After behavior
+//	                   (-query, -runs, -chaos-seed, -chaos-rate)
 //	serve              long-running discovery service (-addr, -workloads,
-//	                   -snapshot-dir); see DESIGN.md §10
+//	                   -snapshot-dir, -peers, -self, -cache-bytes); see
+//	                   DESIGN.md §10 and §14
 //	list               available workload queries
 //	all                everything above except ablations
 //
@@ -44,6 +49,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -122,6 +128,9 @@ func run(args []string) error {
 	snapshotDir := fs.String("snapshot-dir", "", "crash-safe artifact cache directory for serve (empty = in-memory only)")
 	maxConcurrent := fs.Int("max-concurrent", 4, "concurrent discovery slots for serve")
 	maxQueue := fs.Int("max-queue", 16, "admission queue depth for serve (beyond it: 429)")
+	peers := fs.String("peers", "", "comma-separated replica base URLs for shard-out serve (e.g. http://h1:8080,http://h2:8080; empty = single replica)")
+	selfURL := fs.String("self", "", "this replica's own base URL within -peers")
+	cacheBytes := fs.Int64("cache-bytes", 0, "byte budget for serve's signature-keyed artifact cache (0 = 256 MiB)")
 	execWorkers := fs.Int("exec-workers", 0, "intra-query morsel workers for real executions: table3 applies it directly, serve uses it as the per-request exec_workers cap (0 = defaults: 1 local, 8 serve)")
 	essMode := fs.String("ess-mode", "eager", "contour provider: eager (full POSP sweep up front) or lazy (demand-driven)")
 	exact := fs.Bool("exact", false, "force the exact one-DP-per-point POSP sweep")
@@ -226,6 +235,8 @@ func run(args []string) error {
 	case "throughput":
 		return throughput(*queryName, *alg, *scale, cfg, *parallel, *runs,
 			*execLatency, *chaosSeed, *chaosRate, *deadline)
+	case "herd":
+		return herd(*queryName, *runs, *scale, *res, *chaosSeed, *chaosRate, *deadline)
 	case "serve":
 		return serve(serveConfig{
 			addr: *addr, pprofAddr: *pprofAddr, workloads: *serveWorkloads,
@@ -234,6 +245,7 @@ func run(args []string) error {
 			maxQueue: *maxQueue, maxExecWorkers: *execWorkers, defaultTimeout: *deadline,
 			execLatency: *execLatency, chaosSeed: *chaosSeed, chaosRate: *chaosRate,
 			chaosAllowRequest: *chaosAllowRequest,
+			peers:             *peers, selfURL: *selfURL, cacheBytes: *cacheBytes,
 		})
 	case "all":
 		for _, e := range table {
@@ -509,14 +521,78 @@ func throughput(name, algName string, scale float64, cfg sweepCfg, parallelFlag 
 		} else if base > 0 {
 			speedup = fmt.Sprintf("  (%.2fx vs parallel=%d)", res.DiscoveriesPerSec/base, levels[0])
 		}
-		fmt.Printf("  parallel=%-3d wall %-10v %8.1f disc/s  mean %-10v p95 %-10v max %v%s\n",
+		retries := ""
+		if res.TotalRetries > 0 {
+			retries = fmt.Sprintf("  retries %d", res.TotalRetries)
+		}
+		fmt.Printf("  parallel=%-3d wall %-10v %8.1f disc/s  mean %-10v p95 %-10v max %v%s%s\n",
 			p, res.Wall.Round(time.Millisecond), res.DiscoveriesPerSec,
 			res.MeanLatency.Round(time.Microsecond), res.P95.Round(time.Microsecond),
-			res.MaxLatency.Round(time.Microsecond), speedup)
-		fmt.Printf("BenchmarkThroughput/%s/parallel=%d %d %.0f ns/op %.1f disc/s %.0f p95-ns %d steps\n",
+			res.MaxLatency.Round(time.Microsecond), retries, speedup)
+		fmt.Printf("BenchmarkThroughput/%s/parallel=%d %d %.0f ns/op %.1f disc/s %.0f p95-ns %d steps %d retries\n",
 			name, p, runs, float64(res.Wall.Nanoseconds())/float64(runs),
-			res.DiscoveriesPerSec, float64(res.P95.Nanoseconds()), res.TotalSteps)
+			res.DiscoveriesPerSec, float64(res.P95.Nanoseconds()), res.TotalSteps, res.TotalRetries)
 	}
+	return nil
+}
+
+// herd runs the request-herd scenario: an in-process replica is
+// started with only EQ pinned, then -runs identical /discover requests
+// for -query arrive simultaneously, exercising the signature-keyed
+// compile cache and singleflight coalescing (one compile for the whole
+// herd). With chaos armed, cache-evict and coalesce-leader faults fire
+// from the seed's deterministic schedule.
+func herd(name string, size int, scale float64, res int, chaosSeed uint64, chaosRate float64, deadline time.Duration) error {
+	if size <= 0 {
+		size = 64
+	}
+	timeout := deadline
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	s, err := server.New(server.Config{
+		Workloads: []string{"EQ"}, Scale: scale, Res: res,
+		MaxConcurrent: 8, MaxQueue: size,
+		DefaultTimeout: timeout,
+		FaultSeed:      chaosSeed, FaultRate: chaosRate,
+		Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+	wctx, wcancel := context.WithTimeout(context.Background(), time.Minute)
+	err = s.WaitReady(wctx)
+	wcancel()
+	if err != nil {
+		cancel()
+		return err
+	}
+	body, err := json.Marshal(server.DiscoverRequest{Workload: name, Algorithm: "sb", FaultSeed: chaosSeed})
+	if err != nil {
+		cancel()
+		return err
+	}
+	fmt.Printf("herd: %d identical /discover requests for %s (chaos rate %g)\n", size, name, chaosRate)
+	hres, herr := experiments.Herd(experiments.HerdOptions{
+		BaseURL: "http://" + ln.Addr().String(), Body: body,
+		Concurrency: size, Seed: chaosSeed,
+	})
+	cancel()
+	<-served
+	if herr != nil {
+		return herr
+	}
+	fmt.Printf("  %s\n", hres)
+	cs := s.CacheStats()
+	fmt.Printf("  compiles %d  cache hits %d misses %d evictions %d (coalesced herd pays one compile)\n",
+		s.CompileCount(name), cs.Hits, cs.Misses, cs.Evictions)
 	return nil
 }
 
@@ -611,12 +687,22 @@ type serveConfig struct {
 	chaosSeed                   uint64
 	chaosRate                   float64
 	chaosAllowRequest           bool
+	peers, selfURL              string
+	cacheBytes                  int64
 }
 
 // serve runs the long-running discovery service until SIGTERM/SIGINT,
 // then drains gracefully: readiness flips, in-flight requests finish,
 // and the listener closes.
 func serve(sc serveConfig) error {
+	var peerList []string
+	if sc.peers != "" {
+		for _, p := range strings.Split(sc.peers, ",") {
+			if p = strings.TrimSpace(strings.TrimSuffix(p, "/")); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
 	s, err := server.New(server.Config{
 		Workloads:          strings.Split(sc.workloads, ","),
 		Scale:              sc.scale,
@@ -632,6 +718,9 @@ func serve(sc serveConfig) error {
 		FaultRate:          sc.chaosRate,
 		AllowRequestFaults: sc.chaosAllowRequest,
 		PprofAddr:          sc.pprofAddr,
+		Peers:              peerList,
+		SelfURL:            strings.TrimSuffix(sc.selfURL, "/"),
+		CacheBytes:         sc.cacheBytes,
 	})
 	if err != nil {
 		return err

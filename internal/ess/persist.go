@@ -327,6 +327,16 @@ func LoadFile(path string, q *query.Query, baseEnv *cost.Env, model *cost.Model,
 	return LoadWith(f, q, baseEnv, model, opt)
 }
 
+// VerifyFrame checks one snapshot stream's framing — magic, version,
+// declared length, and payload CRC — without deserializing the
+// payload. The serving tier's snapshot fan-out uses it to cheaply
+// reject a truncated or corrupt peer transfer before attempting the
+// (much more expensive) strict load.
+func VerifyFrame(r io.Reader) error {
+	_, err := readFrame(r)
+	return err
+}
+
 // readFrame verifies the snapshot header and returns the CRC-checked
 // payload bytes.
 func readFrame(r io.Reader) ([]byte, error) {

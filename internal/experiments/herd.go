@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// HerdOptions configures a Herd run: Concurrency identical /discover
+// requests fired simultaneously at a serving replica — the worst-case
+// arrival pattern for a compile cache, which the server's singleflight
+// coalescing should absorb at the cost of one compile.
+type HerdOptions struct {
+	// BaseURL is the replica under test (no trailing slash).
+	BaseURL string
+	// Body is the JSON-encoded /discover request every member sends.
+	Body []byte
+	// Concurrency is the herd size (default 16).
+	Concurrency int
+	// MaxRetries bounds how many times one member re-sends after a 429
+	// (default 3). Shed responses carry Retry-After; the driver honors
+	// it — sleeping at least the advertised interval, stretched by a
+	// deterministic jitter so the retried herd does not re-arrive as a
+	// single synchronized spike.
+	MaxRetries int
+	// Seed drives the retry jitter: member i jitters by the substream
+	// Fork(i), so a herd replays identically for the same seed.
+	Seed uint64
+	// WaitCap, when positive, caps one retry sleep (tests compress the
+	// multi-second Retry-After intervals; 0 = honor in full).
+	WaitCap time.Duration
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+func (o HerdOptions) withDefaults() HerdOptions {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 16
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	return o
+}
+
+// HerdResult aggregates one Herd run.
+type HerdResult struct {
+	// Statuses counts final HTTP statuses per code (0 = transport
+	// error after all retries).
+	Statuses map[int]int
+	// Retries is the total number of 429-honoring re-sends; Retried is
+	// the number of members that re-sent at least once.
+	Retries, Retried int
+	// Wall is the elapsed time for the whole herd.
+	Wall time.Duration
+}
+
+// String renders the result as a one-line summary table row.
+func (r *HerdResult) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "wall %v  retries %d (%d member(s))  statuses:", r.Wall.Round(time.Millisecond), r.Retries, r.Retried)
+	for _, code := range []int{200, 400, 404, 429, 500, 503, 504, 0} {
+		if n := r.Statuses[code]; n > 0 {
+			fmt.Fprintf(&b, " %d×%d", n, code)
+		}
+	}
+	return b.String()
+}
+
+// Herd fires the configured request herd and reports the status mix
+// and retry behavior. 429 responses are retried up to MaxRetries times
+// per member, honoring the server's Retry-After with jittered waits;
+// every other status (and any transport error) is final for that
+// member — the herd driver measures the service's shedding and
+// coalescing behavior, it does not mask it.
+func Herd(opts HerdOptions) (*HerdResult, error) {
+	opts = opts.withDefaults()
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("herd: BaseURL required")
+	}
+	jitterBase := faultinject.NewUniform(opts.Seed, 0)
+	type memberOut struct {
+		status  int
+		retries int
+	}
+	outs := make([]memberOut, opts.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < opts.Concurrency; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			jit := jitterBase.Fork(uint64(i))
+			for attempt := 0; ; attempt++ {
+				resp, err := opts.Client.Post(opts.BaseURL+"/discover", "application/json", bytes.NewReader(opts.Body))
+				if err != nil {
+					outs[i].status = 0
+					return
+				}
+				status := resp.StatusCode
+				wait := retryAfter(resp)
+				resp.Body.Close()
+				if status != http.StatusTooManyRequests || attempt >= opts.MaxRetries {
+					outs[i].status = status
+					return
+				}
+				// Honor Retry-After, stretched by jitter in [1.0, 1.5)x so
+				// the retried members de-synchronize instead of re-herding.
+				wait = time.Duration(float64(wait) * (1 + jit.Jitter(attempt)/2))
+				if opts.WaitCap > 0 && wait > opts.WaitCap {
+					wait = opts.WaitCap
+				}
+				outs[i].retries++
+				time.Sleep(wait)
+			}
+		}(i)
+	}
+	wg.Wait()
+	res := &HerdResult{Statuses: make(map[int]int), Wall: time.Since(start)}
+	for _, o := range outs {
+		res.Statuses[o.status]++
+		res.Retries += o.retries
+		if o.retries > 0 {
+			res.Retried++
+		}
+	}
+	return res, nil
+}
+
+// retryAfter extracts the server's advertised retry interval: the
+// JSON body's retry_after_ms when present (finer-grained), else the
+// Retry-After header in whole seconds, else a 100ms floor.
+func retryAfter(resp *http.Response) time.Duration {
+	var body struct {
+		RetryAfterMS int64 `json:"retry_after_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err == nil && body.RetryAfterMS > 0 {
+		return time.Duration(body.RetryAfterMS) * time.Millisecond
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 100 * time.Millisecond
+}

@@ -98,6 +98,11 @@ type ThroughputResult struct {
 	MeanLatency, P50, P95, MaxLatency time.Duration
 	// TotalSteps counts engine executions across all runs.
 	TotalSteps int
+	// TotalRetries counts transient-fault retries the resilient driver
+	// paid across all runs (zero with chaos disarmed). A retry is work
+	// the throughput number absorbed silently — surfacing it keeps
+	// chaos-mode measurements honest.
+	TotalRetries int
 }
 
 // Throughput drives opts.Runs discoveries over one shared Compiled
@@ -111,6 +116,7 @@ func Throughput(c *core.Compiled, opts ThroughputOptions) (*ThroughputResult, er
 	n := c.Space.Grid.NumPoints()
 	lats := make([]time.Duration, opts.Runs)
 	steps := make([]int, opts.Runs)
+	retries := make([]int, opts.Runs)
 	errs := make([]error, opts.Parallel)
 
 	var (
@@ -150,6 +156,7 @@ func Throughput(c *core.Compiled, opts ThroughputOptions) (*ThroughputResult, er
 					return
 				}
 				steps[i] = len(out.Steps)
+				retries[i] = out.Retries
 			}
 		}(w)
 	}
@@ -177,6 +184,9 @@ func Throughput(c *core.Compiled, opts ThroughputOptions) (*ThroughputResult, er
 	res.MaxLatency = sorted[opts.Runs-1]
 	for _, s := range steps {
 		res.TotalSteps += s
+	}
+	for _, r := range retries {
+		res.TotalRetries += r
 	}
 	return res, nil
 }

@@ -53,6 +53,17 @@ const (
 	// (artifact/engine failure), feeding the per-workload circuit
 	// breaker.
 	SiteServeRun Site = "serve.run"
+	// SiteCacheEvict faults a signature-keyed artifact-cache lookup by
+	// evicting the entry first (simulated memory pressure): the request
+	// sees a miss and must recompile or coalesce onto an in-flight build.
+	SiteCacheEvict Site = "cache.evict"
+	// SiteCoalesceLeader faults the leader of a coalesced compile flight
+	// before it compiles. Waiters must not be poisoned: they retry with
+	// jittered exponential backoff and a later leader succeeds.
+	SiteCoalesceLeader Site = "coalesce.leader"
+	// SitePeerDown marks a shard-out peer unreachable for one forwarding
+	// attempt, driving the hedged-failover path deterministically.
+	SitePeerDown Site = "peer.down"
 )
 
 // Sites lists every known injection site (the -chaos-rate flag arms all
@@ -62,6 +73,7 @@ func Sites() []Site {
 		SiteScanTuple, SiteIndexProbe, SiteOperatorPanic, SiteSpillObs,
 		SiteLatency, SiteEngineFull, SiteEngineSpill, SiteAlignPlanner,
 		SiteSnapshotSave, SiteServeRun,
+		SiteCacheEvict, SiteCoalesceLeader, SitePeerDown,
 	}
 }
 

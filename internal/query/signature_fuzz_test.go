@@ -1,0 +1,66 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzSignature drives the query-signature canonicalizer with arbitrary
+// bytes: it must never panic, and for every input it accepts, the
+// case-folded and whitespace-mangled variants of that input — which are
+// semantically identical under the canonicalizer's contract — must
+// produce the identical signature. (Literal-value variants are pinned
+// by the unit tests; they cannot be derived generically from arbitrary
+// fuzz input.)
+func FuzzSignature(f *testing.F) {
+	f.Add("SELECT * FROM t a, u b WHERE a.x = b.y AND a.z < 10")
+	f.Add("select * from store_sales ss, item i where ss.ss_item_sk = i.item_sk and i.i_current_price < 100;")
+	f.Add("SELECT * FROM t x WHERE x.name = 'Alice''s' AND x.v IN (1, 2, 3)")
+	f.Add("SELECT * FROM t x WHERE x.v = -3.5e2 -- comment")
+	f.Add("x<>y")
+	f.Add("'")
+	f.Add("in(1,2)")
+	f.Fuzz(func(t *testing.T, src string) {
+		sig, err := Sign(src)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		again, err := Sign(src)
+		if err != nil || again != sig {
+			t.Fatalf("Sign is not deterministic on %q: %v vs %v (%v)", src, sig, again, err)
+		}
+		// Case variant: only safe when folding is byte-wise reversible,
+		// i.e. pure ASCII (Unicode case folding can merge identifiers).
+		if isASCII(src) {
+			upper, err := Sign(strings.ToUpper(src))
+			if err != nil {
+				t.Fatalf("accepted %q but rejected its upper-case variant: %v", src, err)
+			}
+			if upper.Hash != sig.Hash {
+				t.Fatalf("case variant of %q changed signature: %q vs %q",
+					src, upper.Canonical, sig.Canonical)
+			}
+		}
+		// Whitespace variant: re-join the canonical text with mixed
+		// whitespace; it must round-trip to the same signature.
+		mangled := strings.ReplaceAll(sig.Canonical, " ", "\n\t  ")
+		ws, err := Sign(mangled)
+		if err != nil {
+			t.Fatalf("canonical text of %q does not re-canonicalize: %v", src, err)
+		}
+		if ws.Hash != sig.Hash {
+			t.Fatalf("whitespace variant changed signature for %q: %q vs %q",
+				src, ws.Canonical, sig.Canonical)
+		}
+	})
+}
+
+func isASCII(s string) bool {
+	for _, r := range s {
+		if r > unicode.MaxASCII {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,118 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanonicalizeBasics(t *testing.T) {
+	got, err := Canonicalize(`
+SELECT *
+FROM store_sales ss, item i -- a comment
+WHERE ss.ss_item_sk = i.item_sk
+  AND i.i_current_price < 100;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "select * from store_sales ss , item i where ss.ss_item_sk = i.item_sk and i.i_current_price < ?"
+	if got != want {
+		t.Fatalf("canonical text:\n got %q\nwant %q", got, want)
+	}
+}
+
+// Semantically identical variants — literal values, whitespace,
+// comments, keyword/identifier case, IN-list arity, != vs <>, trailing
+// semicolon — must hash identically; shape changes must not.
+func TestSignatureEquivalenceClasses(t *testing.T) {
+	base := "SELECT * FROM t a, u b WHERE a.x = b.y AND a.z < 10 AND a.w IN (1, 2, 3)"
+	variants := []string{
+		"select * from t a, u b where a.x = b.y and a.z < 99 and a.w in (7)",
+		"SELECT *\n\tFROM t a , u b\nWHERE a.x=b.y AND a.z<10 AND a.w IN(1,2,3);",
+		"SELECT * FROM T A, U B WHERE A.X = B.Y AND A.Z < 10 AND A.W IN (4, 5)",
+		"select * from t a, u b -- herd\nwhere a.x = b.y and a.z < 0.5 and a.w in (1)",
+	}
+	sig, err := Sign(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants {
+		vs, err := Sign(v)
+		if err != nil {
+			t.Fatalf("%q: %v", v, err)
+		}
+		if vs.Hash != sig.Hash || vs.Canonical != sig.Canonical {
+			t.Fatalf("variant %q canonicalized to %q, want %q", v, vs.Canonical, sig.Canonical)
+		}
+	}
+	for _, different := range []string{
+		"SELECT * FROM t a, u b WHERE a.x = b.y AND a.z > 10 AND a.w IN (1)",   // operator
+		"SELECT * FROM t a, u c WHERE a.x = c.y AND a.z < 10 AND a.w IN (1)",   // alias
+		"SELECT * FROM t a, u b WHERE a.x = b.y AND a.z < 10 AND a.q IN (1)",   // column
+		"SELECT * FROM t a, u b WHERE a.x = b.y AND a.z != 10 AND a.w IN (1)",  // shape (<> vs <)
+		"SELECT * FROM t a, u b, v c WHERE a.x = b.y AND a.z < 10 AND c.x = 1", // extra relation
+	} {
+		ds, err := Sign(different)
+		if err != nil {
+			t.Fatalf("%q: %v", different, err)
+		}
+		if ds.Hash == sig.Hash {
+			t.Fatalf("shape change %q collided with base signature", different)
+		}
+	}
+}
+
+func TestSignatureStringsAndNumbers(t *testing.T) {
+	a, err := Sign("SELECT * FROM t x WHERE x.name = 'Alice''s' AND x.v = -3.5e2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sign("select * from t x where x.name = 'BOB' and x.v = 17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash != b.Hash {
+		t.Fatalf("literal-only variants differ:\n%q\n%q", a.Canonical, b.Canonical)
+	}
+	if !strings.Contains(a.Canonical, "x.name = ?") {
+		t.Fatalf("string literal not parameterized: %q", a.Canonical)
+	}
+}
+
+func TestCanonicalizeErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"   -- only a comment",
+		"SELECT * FROM t WHERE x = 'unterminated",
+		"SELECT $ FROM t",
+	} {
+		if _, err := Canonicalize(bad); err == nil {
+			t.Fatalf("Canonicalize(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestSignatureExtend(t *testing.T) {
+	sig, err := Sign("SELECT * FROM t a, u b WHERE a.x = b.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := sig.Extend("epp:a.x=b.y")
+	e2 := sig.Extend("epp:a.x=b.y", "res:8")
+	if e1.Hash == sig.Hash || e2.Hash == sig.Hash || e1.Hash == e2.Hash {
+		t.Fatalf("Extend did not separate hashes: %v %v %v", sig, e1, e2)
+	}
+	if e1.Canonical != sig.Canonical {
+		t.Fatal("Extend must not change the canonical text")
+	}
+	// Extension is order-sensitive and deterministic.
+	if sig.Extend("a", "b").Hash != sig.Extend("a", "b").Hash {
+		t.Fatal("Extend is not deterministic")
+	}
+	if sig.Extend("a", "b").Hash == sig.Extend("b", "a").Hash {
+		t.Fatal("Extend must be order-sensitive")
+	}
+	// Part boundaries are unambiguous: ("ab") != ("a","b").
+	if sig.Extend("ab").Hash == sig.Extend("a", "b").Hash {
+		t.Fatal("Extend part boundaries are ambiguous")
+	}
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"context"
+
+	"sync"
+
+	"repro/internal/core"
+)
+
+// flightGroup coalesces concurrent compiles of the same query
+// signature: the first caller in becomes the leader and runs the
+// compile; everyone else arriving while it is in flight waits for the
+// leader's result instead of compiling again. A herd of N identical
+// requests therefore costs one compile, not N — the difference between
+// a warm-up blip and a self-inflicted compile storm.
+//
+// Failure isolation: a flight's result (including its error) is
+// delivered to the waiters of THAT flight only, and the flight is
+// removed from the group before the result is published. A faulted
+// leader thus cannot poison later arrivals — the next caller starts a
+// fresh flight with a fresh leader — and waiters that receive a
+// transient error retry through Do again (the server layers jittered
+// exponential backoff on top, so the re-herd is staggered).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[uint64]*flight
+}
+
+type flight struct {
+	done chan struct{} // closed once art/err are final
+	art  *core.Compiled
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[uint64]*flight)}
+}
+
+// Do executes fn under the signature key, coalescing concurrent calls:
+// exactly one caller (the leader, reported by the third return) runs
+// fn; the rest wait for its result or their own context, whichever
+// ends first. A waiter abandoning on ctx does not disturb the flight.
+func (g *flightGroup) Do(ctx context.Context, key uint64, fn func() (*core.Compiled, error)) (*core.Compiled, error, bool) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.art, f.err, false
+		case <-ctx.Done():
+			return nil, ctx.Err(), false
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.art, f.err = fn()
+
+	// Unpublish before releasing waiters: anyone arriving after this
+	// point starts a fresh flight rather than adopting a finished one.
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.art, f.err, true
+}

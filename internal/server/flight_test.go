@@ -1,0 +1,158 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// A herd of concurrent Do calls on one key runs fn exactly once: the
+// leader compiles, everyone else adopts its result.
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	want := &core.Compiled{}
+	var calls atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	// The leader is gated open so the waiters demonstrably join an
+	// in-flight compile rather than racing past a finished one.
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		art, err, leader := g.Do(context.Background(), 42, func() (*core.Compiled, error) {
+			calls.Add(1)
+			close(entered)
+			<-release
+			return want, nil
+		})
+		if !leader || err != nil || art != want {
+			t.Errorf("leader: (art=%p err=%v leader=%v), want (%p, nil, true)", art, err, leader, want)
+		}
+	}()
+	<-entered
+
+	const waiters = 16
+	var leaders atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			art, err, leader := g.Do(context.Background(), 42, func() (*core.Compiled, error) {
+				calls.Add(1)
+				return want, nil
+			})
+			if leader {
+				leaders.Add(1)
+			}
+			if err != nil || art != want {
+				t.Errorf("waiter: art=%p err=%v, want (%p, nil)", art, err, want)
+			}
+		}()
+	}
+	// Give the waiters time to park on the flight, then let the leader
+	// finish. A waiter that arrives after the release becomes a fresh
+	// leader — the calls counter below catches that.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	<-leaderDone
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times for %d concurrent calls, want exactly 1", got, waiters+1)
+	}
+	if got := leaders.Load(); got != 0 {
+		t.Fatalf("%d waiters reported leader=true", got)
+	}
+}
+
+// A faulted leader's error reaches the waiters of that flight only;
+// the flight is unpublished before the result is delivered, so the
+// next call starts a fresh flight instead of inheriting the failure.
+func TestFlightGroupFailureIsolation(t *testing.T) {
+	g := newFlightGroup()
+	boom := errors.New("leader fault")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	go func() {
+		g.Do(context.Background(), 7, func() (*core.Compiled, error) {
+			close(entered)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-entered
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i], _ = g.Do(context.Background(), 7, func() (*core.Compiled, error) {
+				t.Error("waiter ran fn during an in-flight compile")
+				return nil, nil
+			})
+		}(i)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter %d error %v, want the leader's fault", i, err)
+		}
+	}
+
+	// The poisoned flight is gone: a fresh call leads a fresh flight.
+	want := &core.Compiled{}
+	art, err, leader := g.Do(context.Background(), 7, func() (*core.Compiled, error) { return want, nil })
+	if !leader || err != nil || art != want {
+		t.Fatalf("post-failure call: (art=%p err=%v leader=%v), want fresh leader success", art, err, leader)
+	}
+}
+
+// A waiter abandoning on its context leaves the flight (and the
+// leader) untouched.
+func TestFlightGroupWaiterContextCancel(t *testing.T) {
+	g := newFlightGroup()
+	want := &core.Compiled{}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		art, err, _ := g.Do(context.Background(), 9, func() (*core.Compiled, error) {
+			close(entered)
+			<-release
+			return want, nil
+		})
+		if err != nil || art != want {
+			t.Errorf("leader after waiter cancel: art=%p err=%v", art, err)
+		}
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		_, err, leader := g.Do(ctx, 9, nil)
+		if leader || !errors.Is(err, context.Canceled) {
+			t.Errorf("canceled waiter: err=%v leader=%v, want (context.Canceled, false)", err, leader)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	<-waiterDone
+	close(release)
+	<-leaderDone
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -31,6 +32,19 @@ type metrics struct {
 	// actually changed. Both stay zero in eager mode.
 	refineObs     atomic.Int64
 	refinedPoints atomic.Int64
+
+	// compiles counts completed on-demand artifact compiles;
+	// coalesceWaits counts requests that joined an in-flight compile
+	// instead of starting one (the herd savings); leaderFaults counts
+	// injected coalesce-leader faults; chaosEvicts counts injected
+	// cache evictions. forwards/failovers are the shard-out proxy's
+	// request accounting.
+	compiles      atomic.Int64
+	coalesceWaits atomic.Int64
+	leaderFaults  atomic.Int64
+	chaosEvicts   atomic.Int64
+	forwards      atomic.Int64
+	failovers     atomic.Int64
 }
 
 func newMetrics() *metrics {
@@ -62,6 +76,33 @@ func (m *metrics) track() func() {
 func (m *metrics) trackWorkers(n int) func() {
 	m.execWorkers.Add(int64(n))
 	return func() { m.execWorkers.Add(int64(-n)) }
+}
+
+// sanitizeLabel escapes a Prometheus label value per the text
+// exposition format: backslash, double quote, and newline are the only
+// characters with escape sequences, and everything else passes through
+// verbatim. (Go's %q is close but not equal — it escapes tabs and
+// non-printables with sequences the exposition format does not define,
+// so a workload name with a tab would produce an unparseable series.)
+func sanitizeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
 }
 
 // breakerGauge maps breaker states onto a stable numeric encoding for
@@ -99,9 +140,59 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	fmt.Fprintln(w, "# HELP rqp_breaker_state Circuit breaker state per workload (0=closed, 1=open, 2=half-open).")
 	fmt.Fprintln(w, "# TYPE rqp_breaker_state gauge")
-	for _, name := range s.order {
-		fmt.Fprintf(w, "rqp_breaker_state{workload=%q} %d\n",
-			name, breakerGauge(s.workloads[name].breaker.State()))
+	states := s.snapshotWorkloads()
+	for _, ws := range states {
+		fmt.Fprintf(w, "rqp_breaker_state{workload=\"%s\"} %d\n",
+			sanitizeLabel(ws.name), breakerGauge(ws.breaker.State()))
+	}
+
+	cs := s.cache.Stats()
+	fmt.Fprintln(w, "# HELP rqp_cache_entries Artifacts resident in the signature-keyed compile cache.")
+	fmt.Fprintln(w, "# TYPE rqp_cache_entries gauge")
+	fmt.Fprintf(w, "rqp_cache_entries %d\n", cs.Entries)
+	fmt.Fprintln(w, "# HELP rqp_cache_bytes Estimated bytes resident in the compile cache.")
+	fmt.Fprintln(w, "# TYPE rqp_cache_bytes gauge")
+	fmt.Fprintf(w, "rqp_cache_bytes %d\n", cs.Bytes)
+	fmt.Fprintln(w, "# HELP rqp_cache_budget_bytes Compile cache byte budget.")
+	fmt.Fprintln(w, "# TYPE rqp_cache_budget_bytes gauge")
+	fmt.Fprintf(w, "rqp_cache_budget_bytes %d\n", cs.Budget)
+	fmt.Fprintln(w, "# HELP rqp_cache_hits_total Compile cache hits.")
+	fmt.Fprintln(w, "# TYPE rqp_cache_hits_total counter")
+	fmt.Fprintf(w, "rqp_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintln(w, "# HELP rqp_cache_misses_total Compile cache misses.")
+	fmt.Fprintln(w, "# TYPE rqp_cache_misses_total counter")
+	fmt.Fprintf(w, "rqp_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintln(w, "# HELP rqp_cache_evictions_total Compile cache evictions (budget pressure and injected).")
+	fmt.Fprintln(w, "# TYPE rqp_cache_evictions_total counter")
+	fmt.Fprintf(w, "rqp_cache_evictions_total %d\n", cs.Evictions)
+
+	fmt.Fprintln(w, "# HELP rqp_compiles_total On-demand artifact compiles completed.")
+	fmt.Fprintln(w, "# TYPE rqp_compiles_total counter")
+	fmt.Fprintf(w, "rqp_compiles_total %d\n", s.metrics.compiles.Load())
+	fmt.Fprintln(w, "# HELP rqp_coalesce_waits_total Requests that joined an in-flight compile instead of starting one.")
+	fmt.Fprintln(w, "# TYPE rqp_coalesce_waits_total counter")
+	fmt.Fprintf(w, "rqp_coalesce_waits_total %d\n", s.metrics.coalesceWaits.Load())
+	fmt.Fprintln(w, "# HELP rqp_coalesce_leader_faults_total Injected compile-flight leader faults.")
+	fmt.Fprintln(w, "# TYPE rqp_coalesce_leader_faults_total counter")
+	fmt.Fprintf(w, "rqp_coalesce_leader_faults_total %d\n", s.metrics.leaderFaults.Load())
+
+	if s.ring != nil {
+		fmt.Fprintln(w, "# HELP rqp_peer_up Last known liveness per shard-out peer (1=up).")
+		fmt.Fprintln(w, "# TYPE rqp_peer_up gauge")
+		up := s.peers.snapshotUp(s.ring.peers)
+		for _, peer := range s.ring.peers {
+			v := 0
+			if up[peer] {
+				v = 1
+			}
+			fmt.Fprintf(w, "rqp_peer_up{peer=\"%s\"} %d\n", sanitizeLabel(peer), v)
+		}
+		fmt.Fprintln(w, "# HELP rqp_forwards_total Requests proxied to their signature's owner replica.")
+		fmt.Fprintln(w, "# TYPE rqp_forwards_total counter")
+		fmt.Fprintf(w, "rqp_forwards_total %d\n", s.metrics.forwards.Load())
+		fmt.Fprintln(w, "# HELP rqp_failovers_total Owner replicas skipped as down during request routing.")
+		fmt.Fprintln(w, "# TYPE rqp_failovers_total counter")
+		fmt.Fprintf(w, "rqp_failovers_total %d\n", s.metrics.failovers.Load())
 	}
 
 	fmt.Fprintln(w, "# HELP rqp_refine_observations_total Spill selectivity observations fed into lazy ESS surfaces.")
@@ -115,8 +206,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Demand-driven sources expose their work profile per workload; the
 	// section is empty when every workload is eager.
 	lazyHeader := false
-	for _, name := range s.order {
-		ws := s.workloads[name]
+	for _, ws := range states {
 		ws.mu.RLock()
 		lz := ws.lazy
 		ws.mu.RUnlock()
@@ -128,12 +218,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintln(w, "# HELP rqp_lazy_settled_points Grid points settled by the demand-driven ESS, per workload.")
 			fmt.Fprintln(w, "# TYPE rqp_lazy_settled_points gauge")
 		}
+		name := sanitizeLabel(ws.name)
 		prof := lz.Profile()
-		fmt.Fprintf(w, "rqp_lazy_settled_points{workload=%q} %d\n", name, prof.Settled)
-		fmt.Fprintf(w, "rqp_lazy_contour_hits_total{workload=%q} %d\n", name, prof.Hits)
-		fmt.Fprintf(w, "rqp_lazy_contour_misses_total{workload=%q} %d\n", name, prof.Misses)
-		fmt.Fprintf(w, "rqp_lazy_refinement_rounds_total{workload=%q} %d\n", name, prof.Refinements)
-		fmt.Fprintf(w, "rqp_lazy_epoch{workload=%q} %d\n", name, prof.Epoch)
+		fmt.Fprintf(w, "rqp_lazy_settled_points{workload=\"%s\"} %d\n", name, prof.Settled)
+		fmt.Fprintf(w, "rqp_lazy_contour_hits_total{workload=\"%s\"} %d\n", name, prof.Hits)
+		fmt.Fprintf(w, "rqp_lazy_contour_misses_total{workload=\"%s\"} %d\n", name, prof.Misses)
+		fmt.Fprintf(w, "rqp_lazy_refinement_rounds_total{workload=\"%s\"} %d\n", name, prof.Refinements)
+		fmt.Fprintf(w, "rqp_lazy_epoch{workload=\"%s\"} %d\n", name, prof.Epoch)
 	}
 
 	fmt.Fprintln(w, "# HELP rqp_requests_total Discovery and MSO requests routed, per strategy.")
@@ -144,7 +235,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		fmt.Fprintf(w, "rqp_requests_total{strategy=%q} %d\n",
-			name, s.metrics.byStrategy[name].Load())
+		fmt.Fprintf(w, "rqp_requests_total{strategy=\"%s\"} %d\n",
+			sanitizeLabel(name), s.metrics.byStrategy[name].Load())
 	}
 }

@@ -59,6 +59,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		"# TYPE rqp_requests_total counter",
 		`rqp_requests_total{strategy="spillbound"} 2`,
 		`rqp_requests_total{strategy="parqo"} 1`,
+		"# TYPE rqp_cache_entries gauge",
+		"rqp_cache_entries 0",
+		"# TYPE rqp_cache_hits_total counter",
+		"rqp_compiles_total 0",
+		"rqp_coalesce_waits_total 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics body missing %q:\n%s", want, body)
@@ -68,6 +73,34 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, name := range core.Strategies() {
 		if !strings.Contains(body, fmt.Sprintf("rqp_requests_total{strategy=%q}", name)) {
 			t.Fatalf("metrics body missing series for %s:\n%s", name, body)
+		}
+	}
+	// Shard-out gauges only appear with a ring configured.
+	if strings.Contains(body, "rqp_peer_up") {
+		t.Fatalf("single-replica server exposed rqp_peer_up:\n%s", body)
+	}
+}
+
+// sanitizeLabel escapes exactly the three characters the Prometheus
+// text exposition format defines escapes for — backslash, double
+// quote, newline — and passes everything else (tabs included) through
+// verbatim, unlike %q.
+func TestSanitizeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"EQ", "EQ"},
+		{"plain-name_2D.Q91", "plain-name_2D.Q91"},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"tab\there", "tab\there"},         // tab is legal in a label value
+		{"utf8-ключ", "utf8-ключ"},         // multibyte passes through
+		{"\\\"\n", `\\\"` + `\n`},          // all three escapes adjacent
+		{`a\b"c` + "\nd", `a\\b\"c` + `\nd`},
+	}
+	for _, tc := range cases {
+		if got := sanitizeLabel(tc.in); got != tc.want {
+			t.Errorf("sanitizeLabel(%q) = %q, want %q", tc.in, got, tc.want)
 		}
 	}
 }

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ess"
+)
+
+// Peer health is probed lazily and the verdict cached for the health
+// interval: N requests inside one interval cost at most one probe, a
+// transport failure marks the peer down immediately, and the next
+// interval re-probes.
+func TestPeerSetLazyHealthCaching(t *testing.T) {
+	var probes atomic.Int64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			t.Errorf("probe hit %s", r.URL.Path)
+		}
+		probes.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer peer.Close()
+
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	ps := newPeerSet("http://self", time.Second, clk.Now, time.Second)
+
+	// Self is always healthy, never probed.
+	if !ps.healthy("http://self") {
+		t.Fatal("self reported unhealthy")
+	}
+	for i := 0; i < 5; i++ {
+		if !ps.healthy(peer.URL) {
+			t.Fatalf("up peer reported unhealthy on call %d", i)
+		}
+	}
+	if got := probes.Load(); got != 1 {
+		t.Fatalf("%d probes inside one interval, want 1", got)
+	}
+
+	// A transport failure during forwarding overrides the cached "up"
+	// verdict until the interval elapses.
+	ps.markDown(peer.URL)
+	if ps.healthy(peer.URL) {
+		t.Fatal("marked-down peer reported healthy inside the interval")
+	}
+	if got := probes.Load(); got != 1 {
+		t.Fatalf("markDown triggered a probe (%d total)", got)
+	}
+	clk.Advance(2 * time.Second)
+	if !ps.healthy(peer.URL) {
+		t.Fatal("peer not re-probed after the interval")
+	}
+	if got := probes.Load(); got != 2 {
+		t.Fatalf("%d probes after interval elapsed, want 2", got)
+	}
+}
+
+// A dead peer is detected by the probe and the verdict is cached — one
+// failed probe per interval, not one per request.
+func TestPeerSetDetectsDeadPeer(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := dead.URL
+	dead.Close() // connection refused from here on
+
+	clk := &fakeClock{t: time.Unix(3000, 0)}
+	ps := newPeerSet("http://self", time.Second, clk.Now, 200*time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if ps.healthy(url) {
+			t.Fatalf("dead peer reported healthy on call %d", i)
+		}
+	}
+	up := ps.snapshotUp([]string{"http://self", url})
+	if !up["http://self"] || up[url] {
+		t.Fatalf("snapshotUp %v", up)
+	}
+}
+
+// Concurrent health checks on a stale verdict must not pile probes onto
+// one slow peer: the optimistic stamp admits one prober per interval.
+func TestPeerSetSingleProbePerInterval(t *testing.T) {
+	var probes atomic.Int64
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		probes.Add(1)
+		time.Sleep(50 * time.Millisecond)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer slow.Close()
+
+	clk := &fakeClock{t: time.Unix(4000, 0)}
+	ps := newPeerSet("http://self", time.Minute, clk.Now, time.Second)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ps.healthy(slow.URL)
+		}()
+	}
+	wg.Wait()
+	if got := probes.Load(); got != 1 {
+		t.Fatalf("%d concurrent probes, want 1 (optimistic stamp must absorb the rest)", got)
+	}
+}
+
+// GET /snapshot streams a frame a peer can verify and strictly load —
+// the same CRC-framed format the disk path uses — and rejects unknown
+// or non-resident workloads with typed errors.
+func TestSnapshotEndpoint(t *testing.T) {
+	s := newTestServer(t, testConfig(t))
+
+	rec, _ := getBody(t, s.Handler(), "/snapshot?workload=EQ")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("EQ snapshot: status %d", rec.Code)
+	}
+	if err := ess.VerifyFrame(bytes.NewReader(rec.Body.Bytes())); err != nil {
+		t.Fatalf("EQ snapshot stream failed frame verification: %v", err)
+	}
+
+	rec, _ = getBody(t, s.Handler(), "/snapshot?workload=nope")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown workload snapshot: status %d", rec.Code)
+	}
+}
+
+// A forwarded request is never re-forwarded: the one-hop rule is what
+// makes a ring disagreement unable to loop.
+func TestRouteDiscoverHonorsForwardedHeader(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.SelfURL = "http://b:1"
+	cfg.Peers = []string{"http://a:1", "http://b:1"}
+	// The background build may outlive this test; t.Logf would panic.
+	cfg.Logf = func(string, ...any) {}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key owned by the OTHER replica, so an unforwarded request
+	// would proxy but a forwarded one must serve locally.
+	var key uint64
+	found := false
+	for k := uint64(0); k < 4096; k++ {
+		if s.ring.Owners(k)[0] == "http://a:1" {
+			key, found = k, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no key owned by peer a in 4096 tries; ring broken")
+	}
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/discover", nil)
+	req.Header.Set(forwardedHeader, "1")
+	handled, hops := s.routeDiscover(rec, req, DiscoverRequest{}, key, nil)
+	if handled || hops != 0 {
+		t.Fatalf("forwarded request re-routed: handled=%v hops=%d", handled, hops)
+	}
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"sort"
+)
+
+// hashRing is a consistent-hash ring over a static replica set. Each
+// peer is projected onto the ring at ringVnodes pseudo-random points
+// (virtual nodes smooth the key distribution across a handful of
+// peers); a signature key is owned by the first vnode clockwise from
+// the key's hash. Owners(key) returns every peer in that clockwise
+// preference order — the failover sequence the proxy walks when the
+// primary owner is down.
+//
+// The ring is a pure function of the sorted peer-URL set, so every
+// replica configured with the same -peers list (in any order) builds
+// the identical ring and routes every signature to the same owner —
+// the property that makes shard-out caching coherent without any
+// coordination traffic.
+type hashRing struct {
+	peers  []string // sorted, deduplicated
+	vnodes []ringVnode
+}
+
+type ringVnode struct {
+	hash uint64
+	peer int // index into peers
+}
+
+const ringVnodesPerPeer = 64
+
+func newHashRing(peers []string) *hashRing {
+	uniq := make([]string, 0, len(peers))
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if p != "" && !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	sort.Strings(uniq)
+	r := &hashRing{peers: uniq}
+	for pi, p := range uniq {
+		base := fnvHash(p)
+		for v := 0; v < ringVnodesPerPeer; v++ {
+			r.vnodes = append(r.vnodes, ringVnode{
+				hash: mix64(base ^ mix64(uint64(v))),
+				peer: pi,
+			})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		a, b := r.vnodes[i], r.vnodes[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.peer < b.peer // total order even on hash collisions
+	})
+	return r
+}
+
+// Owners returns all peers in preference order for the key: the
+// clockwise successor owns it, the next distinct peers clockwise are
+// the failover sequence.
+func (r *hashRing) Owners(key uint64) []string {
+	if len(r.peers) == 0 {
+		return nil
+	}
+	h := mix64(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	out := make([]string, 0, len(r.peers))
+	seen := make(map[int]bool, len(r.peers))
+	for i := 0; len(out) < len(r.peers); i++ {
+		vn := r.vnodes[(start+i)%len(r.vnodes)]
+		if !seen[vn.peer] {
+			seen[vn.peer] = true
+			out = append(out, r.peers[vn.peer])
+		}
+	}
+	return out
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap bijective hash.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fnvHash folds a string into 64 bits (FNV-1a).
+func fnvHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Every replica must build the identical ring from the same peer set,
+// regardless of -peers order or duplicates — that is what makes the
+// shard routing coherent without coordination.
+func TestHashRingOrderAndDupInvariant(t *testing.T) {
+	peers := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	perms := [][]string{
+		{peers[0], peers[1], peers[2]},
+		{peers[2], peers[0], peers[1]},
+		{peers[1], peers[2], peers[0], peers[0], peers[2], ""},
+	}
+	ref := newHashRing(perms[0])
+	keys := []uint64{0, 1, 42, 0xdeadbeef, ^uint64(0)}
+	for pi, perm := range perms[1:] {
+		r := newHashRing(perm)
+		if !reflect.DeepEqual(r.peers, ref.peers) {
+			t.Fatalf("perm %d: peer set %v != %v", pi+1, r.peers, ref.peers)
+		}
+		for _, k := range keys {
+			if got, want := r.Owners(k), ref.Owners(k); !reflect.DeepEqual(got, want) {
+				t.Fatalf("perm %d key %d: owners %v != %v", pi+1, k, got, want)
+			}
+		}
+	}
+}
+
+// Owners returns every peer exactly once, in a stable preference
+// order, and the vnode projection spreads keys across the set (no peer
+// starves, no peer hogs).
+func TestHashRingOwnersCompleteAndBalanced(t *testing.T) {
+	peers := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	r := newHashRing(peers)
+	counts := make(map[string]int)
+	const keys = 3000
+	for k := uint64(0); k < keys; k++ {
+		owners := r.Owners(k)
+		if len(owners) != len(peers) {
+			t.Fatalf("key %d: %d owners, want %d", k, len(owners), len(peers))
+		}
+		seen := make(map[string]bool)
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key %d: duplicate owner %s in %v", k, o, owners)
+			}
+			seen[o] = true
+		}
+		counts[owners[0]]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / keys
+		if share < 0.15 || share > 0.60 {
+			t.Fatalf("peer %s owns %.0f%% of keys; vnode spread is broken: %v", p, share*100, counts)
+		}
+	}
+}
+
+// Removing one peer from the set must not reshuffle keys among the
+// survivors: a key either kept its owner or moved to the removed
+// peer's successor — consistent hashing's defining property, and why a
+// replica restart does not invalidate the whole fleet's cache.
+func TestHashRingStableUnderPeerLoss(t *testing.T) {
+	full := newHashRing([]string{"http://a:8080", "http://b:8080", "http://c:8080"})
+	without := newHashRing([]string{"http://a:8080", "http://c:8080"})
+	moved := 0
+	const keys = 2000
+	for k := uint64(0); k < keys; k++ {
+		before := full.Owners(k)[0]
+		after := without.Owners(k)[0]
+		if before == "http://b:8080" {
+			moved++
+			continue // b's keys must land somewhere else
+		}
+		if before != after {
+			t.Fatalf("key %d owned by %s moved to %s though its owner survived", k, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed peer owned zero keys; distribution is broken")
+	}
+}
+
+// An empty ring owns nothing; a one-peer ring owns everything.
+func TestHashRingDegenerate(t *testing.T) {
+	if owners := newHashRing(nil).Owners(1); owners != nil {
+		t.Fatalf("empty ring returned owners %v", owners)
+	}
+	solo := newHashRing([]string{"http://a:8080"})
+	for _, k := range []uint64{0, 7, ^uint64(0)} {
+		if got := solo.Owners(k); len(got) != 1 || got[0] != "http://a:8080" {
+			t.Fatalf("solo ring key %d: owners %v", k, got)
+		}
+	}
+}

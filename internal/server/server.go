@@ -108,6 +108,28 @@ type Config struct {
 	// separately from client traffic; empty disables it.
 	PprofAddr string
 
+	// CacheBytes budgets the signature-keyed on-demand artifact cache
+	// (default 256 MiB). Pinned workloads are not cached — they are
+	// resident for the server's lifetime.
+	CacheBytes int64
+
+	// Peers is the static replica set for shard-out mode: base URLs
+	// (scheme://host:port, no trailing slash) including this replica's
+	// own SelfURL. Query signatures are consistent-hashed across the
+	// set and /discover requests proxied to their owner, with hedged
+	// failover down the ring on timeout or refusal. Empty disables
+	// sharding entirely.
+	Peers []string
+	// SelfURL identifies this replica within Peers; required (and must
+	// appear in Peers) when Peers is non-empty.
+	SelfURL string
+	// ForwardTimeout bounds one proxy attempt to a peer before hedging
+	// to the next replica (default 5s).
+	ForwardTimeout time.Duration
+	// HealthInterval is how long a peer health verdict is trusted
+	// before re-probing (default 1s).
+	HealthInterval time.Duration
+
 	// Now is the clock the circuit breakers read (default time.Now);
 	// tests inject a fake to drive cooldowns deterministically.
 	Now func() time.Time
@@ -152,6 +174,12 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 5 * time.Second
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -167,6 +195,13 @@ type workloadState struct {
 	name    string
 	spec    workload.Spec
 	breaker *breaker
+
+	// onDemand marks a tenant admitted after startup: its artifact
+	// lives in the signature-keyed cache (evictable, compiled through
+	// the coalescing flight group), not in this struct. sigKey is the
+	// full artifact-signature hash — the cache and shard-ring key.
+	onDemand bool
+	sigKey   uint64
 
 	mu          sync.RWMutex
 	compiled    *core.Compiled
@@ -216,9 +251,27 @@ type Server struct {
 	queued atomic.Int64
 	faults *faultinject.Injector // base chaos injector (nil when disarmed)
 
+	// wmu guards the workloads map: pinned entries are inserted in New
+	// and never removed; on-demand tenants are added by resolveWorkload
+	// under the write lock. order lists the pinned names (immutable).
+	wmu       sync.RWMutex
 	workloads map[string]*workloadState
 	order     []string
 	metrics   *metrics
+
+	// cache holds on-demand artifacts keyed by signature; flights
+	// coalesces concurrent compiles of one signature; compiles counts
+	// completed compiles per workload name (string → *atomic.Int64).
+	cache    *core.ArtifactCache
+	flights  *flightGroup
+	compiles sync.Map
+	// sigIdx maps pure-SQL signature hashes to registered spec names,
+	// for requests that identify their workload by SQL text.
+	sigIdx map[uint64][]string
+
+	// ring and peers are the shard-out state (nil when Peers is empty).
+	ring  *hashRing
+	peers *peerSet
 
 	draining atomic.Bool
 	inflight sync.WaitGroup
@@ -237,12 +290,29 @@ func New(cfg Config) (*Server, error) {
 		sem:       make(chan struct{}, cfg.MaxConcurrent),
 		workloads: make(map[string]*workloadState, len(cfg.Workloads)),
 		metrics:   newMetrics(),
+		cache:     core.NewArtifactCache(cfg.CacheBytes),
+		flights:   newFlightGroup(),
+		sigIdx:    buildSigIndex(),
 	}
 	if cfg.ESSMode != "eager" && cfg.ESSMode != "lazy" {
 		return nil, fmt.Errorf("server: unknown ESS mode %q (want eager or lazy)", cfg.ESSMode)
 	}
 	if cfg.FaultRate > 0 {
 		s.faults = faultinject.NewUniform(cfg.FaultSeed, cfg.FaultRate)
+	}
+	if len(cfg.Peers) > 0 {
+		self := false
+		for _, p := range cfg.Peers {
+			if p == cfg.SelfURL {
+				self = true
+				break
+			}
+		}
+		if !self {
+			return nil, fmt.Errorf("server: SelfURL %q must appear in Peers", cfg.SelfURL)
+		}
+		s.ring = newHashRing(cfg.Peers)
+		s.peers = newPeerSet(cfg.SelfURL, cfg.HealthInterval, cfg.Now, cfg.ForwardTimeout)
 	}
 	if cfg.SnapshotDir != "" {
 		if err := os.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
@@ -257,8 +327,12 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		sig, err := s.signatureFor(spec)
+		if err != nil {
+			return nil, fmt.Errorf("server: signing %s: %w", name, err)
+		}
 		ws := &workloadState{
-			name: name, spec: spec,
+			name: name, spec: spec, sigKey: sig.Hash,
 			breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now),
 			ready:   make(chan struct{}),
 		}
@@ -271,6 +345,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("POST /discover", s.handleDiscover)
 	s.mux.HandleFunc("POST /mso", s.handleMSO)
 	return s, nil
@@ -292,6 +367,19 @@ func (s *Server) buildWorkload(ws *workloadState) {
 	if s.cfg.SnapshotDir != "" {
 		snapPath = filepath.Join(s.cfg.SnapshotDir, ws.name+".snap")
 		if sp, ok := s.warmLoad(ws, snapPath); ok {
+			s.install(ws, sp, true)
+			return
+		}
+	}
+	// Shard-out warm fan-out: a restarted replica rebuilds from its
+	// peers' snapshot streams before paying a cold build.
+	if s.ring != nil {
+		if sp := s.fetchPeerSnapshot(ws); sp != nil {
+			if snapPath != "" {
+				if err := sp.SaveFileWith(snapPath, s.faults); err != nil {
+					s.cfg.Logf("server: persisting %s fan-out snapshot: %v", ws.name, err)
+				}
+			}
 			s.install(ws, sp, true)
 			return
 		}
@@ -501,8 +589,9 @@ func (s *Server) feedRefinements(ws *workloadState, out *discovery.Outcome) {
 // finished (successfully or not), or the context expires.
 func (s *Server) WaitReady(ctx context.Context) error {
 	for _, name := range s.order {
+		ws, _ := s.getWorkload(name)
 		select {
-		case <-s.workloads[name].ready:
+		case <-ws.ready:
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -590,7 +679,12 @@ func PprofHandler() http.Handler {
 // registry. Setting both to different policies is a 400; setting
 // neither defaults to SpillBound.
 type DiscoverRequest struct {
-	Workload  string  `json:"workload"`
+	Workload string `json:"workload"`
+	// SQL identifies the workload by query text instead of (or in
+	// addition to) Workload: the server canonicalizes it to a
+	// signature and resolves the registered spec. When several specs
+	// share one SQL body (the Q91 family), Workload must disambiguate.
+	SQL       string  `json:"sql,omitempty"`
 	Algorithm string  `json:"algorithm"`
 	Strategy  string  `json:"strategy,omitempty"`
 	QA        int32   `json:"qa"`
@@ -621,6 +715,12 @@ type DiscoverResponse struct {
 	AlignPenalty float64                 `json:"align_penalty,omitempty"`
 	Degradations []discovery.Degradation `json:"degradations,omitempty"`
 	Aborted      string                  `json:"aborted,omitempty"`
+	// ServedBy is the replica that ran the discovery (shard-out mode
+	// only). Degraded is set to "failover" when the request did not
+	// run on its signature's preferred owner — one or more owners were
+	// down and the ring (or the local fallback) absorbed the request.
+	ServedBy string `json:"served_by,omitempty"`
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // MSORequest is the POST /mso body.
@@ -710,7 +810,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		Workloads map[string]string `json:"workloads"`
 	}
 	rz := readyz{Ready: true, Draining: s.draining.Load(), Workloads: map[string]string{}}
-	for name, ws := range s.workloads {
+	// Readiness tracks the pinned workloads only: on-demand tenants
+	// compile on first request and never gate the replica's readiness.
+	for _, name := range s.order {
+		ws, _ := s.getWorkload(name)
 		st := ws.status()
 		rz.Workloads[name] = st
 		if st != "ready" {
@@ -728,10 +831,24 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	out := make([]WorkloadInfo, 0, len(s.order))
-	for _, name := range s.order {
-		ws := s.workloads[name]
-		info := WorkloadInfo{Name: name, Status: ws.status(), Breaker: ws.breaker.State()}
+	states := s.snapshotWorkloads()
+	out := make([]WorkloadInfo, 0, len(states))
+	for _, ws := range states {
+		info := WorkloadInfo{Name: ws.name, Status: ws.status(), Breaker: ws.breaker.State()}
+		if ws.onDemand {
+			// On-demand tenants live in the signature-keyed cache.
+			info.Mode = "on-demand"
+			if art, ok := s.cache.Peek(ws.sigKey); ok {
+				info.Status = "resident"
+				g := art.Source.Geometry()
+				info.D = g.D
+				info.Points = g.NumPoints()
+			} else {
+				info.Status = "evicted"
+			}
+			out = append(out, info)
+			continue
+		}
 		ws.mu.RLock()
 		if ws.compiled != nil {
 			g := ws.compiled.Source.Geometry()
@@ -850,11 +967,22 @@ func resolveStrategy(algField, stratField string) (string, error) {
 	return name, nil
 }
 
-// lookup resolves the workload or writes the rejection.
+// lookup resolves the workload to a resident artifact or writes the
+// rejection. On-demand tenants only resolve here when their artifact
+// is cache-resident (lookup never triggers a compile — it backs the
+// MSO path, whose grid sweep assumes a built artifact).
 func (s *Server) lookup(w http.ResponseWriter, name string) (*workloadState, *core.Compiled, bool) {
-	ws, ok := s.workloads[name]
+	ws, ok := s.getWorkload(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, KindNotFound, fmt.Sprintf("unknown workload %q", name), 0)
+		return nil, nil, false
+	}
+	if ws.onDemand {
+		if c, ok := s.cache.Get(ws.sigKey); ok {
+			return ws, c, true
+		}
+		writeError(w, http.StatusServiceUnavailable, KindBuilding,
+			fmt.Sprintf("on-demand workload %s is not resident; issue a discover first", name), time.Second)
 		return nil, nil, false
 	}
 	c, err := ws.artifact()
@@ -889,14 +1017,30 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, KindBadRequest, err.Error(), 0)
 		return
 	}
-	ws, c, ok := s.lookup(w, req.Workload)
+	ws, ok := s.resolveWorkload(w, &req)
 	if !ok {
 		return
 	}
-	if req.QA < 0 || int(req.QA) >= c.Source.Geometry().NumPoints() {
-		writeError(w, http.StatusBadRequest, KindBadRequest,
-			fmt.Sprintf("qa %d outside grid [0, %d)", req.QA, c.Source.Geometry().NumPoints()), 0)
+	in := s.requestInjector(req)
+
+	// Shard-out routing: proxy to the signature's owner replica unless
+	// we are it (or this request was already forwarded to us).
+	handled, hops := s.routeDiscover(w, r, req, ws.sigKey, in)
+	if handled {
 		return
+	}
+	failover := s.ring != nil && (hops > 0 || r.Header.Get(failoverHeader) != "")
+
+	var c *core.Compiled
+	if !ws.onDemand {
+		if _, c, ok = s.lookup(w, ws.name); !ok {
+			return
+		}
+		if req.QA < 0 || int(req.QA) >= c.Source.Geometry().NumPoints() {
+			writeError(w, http.StatusBadRequest, KindBadRequest,
+				fmt.Sprintf("qa %d outside grid [0, %d)", req.QA, c.Source.Geometry().NumPoints()), 0)
+			return
+		}
 	}
 	if req.ExecWorkers < 0 {
 		writeError(w, http.StatusBadRequest, KindBadRequest,
@@ -939,12 +1083,40 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	in := s.requestInjector(req)
 	if ferr := in.Check(faultinject.SiteServeRun); ferr != nil {
 		ws.breaker.Report(false)
 		writeError(w, http.StatusInternalServerError, KindEngineFault,
 			"engine unavailable: "+ferr.Error(), 0)
 		return
+	}
+
+	if ws.onDemand {
+		// The artifact comes from the signature-keyed cache, compiling
+		// (coalesced) on a miss — inside the admission slot, so compile
+		// work is bounded by the same concurrency budget as discovery.
+		c, err = s.artifactFor(ctx, ws, in)
+		if err != nil {
+			if ctx.Err() != nil {
+				ws.breaker.Cancel()
+				writeError(w, http.StatusGatewayTimeout, KindDeadline,
+					"deadline expired compiling artifact: "+err.Error(), 0)
+				return
+			}
+			ws.breaker.Report(false)
+			kind := KindBuildFailed
+			if faultinject.IsTransient(err) || errors.As(err, new(*faultinject.Fault)) {
+				kind = KindEngineFault
+			}
+			writeError(w, http.StatusInternalServerError, kind,
+				fmt.Sprintf("compiling %s: %v", ws.name, err), 0)
+			return
+		}
+		if req.QA < 0 || int(req.QA) >= c.Source.Geometry().NumPoints() {
+			ws.breaker.Cancel()
+			writeError(w, http.StatusBadRequest, KindBadRequest,
+				fmt.Sprintf("qa %d outside grid [0, %d)", req.QA, c.Source.Geometry().NumPoints()), 0)
+			return
+		}
 	}
 
 	releaseWorkers := s.metrics.trackWorkers(workers)
@@ -954,6 +1126,12 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	// when the run itself aborted: fold them into a lazy surface.
 	s.feedRefinements(ws, out)
 	resp := DiscoverResponse{Workload: req.Workload, Strategy: name, QA: req.QA}
+	if s.ring != nil {
+		resp.ServedBy = s.cfg.SelfURL
+	}
+	if failover {
+		resp.Degraded = "failover"
+	}
 	if _, perr := parseAlgorithm(name); perr == nil {
 		// Paper strategies keep the legacy algorithm echo.
 		resp.Algorithm = name

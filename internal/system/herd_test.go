@@ -1,0 +1,395 @@
+package system
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/server"
+)
+
+// launchReplica constructs one replica and serves it immediately — a
+// building replica answers /readyz and /snapshot with typed 503s, so
+// a peer probing it during its own startup moves on fast instead of
+// hanging in an unanswered accept backlog. The returned kill func
+// stops serving and waits for Serve to return (closing every
+// connection, so peers see refused dials — a crashed replica, not a
+// draining one, from the ring's point of view).
+func launchReplica(t *testing.T, cfg server.Config, ln net.Listener) (*server.Server, string, func()) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+	killed := false
+	kill := func() {
+		if killed {
+			return
+		}
+		killed = true
+		cancel()
+		select {
+		case <-served:
+		case <-time.After(30 * time.Second):
+			t.Fatal("replica did not stop within 30s")
+		}
+	}
+	t.Cleanup(kill)
+	return s, "http://" + ln.Addr().String(), kill
+}
+
+func awaitReady(t *testing.T, s *server.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := s.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// startReplica is launchReplica + awaitReady: the single-replica
+// convenience. Multi-replica scenarios launch the whole fleet first,
+// then await, so no replica stalls probing a not-yet-serving peer.
+func startReplica(t *testing.T, cfg server.Config, ln net.Listener) (*server.Server, string, func()) {
+	t.Helper()
+	s, base, kill := launchReplica(t, cfg, ln)
+	awaitReady(t, s)
+	return s, base, kill
+}
+
+func listenLoopback(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+// herdConfig is the single-replica serving config for the coalescing
+// acceptance test: queue capacity above the herd size (shedding would
+// turn a coalescing measurement into a retry measurement) and the
+// breaker out of the way (its interplay has its own tests).
+func herdConfig(t *testing.T) server.Config {
+	return server.Config{
+		Workloads:        []string{"EQ"},
+		Scale:            0.2,
+		Res:              6,
+		MaxConcurrent:    8,
+		MaxQueue:         128,
+		BreakerThreshold: 1 << 20,
+		Logf:             t.Logf,
+	}
+}
+
+// runCoalesceHerd fires n identical same-signature requests at a fresh
+// replica and returns the per-member bodies plus the compile count the
+// server paid.
+func runCoalesceHerd(t *testing.T, n int) ([][]byte, int64) {
+	t.Helper()
+	s, base, kill := startReplica(t, herdConfig(t), listenLoopback(t))
+	defer kill()
+	client := &http.Client{Timeout: 120 * time.Second}
+	req := server.DiscoverRequest{
+		Workload:  "2D_Q91",
+		Algorithm: "sb",
+		QA:        5,
+		TimeoutMS: 90_000,
+		FaultSeed: 0xABC, // identical across the herd: one signature, one schedule
+	}
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			out := postDiscover(client, base, req)
+			if out.err != nil {
+				t.Errorf("member %d: transport error: %v", i, out.err)
+				return
+			}
+			if out.status != http.StatusOK {
+				t.Errorf("member %d: status %d: %s", i, out.status, out.body)
+				return
+			}
+			bodies[i] = out.body
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	return bodies, s.CompileCount("2D_Q91")
+}
+
+// Acceptance: a herd of 64 concurrent requests for the same query
+// signature triggers exactly one compile — every member shares the
+// coalesced artifact, nobody sees a 5xx, and the whole exchange
+// replays bit for bit on a fresh replica.
+func TestHerdCoalesceExactlyOneCompile(t *testing.T) {
+	const herd = 64
+	first, compiles := runCoalesceHerd(t, herd)
+	if compiles != 1 {
+		t.Fatalf("herd of %d paid %d compiles, want exactly 1", herd, compiles)
+	}
+	for i, b := range first {
+		if b == nil {
+			t.Fatalf("member %d has no body (non-200 above)", i)
+		}
+		if !bytes.Equal(b, first[0]) {
+			t.Fatalf("member %d body diverges from member 0:\n%s\nvs\n%s", i, b, first[0])
+		}
+	}
+
+	// Bit-for-bit replay: a fresh replica serving the same herd returns
+	// the identical bytes.
+	second, compiles2 := runCoalesceHerd(t, herd)
+	if compiles2 != 1 {
+		t.Fatalf("replay herd paid %d compiles, want exactly 1", compiles2)
+	}
+	for i := range second {
+		if !bytes.Equal(second[i], first[i]) {
+			t.Fatalf("replay member %d diverges:\nrun1: %s\nrun2: %s", i, first[i], second[i])
+		}
+	}
+}
+
+// failoverOutcome is one member's normalized response: ServedBy is a
+// random loopback port and so cleared before replay comparison; every
+// other field must replay exactly.
+type failoverOutcome struct {
+	status int
+	body   []byte
+}
+
+// runFailoverScenario stands up a two-replica ring, routes a wave of
+// requests through the non-owner (exercising forwarding), kills the
+// owner, and routes a second wave (exercising hedged failover +
+// degradation stamping). All traffic enters through the surviving
+// replica; member i always carries QA i so outcomes are comparable
+// across runs.
+func runFailoverScenario(t *testing.T, wave int) (wave1, wave2 []failoverOutcome) {
+	t.Helper()
+	lnA, lnB := listenLoopback(t), listenLoopback(t)
+	urlA := "http://" + lnA.Addr().String()
+	urlB := "http://" + lnB.Addr().String()
+	mkCfg := func(self string) server.Config {
+		cfg := herdConfig(t)
+		cfg.SelfURL = self
+		cfg.Peers = []string{urlA, urlB}
+		cfg.HealthInterval = 200 * time.Millisecond
+		cfg.ForwardTimeout = 10 * time.Second
+		return cfg
+	}
+	// Launch the whole fleet before awaiting readiness: each replica's
+	// startup fan-out probe hits a serving-but-building peer (typed 503,
+	// fast skip), and both cold-build in parallel.
+	sA, _, killA := launchReplica(t, mkCfg(urlA), lnA)
+	sB, _, killB := launchReplica(t, mkCfg(urlB), lnB)
+	awaitReady(t, sA)
+	awaitReady(t, sB)
+	client := &http.Client{Timeout: 120 * time.Second}
+
+	// Restart replica B with A serving: the restarted replica must
+	// rebuild its pinned workload from A's /snapshot stream (warm
+	// fan-out), not pay a cold compile.
+	killB()
+	lnB2, err := net.Listen("tcp", lnB.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, _, killB = startReplica(t, mkCfg(urlB), lnB2)
+	resp, err := client.Get(urlB + "/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []server.WorkloadInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) == 0 || infos[0].Name != "EQ" || !infos[0].WarmLoaded {
+		t.Fatalf("replica B did not warm fan-out EQ from its peer: %+v", infos)
+	}
+
+	// Discover who owns the 2D_Q91 signature by asking either replica.
+	probe := postDiscover(client, urlA, server.DiscoverRequest{
+		Workload: "2D_Q91", Algorithm: "sb", QA: 0, TimeoutMS: 90_000})
+	if probe.status != http.StatusOK {
+		t.Fatalf("ownership probe: status %d: %s", probe.status, probe.body)
+	}
+	var pr server.DiscoverResponse
+	if err := json.Unmarshal(probe.body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	owner, survivorURL, survivorSrv, killOwner, killSurvivor := urlA, urlB, sB, killA, killB
+	if pr.ServedBy == urlB {
+		owner, survivorURL, survivorSrv, killOwner, killSurvivor = urlB, urlA, sA, killB, killA
+	}
+
+	fire := func(expectServedBy, expectDegraded string) []failoverOutcome {
+		outs := make([]failoverOutcome, wave)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < wave; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				out := postDiscover(client, survivorURL, server.DiscoverRequest{
+					Workload: "2D_Q91", Algorithm: "sb", QA: int32(i), TimeoutMS: 90_000})
+				if out.err != nil {
+					t.Errorf("member %d: transport error: %v", i, out.err)
+					return
+				}
+				if out.status != http.StatusOK {
+					t.Errorf("member %d: status %d: %s", i, out.status, out.body)
+					return
+				}
+				var dr server.DiscoverResponse
+				if err := json.Unmarshal(out.body, &dr); err != nil {
+					t.Errorf("member %d: %v", i, err)
+					return
+				}
+				if dr.ServedBy != expectServedBy {
+					t.Errorf("member %d served by %q, want %q", i, dr.ServedBy, expectServedBy)
+				}
+				if dr.Degraded != expectDegraded {
+					t.Errorf("member %d degraded %q, want %q", i, dr.Degraded, expectDegraded)
+				}
+				// Normalize: the replica URL embeds a random port.
+				dr.ServedBy = ""
+				nb, err := json.Marshal(dr)
+				if err != nil {
+					t.Errorf("member %d: %v", i, err)
+					return
+				}
+				outs[i] = failoverOutcome{status: out.status, body: nb}
+			}(i)
+		}
+		close(start)
+		wg.Wait()
+		return outs
+	}
+
+	// Wave 1: the survivor is not the owner, so every request forwards
+	// across the ring and comes back stamped with the owner's identity.
+	wave1 = fire(owner, "")
+
+	// Kill the owner mid-herd (between waves of one continuous load):
+	// its listener closes and every connection dies.
+	killOwner()
+
+	// Wave 2: the survivor detects the dead owner (failed probe or
+	// refused dial), hedges to the next ring position — itself — and
+	// serves locally with a degradation stamp. No 5xx storm: every
+	// member completes 200.
+	wave2 = fire(survivorURL, "failover")
+
+	if got := survivorSrv.CompileCount("2D_Q91"); got != 1 {
+		t.Errorf("survivor paid %d compiles for the failover wave, want exactly 1", got)
+	}
+
+	// The survivor's proxy accounting saw both regimes.
+	mresp, err := client.Get(survivorURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	mbuf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"rqp_forwards_total", "rqp_failovers_total", "rqp_peer_up"} {
+		if !bytes.Contains(mbuf.Bytes(), []byte(want)) {
+			t.Errorf("survivor /metrics missing %s:\n%s", want, mbuf.String())
+		}
+	}
+	killSurvivor()
+	return wave1, wave2
+}
+
+// Acceptance: killing a replica mid-herd completes every request via
+// hedged failover with a degradation stamp and no 5xx storm — and the
+// whole scenario replays: member i's normalized outcome is identical
+// across independent runs of the same deterministic schedule.
+func TestShardFailoverMidHerd(t *testing.T) {
+	const wave = 8
+	w1a, w2a := runFailoverScenario(t, wave)
+	w1b, w2b := runFailoverScenario(t, wave)
+	for i := 0; i < wave; i++ {
+		if !bytes.Equal(w1a[i].body, w1b[i].body) {
+			t.Fatalf("wave-1 member %d diverges across runs:\n%s\nvs\n%s", i, w1a[i].body, w1b[i].body)
+		}
+		if !bytes.Equal(w2a[i].body, w2b[i].body) {
+			t.Fatalf("wave-2 member %d diverges across runs:\n%s\nvs\n%s", i, w2a[i].body, w2b[i].body)
+		}
+	}
+	// Forwarded and failover serves of the same request agree on the
+	// discovery outcome itself: the only legitimate difference is the
+	// degradation stamp.
+	for i := 0; i < wave; i++ {
+		var fwd, fo server.DiscoverResponse
+		if err := json.Unmarshal(w1a[i].body, &fwd); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(w2a[i].body, &fo); err != nil {
+			t.Fatal(err)
+		}
+		if fwd.TotalCost != fo.TotalCost || fwd.Steps != fo.Steps || fwd.Completed != fo.Completed {
+			t.Fatalf("member %d: forwarded outcome %+v != failover outcome %+v", i, fwd, fo)
+		}
+	}
+}
+
+// The throughput herd driver honors Retry-After on shed: members that
+// hit the bounded queue re-send after the advertised (jittered,
+// capped) wait instead of failing, and the result surfaces the retry
+// work so shedding is never silently absorbed.
+func TestHerdDriverHonorsRetryAfter(t *testing.T) {
+	cfg := herdConfig(t)
+	cfg.MaxConcurrent = 1
+	cfg.MaxQueue = 1
+	cfg.ExecLatency = 2 * time.Millisecond
+	_, base, kill := startReplica(t, cfg, listenLoopback(t))
+	defer kill()
+
+	body, err := json.Marshal(server.DiscoverRequest{
+		Workload: "EQ", Algorithm: "sb", QA: 7, TimeoutMS: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := experiments.Herd(experiments.HerdOptions{
+		BaseURL:     base,
+		Body:        body,
+		Concurrency: 8,
+		MaxRetries:  4,
+		Seed:        42,
+		WaitCap:     100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for code, n := range res.Statuses {
+		if code != http.StatusOK && code != http.StatusTooManyRequests {
+			t.Fatalf("herd saw status %d (%d member(s)): %s", code, n, res)
+		}
+		total += n
+	}
+	if total != 8 {
+		t.Fatalf("herd accounted %d members, want 8: %s", total, res)
+	}
+	// Capacity 2 against 8 simultaneous members: shedding must happen,
+	// and the driver must have paid visible retries for it.
+	if res.Statuses[http.StatusTooManyRequests]+res.Retried == 0 {
+		t.Fatalf("no shedding and no retries at capacity 2 under herd 8: %s", res)
+	}
+}
