@@ -36,8 +36,8 @@
 //	                   compile coalescing and 429 Retry-After behavior
 //	                   (-query, -runs, -chaos-seed, -chaos-rate)
 //	serve              long-running discovery service (-addr, -workloads,
-//	                   -snapshot-dir, -peers, -self, -cache-bytes); see
-//	                   DESIGN.md §10 and §14
+//	                   -snapshot-dir, -peers, -self, -cache-bytes,
+//	                   -outcome-cache-bytes); see DESIGN.md §10, §14, §16
 //	list               available workload queries
 //	all                everything above except ablations
 //
@@ -131,6 +131,7 @@ func run(args []string) error {
 	peers := fs.String("peers", "", "comma-separated replica base URLs for shard-out serve (e.g. http://h1:8080,http://h2:8080; empty = single replica)")
 	selfURL := fs.String("self", "", "this replica's own base URL within -peers")
 	cacheBytes := fs.Int64("cache-bytes", 0, "byte budget for serve's signature-keyed artifact cache (0 = 256 MiB)")
+	outcomeCacheBytes := fs.Int64("outcome-cache-bytes", 0, "byte budget for serve's deterministic outcome cache (0 = 64 MiB, negative disables)")
 	execWorkers := fs.Int("exec-workers", 0, "intra-query morsel workers for real executions: table3 applies it directly, serve uses it as the per-request exec_workers cap (0 = defaults: 1 local, 8 serve)")
 	essMode := fs.String("ess-mode", "eager", "contour provider: eager (full POSP sweep up front) or lazy (demand-driven)")
 	exact := fs.Bool("exact", false, "force the exact one-DP-per-point POSP sweep")
@@ -246,6 +247,7 @@ func run(args []string) error {
 			execLatency: *execLatency, chaosSeed: *chaosSeed, chaosRate: *chaosRate,
 			chaosAllowRequest: *chaosAllowRequest,
 			peers:             *peers, selfURL: *selfURL, cacheBytes: *cacheBytes,
+			outcomeCacheBytes: *outcomeCacheBytes,
 		})
 	case "all":
 		for _, e := range table {
@@ -689,6 +691,7 @@ type serveConfig struct {
 	chaosAllowRequest           bool
 	peers, selfURL              string
 	cacheBytes                  int64
+	outcomeCacheBytes           int64
 }
 
 // serve runs the long-running discovery service until SIGTERM/SIGINT,
@@ -721,6 +724,7 @@ func serve(sc serveConfig) error {
 		Peers:              peerList,
 		SelfURL:            strings.TrimSuffix(sc.selfURL, "/"),
 		CacheBytes:         sc.cacheBytes,
+		OutcomeCacheBytes:  sc.outcomeCacheBytes,
 	})
 	if err != nil {
 		return err

@@ -393,9 +393,11 @@ func GuaranteeRange(d int) (lo, hi float64) {
 // instance. It returns the outcome and the maximum partition penalty π*
 // encountered (the quantity of Table 4).
 func Run(src ess.ContourSource, pl *Planner, eng discovery.Engine) (*discovery.Outcome, float64, error) {
-	out := &discovery.Outcome{}
 	st := discovery.NewState(src.Geometry().D)
 	m := src.NumContours()
+	// Same trace-shape hint as SpillBound: roughly one execution per
+	// contour plus the spill runs of the final unlearned dimensions.
+	out := &discovery.Outcome{Steps: make([]discovery.Step, 0, m+src.Geometry().D)}
 	maxPenalty := 0.0
 
 	ci := 0

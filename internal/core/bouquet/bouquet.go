@@ -27,7 +27,10 @@ func Guarantee(red *ess.Reduction) float64 {
 // Run executes the PlanBouquet discovery for one query instance through
 // the engine. The reduction must come from the same source.
 func Run(src ess.ContourSource, red *ess.Reduction, eng discovery.Engine) (*discovery.Outcome, error) {
-	out := &discovery.Outcome{}
+	// Bouquet issues up to ρ executions per contour; one per contour is
+	// the floor, so seed the trace with a contour-count hint to avoid
+	// repeated growth on the serve path.
+	out := &discovery.Outcome{Steps: make([]discovery.Step, 0, src.NumContours()+4)}
 	budgetFactor := 1 + red.Lambda
 	for ci := 0; ci < src.NumContours(); ci++ {
 		budget := src.ContourAt(nil, ci).Cost * budgetFactor

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/core/alignedbound"
 	"repro/internal/core/bouquet"
@@ -27,6 +28,32 @@ type Run struct {
 
 // NewRun creates a fresh run over the compiled artifact.
 func (c *Compiled) NewRun() *Run { return &Run{c: c} }
+
+// runPool recycles Run structs for request-rate callers. A Run is
+// small, but the serving hot path creates one per admitted request —
+// pooling it (with the per-request response buffers) is part of the
+// zero-allocation serve path.
+var runPool = sync.Pool{New: func() any { return new(Run) }}
+
+// AcquireRun returns a pooled run over the compiled artifact,
+// equivalent to NewRun. Callers that can prove the run has no
+// remaining references when they finish should return it with
+// ReleaseRun; callers that cannot may simply drop it.
+func (c *Compiled) AcquireRun() *Run {
+	r := runPool.Get().(*Run)
+	*r = Run{c: c}
+	return r
+}
+
+// ReleaseRun zeroes the run and returns it to the pool. The run must
+// not be used after release.
+func ReleaseRun(r *Run) {
+	if r == nil {
+		return
+	}
+	*r = Run{}
+	runPool.Put(r)
+}
 
 // Compiled returns the artifact the run executes against.
 func (r *Run) Compiled() *Compiled { return r.c }

@@ -22,9 +22,13 @@ func Guarantee(d int) float64 {
 // Run executes the SpillBound discovery (Algorithm 1) for one query
 // instance through the engine.
 func Run(src ess.ContourSource, eng discovery.Engine) (*discovery.Outcome, error) {
-	out := &discovery.Outcome{}
 	st := discovery.NewState(src.Geometry().D)
 	m := src.NumContours()
+	// One spill execution per unlearned dimension per contour is the
+	// common trace shape; preallocating from the geometry hint keeps
+	// the hot serve path from growing the step slice execution by
+	// execution.
+	out := &discovery.Outcome{Steps: make([]discovery.Step, 0, m+src.Geometry().D)}
 
 	ci := 0
 	for ci < m {

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is active; its
+// instrumentation allocates, so allocation-count guards skip.
+const raceEnabled = true

@@ -61,6 +61,11 @@ const (
 	// before it compiles. Waiters must not be poisoned: they retry with
 	// jittered exponential backoff and a later leader succeeds.
 	SiteCoalesceLeader Site = "coalesce.leader"
+	// SiteOutcomeEvict faults a deterministic outcome-cache lookup by
+	// evicting the entry just before it is consulted, forcing a fresh
+	// execution — memory pressure on the result cache, made
+	// deterministic.
+	SiteOutcomeEvict Site = "outcome.evict"
 	// SitePeerDown marks a shard-out peer unreachable for one forwarding
 	// attempt, driving the hedged-failover path deterministically.
 	SitePeerDown Site = "peer.down"
@@ -73,7 +78,7 @@ func Sites() []Site {
 		SiteScanTuple, SiteIndexProbe, SiteOperatorPanic, SiteSpillObs,
 		SiteLatency, SiteEngineFull, SiteEngineSpill, SiteAlignPlanner,
 		SiteSnapshotSave, SiteServeRun,
-		SiteCacheEvict, SiteCoalesceLeader, SitePeerDown,
+		SiteCacheEvict, SiteCoalesceLeader, SiteOutcomeEvict, SitePeerDown,
 	}
 }
 

@@ -50,6 +50,26 @@ func (s Signature) Extend(parts ...string) Signature {
 	return Signature{Hash: h, Canonical: s.Canonical}
 }
 
+// ExtendUint64 folds raw 64-bit parameters into the signature hash,
+// little-endian, each terminated by the same unambiguous separator
+// Extend uses for strings. The serving tier's outcome cache uses it to
+// grow an artifact signature into a full outcome key: the numeric
+// request coordinates (grid point, worker count, fault seed, float
+// bits of rate/λ, refinement epoch) extend the hash without paying a
+// string formatting round-trip on the request hot path.
+func (s Signature) ExtendUint64(parts ...uint64) Signature {
+	h := s.Hash
+	for _, p := range parts {
+		for i := 0; i < 8; i++ {
+			h ^= p & 0xff
+			h *= 1099511628211
+			p >>= 8
+		}
+		h = fnvMix(h, "\x00")
+	}
+	return Signature{Hash: h, Canonical: s.Canonical}
+}
+
 // Sign canonicalizes the SQL text and hashes it.
 func Sign(sql string) (Signature, error) {
 	c, err := Canonicalize(sql)

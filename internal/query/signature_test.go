@@ -116,3 +116,42 @@ func TestSignatureExtend(t *testing.T) {
 		t.Fatal("Extend part boundaries are ambiguous")
 	}
 }
+
+func TestSignatureExtendUint64(t *testing.T) {
+	sig, err := Sign("SELECT * FROM t a, u b WHERE a.x = b.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := sig.ExtendUint64(7)
+	e2 := sig.ExtendUint64(7, 8)
+	if e1.Hash == sig.Hash || e2.Hash == sig.Hash || e1.Hash == e2.Hash {
+		t.Fatalf("ExtendUint64 did not separate hashes: %v %v %v", sig, e1, e2)
+	}
+	if e1.Canonical != sig.Canonical {
+		t.Fatal("ExtendUint64 must not change the canonical text")
+	}
+	if sig.ExtendUint64(1, 2).Hash != sig.ExtendUint64(1, 2).Hash {
+		t.Fatal("ExtendUint64 is not deterministic")
+	}
+	if sig.ExtendUint64(1, 2).Hash == sig.ExtendUint64(2, 1).Hash {
+		t.Fatal("ExtendUint64 must be order-sensitive")
+	}
+	// Every part consumes a fixed eight bytes plus a separator, so
+	// adjacent parts can never alias across the boundary the way
+	// variable-width encodings could.
+	if sig.ExtendUint64(0).Hash == sig.ExtendUint64(0, 0).Hash {
+		t.Fatal("ExtendUint64 part boundaries are ambiguous")
+	}
+	// A zero value is distinct from no extension at all.
+	if sig.ExtendUint64().Hash != sig.Hash {
+		t.Fatal("ExtendUint64 with no parts must be the identity")
+	}
+	// Single-bit sensitivity at both ends of the word.
+	if sig.ExtendUint64(1).Hash == sig.ExtendUint64(1<<63).Hash {
+		t.Fatal("ExtendUint64 must fold all eight bytes")
+	}
+	// String and uint64 extensions occupy separate domains.
+	if sig.Extend("\x07").Hash == sig.ExtendUint64(7).Hash {
+		t.Fatal("ExtendUint64 must not collide with Extend on equal bytes")
+	}
+}

@@ -45,6 +45,13 @@ type metrics struct {
 	chaosEvicts   atomic.Int64
 	forwards      atomic.Int64
 	failovers     atomic.Int64
+
+	// encodeErrors counts response-encoding and response-write
+	// failures that writeJSON previously discarded silently;
+	// outcomeChaosEvicts counts injected outcome-cache evictions (the
+	// outcome.evict chaos site).
+	encodeErrors       atomic.Int64
+	outcomeChaosEvicts atomic.Int64
 }
 
 func newMetrics() *metrics {
@@ -165,6 +172,38 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP rqp_cache_evictions_total Compile cache evictions (budget pressure and injected).")
 	fmt.Fprintln(w, "# TYPE rqp_cache_evictions_total counter")
 	fmt.Fprintf(w, "rqp_cache_evictions_total %d\n", cs.Evictions)
+
+	if s.outcomes != nil {
+		os := s.outcomes.Stats()
+		fmt.Fprintln(w, "# HELP rqp_outcome_cache_entries Outcomes resident in the deterministic outcome cache.")
+		fmt.Fprintln(w, "# TYPE rqp_outcome_cache_entries gauge")
+		fmt.Fprintf(w, "rqp_outcome_cache_entries %d\n", os.Entries)
+		fmt.Fprintln(w, "# HELP rqp_outcome_cache_bytes Estimated bytes resident in the outcome cache.")
+		fmt.Fprintln(w, "# TYPE rqp_outcome_cache_bytes gauge")
+		fmt.Fprintf(w, "rqp_outcome_cache_bytes %d\n", os.Bytes)
+		fmt.Fprintln(w, "# HELP rqp_outcome_cache_budget_bytes Outcome cache byte budget.")
+		fmt.Fprintln(w, "# TYPE rqp_outcome_cache_budget_bytes gauge")
+		fmt.Fprintf(w, "rqp_outcome_cache_budget_bytes %d\n", os.Budget)
+		fmt.Fprintln(w, "# HELP rqp_outcome_cache_hits_total Discover requests served from cached outcome bytes.")
+		fmt.Fprintln(w, "# TYPE rqp_outcome_cache_hits_total counter")
+		fmt.Fprintf(w, "rqp_outcome_cache_hits_total %d\n", os.Hits)
+		fmt.Fprintln(w, "# HELP rqp_outcome_cache_misses_total Discover requests that executed because no cached outcome matched.")
+		fmt.Fprintln(w, "# TYPE rqp_outcome_cache_misses_total counter")
+		fmt.Fprintf(w, "rqp_outcome_cache_misses_total %d\n", os.Misses)
+		fmt.Fprintln(w, "# HELP rqp_outcome_cache_evictions_total Outcome cache evictions (budget pressure, epoch churn, and injected).")
+		fmt.Fprintln(w, "# TYPE rqp_outcome_cache_evictions_total counter")
+		fmt.Fprintf(w, "rqp_outcome_cache_evictions_total %d\n", os.Evictions)
+		fmt.Fprintln(w, "# HELP rqp_outcome_cache_inserts_total Outcomes installed in the cache.")
+		fmt.Fprintln(w, "# TYPE rqp_outcome_cache_inserts_total counter")
+		fmt.Fprintf(w, "rqp_outcome_cache_inserts_total %d\n", os.Inserts)
+		fmt.Fprintln(w, "# HELP rqp_outcome_chaos_evicts_total Injected outcome-cache evictions (outcome.evict site).")
+		fmt.Fprintln(w, "# TYPE rqp_outcome_chaos_evicts_total counter")
+		fmt.Fprintf(w, "rqp_outcome_chaos_evicts_total %d\n", s.metrics.outcomeChaosEvicts.Load())
+	}
+
+	fmt.Fprintln(w, "# HELP rqp_encode_errors_total Response encode/write failures (previously discarded silently).")
+	fmt.Fprintln(w, "# TYPE rqp_encode_errors_total counter")
+	fmt.Fprintf(w, "rqp_encode_errors_total %d\n", s.metrics.encodeErrors.Load())
 
 	fmt.Fprintln(w, "# HELP rqp_compiles_total On-demand artifact compiles completed.")
 	fmt.Fprintln(w, "# TYPE rqp_compiles_total counter")

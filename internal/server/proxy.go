@@ -141,7 +141,11 @@ func (p *peerSet) snapshotUp(peers []string) map[string]bool {
 // hops > 0 means this is a failover serve and the response gets a
 // degradation stamp. Forwarded requests (header present) never
 // re-forward: one hop maximum, so a routing disagreement cannot loop.
-func (s *Server) routeDiscover(w http.ResponseWriter, r *http.Request, req DiscoverRequest, key uint64, in *faultinject.Injector) (handled bool, hops int) {
+// cacheBody, when non-nil, receives the relayed bytes of a clean
+// (zero-hop) 200 from the owner so the caller can install them in the
+// outcome cache — forwarded one-hop responses are as deterministic as
+// local ones.
+func (s *Server) routeDiscover(w http.ResponseWriter, r *http.Request, req DiscoverRequest, key uint64, in *faultinject.Injector, cacheBody func([]byte)) (handled bool, hops int) {
 	if s.ring == nil || r.Header.Get(forwardedHeader) != "" {
 		return false, 0
 	}
@@ -162,7 +166,7 @@ func (s *Server) routeDiscover(w http.ResponseWriter, r *http.Request, req Disco
 			hops++
 			continue
 		}
-		if s.forwardTo(w, r, owner, req, hops) {
+		if s.forwardTo(w, r, owner, req, hops, cacheBody) {
 			s.metrics.forwards.Add(1)
 			return true, hops
 		}
@@ -175,12 +179,22 @@ func (s *Server) routeDiscover(w http.ResponseWriter, r *http.Request, req Disco
 	return false, hops
 }
 
+// maxForwardBytes bounds one buffered proxy response (a misbehaving
+// peer must not balloon our memory; real discover responses are KBs).
+const maxForwardBytes = 8 << 20
+
+// forwardBufPool recycles the proxy's response read buffers.
+var forwardBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // forwardTo proxies the request to the owner and relays its response
 // verbatim — the owner's answer, success or typed rejection, is the
-// answer. It reports false on transport failure (dial error, timeout)
-// so the caller hedges to the next replica; once the relay has started
-// writing, the response is committed.
-func (s *Server) forwardTo(w http.ResponseWriter, r *http.Request, owner string, req DiscoverRequest, hops int) bool {
+// answer. The body is fully buffered before anything is written, so a
+// transport failure mid-read still hedges cleanly to the next replica
+// (previously a mid-copy failure truncated a committed response). It
+// reports false on transport failure (dial error, timeout, short
+// read) so the caller hedges. A zero-hop 200 is handed to cacheBody
+// before relay when the caller wants to cache it.
+func (s *Server) forwardTo(w http.ResponseWriter, r *http.Request, owner string, req DiscoverRequest, hops int, cacheBody func([]byte)) bool {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return false
@@ -201,14 +215,31 @@ func (s *Server) forwardTo(w http.ResponseWriter, r *http.Request, owner string,
 		return false
 	}
 	defer resp.Body.Close()
+	buf := forwardBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledBuf {
+			forwardBufPool.Put(buf)
+		}
+	}()
+	if _, err := buf.ReadFrom(io.LimitReader(resp.Body, maxForwardBytes)); err != nil {
+		return false
+	}
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		w.Header().Set("Retry-After", ra)
 	}
+	if cacheBody != nil && hops == 0 && resp.StatusCode == http.StatusOK {
+		relayed := make([]byte, buf.Len())
+		copy(relayed, buf.Bytes())
+		cacheBody(relayed)
+	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.countEncodeError("relay", err)
+	}
 	return true
 }
 
@@ -221,7 +252,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("workload")
 	ws, ok := s.getWorkload(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, KindNotFound, fmt.Sprintf("unknown workload %q", name), 0)
+		s.writeError(w, http.StatusNotFound, KindNotFound, fmt.Sprintf("unknown workload %q", name), 0)
 		return
 	}
 	ws.mu.RLock()
@@ -245,7 +276,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			s.cfg.Logf("server: streaming %s snapshot: %v", name, err)
 		}
 	default:
-		writeError(w, http.StatusServiceUnavailable, KindBuilding,
+		s.writeError(w, http.StatusServiceUnavailable, KindBuilding,
 			fmt.Sprintf("workload %s has no resident snapshot", name), time.Second)
 	}
 }

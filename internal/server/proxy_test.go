@@ -156,7 +156,7 @@ func TestRouteDiscoverHonorsForwardedHeader(t *testing.T) {
 	rec := httptest.NewRecorder()
 	req := httptest.NewRequest(http.MethodPost, "/discover", nil)
 	req.Header.Set(forwardedHeader, "1")
-	handled, hops := s.routeDiscover(rec, req, DiscoverRequest{}, key, nil)
+	handled, hops := s.routeDiscover(rec, req, DiscoverRequest{}, key, nil, nil)
 	if handled || hops != 0 {
 		t.Fatalf("forwarded request re-routed: handled=%v hops=%d", handled, hops)
 	}

@@ -9,10 +9,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -112,6 +114,14 @@ type Config struct {
 	// (default 256 MiB). Pinned workloads are not cached — they are
 	// resident for the server's lifetime.
 	CacheBytes int64
+
+	// OutcomeCacheBytes budgets the deterministic outcome cache that
+	// serves repeat /discover requests from pre-encoded response bytes
+	// (0 = 64 MiB default, negative disables the cache entirely).
+	// Outcomes are deterministic given the full request key, so the
+	// cache is semantically transparent: a hit is byte-identical to the
+	// execution it replaced.
+	OutcomeCacheBytes int64
 
 	// Peers is the static replica set for shard-out mode: base URLs
 	// (scheme://host:port, no trailing slash) including this replica's
@@ -230,6 +240,28 @@ func (ws *workloadState) artifact() (*core.Compiled, error) {
 	return ws.compiled, ws.buildErr
 }
 
+// isLazy reports whether the workload serves from a demand-driven
+// (online-refining) contour source.
+func (ws *workloadState) isLazy() bool {
+	ws.mu.RLock()
+	defer ws.mu.RUnlock()
+	return ws.lazy != nil
+}
+
+// epoch returns the workload's ESS refinement epoch: the lazy surface's
+// current epoch, or 0 — the frozen forever value — for eager workloads.
+// Outcome-cache keys carry it so online refinement invalidates every
+// outcome computed against the older contour surface.
+func (ws *workloadState) epoch() uint64 {
+	ws.mu.RLock()
+	lz := ws.lazy
+	ws.mu.RUnlock()
+	if lz == nil {
+		return 0
+	}
+	return lz.Epoch()
+}
+
 func (ws *workloadState) status() string {
 	ws.mu.RLock()
 	defer ws.mu.RUnlock()
@@ -273,6 +305,17 @@ type Server struct {
 	ring  *hashRing
 	peers *peerSet
 
+	// outcomes is the deterministic outcome cache (nil when disabled):
+	// full-request-keyed, storing each served outcome with its exact
+	// response bytes so a repeat request bypasses routing, admission,
+	// execution, and re-encoding. front is the request-identity table
+	// in front of it (see front.go): byte-identical repeats skip JSON
+	// decoding and key derivation too. encodeErrSeen tracks which
+	// encode error kinds have been logged (once per kind).
+	outcomes      *core.OutcomeCache
+	front         frontTable
+	encodeErrSeen sync.Map
+
 	draining atomic.Bool
 	inflight sync.WaitGroup
 }
@@ -293,6 +336,9 @@ func New(cfg Config) (*Server, error) {
 		cache:     core.NewArtifactCache(cfg.CacheBytes),
 		flights:   newFlightGroup(),
 		sigIdx:    buildSigIndex(),
+	}
+	if cfg.OutcomeCacheBytes >= 0 {
+		s.outcomes = core.NewOutcomeCache(cfg.OutcomeCacheBytes)
 	}
 	if cfg.ESSMode != "eager" && cfg.ESSMode != "lazy" {
 		return nil, fmt.Errorf("server: unknown ESS mode %q (want eager or lazy)", cfg.ESSMode)
@@ -780,13 +826,143 @@ type WorkloadInfo struct {
 
 // ---- handlers ----
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+// jsonBuf pairs a reusable encode buffer with an encoder bound to it
+// for its whole pooled lifetime, so the serve path pays neither a
+// fresh buffer nor a fresh json.Encoder per response. An encoder that
+// has returned an error is poisoned (encoding/json latches the first
+// error), so error paths drop the pair instead of re-pooling it.
+type jsonBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
 }
 
-func writeError(w http.ResponseWriter, code int, kind, msg string, retryAfter time.Duration) {
+var jsonBufPool = sync.Pool{New: func() any {
+	jb := &jsonBuf{}
+	jb.enc = json.NewEncoder(&jb.buf)
+	return jb
+}}
+
+// maxPooledBuf caps the capacity of buffers returned to the pools; a
+// one-off giant response must not pin its buffer for the process
+// lifetime.
+const maxPooledBuf = 1 << 16
+
+func releaseJSONBuf(jb *jsonBuf) {
+	if jb.buf.Cap() <= maxPooledBuf {
+		jsonBufPool.Put(jb)
+	}
+}
+
+// encodeFailBody is the static fallback written when a response value
+// itself fails to encode — the one case writeJSON cannot report
+// through its own machinery.
+const encodeFailBody = "{\"error\":\"response encoding failed\",\"kind\":\"encode-error\"}\n"
+
+// reqBuf is a pooled request-body reader: the buffer and its size
+// limiter live together so a request read costs no allocations at all.
+type reqBuf struct {
+	buf bytes.Buffer
+	lr  io.LimitedReader
+}
+
+// maxRequestBytes bounds a request body; beyond it the read fails.
+const maxRequestBytes = 1 << 20
+
+// reqBufPool recycles request-body read buffers: reading through a
+// pooled buffer plus json.Unmarshal replaces the per-request
+// json.NewDecoder and its internal scratch allocations.
+var reqBufPool = sync.Pool{New: func() any { return new(reqBuf) }}
+
+// readRequestBody reads the bounded request body into a pooled buffer
+// and returns it. The caller must releaseReqBuf when done with the
+// bytes (they alias the pooled buffer).
+func readRequestBody(r *http.Request) (*reqBuf, error) {
+	rb := reqBufPool.Get().(*reqBuf)
+	rb.buf.Reset()
+	rb.lr.R = r.Body
+	rb.lr.N = maxRequestBytes + 1
+	if _, err := rb.buf.ReadFrom(&rb.lr); err != nil {
+		releaseReqBuf(rb)
+		return nil, err
+	}
+	if rb.lr.N <= 0 {
+		releaseReqBuf(rb)
+		return nil, fmt.Errorf("request body exceeds %d bytes", maxRequestBytes)
+	}
+	return rb, nil
+}
+
+func releaseReqBuf(rb *reqBuf) {
+	rb.lr.R = nil
+	if rb.buf.Cap() <= maxPooledBuf {
+		reqBufPool.Put(rb)
+	}
+}
+
+// decodeRequest reads the bounded JSON request body into a pooled
+// buffer and unmarshals it into v.
+func decodeRequest(w http.ResponseWriter, r *http.Request, v any) error {
+	rb, err := readRequestBody(r)
+	if err != nil {
+		return err
+	}
+	err = json.Unmarshal(rb.buf.Bytes(), v)
+	releaseReqBuf(rb)
+	return err
+}
+
+// encodeBody encodes v into a pooled buffer. On failure it counts the
+// encode error, logs once per error kind, and returns ok=false with
+// the poisoned pair already discarded.
+func (s *Server) encodeBody(v any) (*jsonBuf, bool) {
+	jb := jsonBufPool.Get().(*jsonBuf)
+	jb.buf.Reset()
+	if err := jb.enc.Encode(v); err != nil {
+		s.countEncodeError("marshal", err)
+		return nil, false
+	}
+	return jb, true
+}
+
+// contentTypeJSON is the shared Content-Type value slice; assigning it
+// directly (instead of Header().Set) avoids a per-response allocation.
+// http.Header values are never mutated by the stack, only replaced.
+var contentTypeJSON = []string{"application/json"}
+
+// writeBytes writes a fully encoded JSON body — the zero-copy exit for
+// both cached responses and pooled-buffer encodes. Write failures
+// (client gone mid-body) are counted, not silently dropped.
+func (s *Server) writeBytes(w http.ResponseWriter, code int, body []byte) {
+	w.Header()["Content-Type"] = contentTypeJSON
+	w.WriteHeader(code)
+	if _, err := w.Write(body); err != nil {
+		s.countEncodeError("write", err)
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	jb, ok := s.encodeBody(v)
+	if !ok {
+		s.writeBytes(w, http.StatusInternalServerError, []byte(encodeFailBody))
+		return
+	}
+	s.writeBytes(w, code, jb.buf.Bytes())
+	releaseJSONBuf(jb)
+}
+
+// countEncodeError records one dropped/failed response encode in the
+// rqp_encode_errors_total counter and logs the first occurrence of
+// each (stage, error type) kind — enough to diagnose without letting a
+// disconnect-happy client flood the log.
+func (s *Server) countEncodeError(stage string, err error) {
+	s.metrics.encodeErrors.Add(1)
+	kind := fmt.Sprintf("%s:%T", stage, err)
+	if _, seen := s.encodeErrSeen.LoadOrStore(kind, true); !seen {
+		s.cfg.Logf("server: response %s error (%s): %v (logged once per kind)", stage, kind, err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, kind, msg string, retryAfter time.Duration) {
 	if retryAfter > 0 {
 		secs := int64(retryAfter / time.Second)
 		if secs < 1 {
@@ -794,13 +970,13 @@ func writeError(w http.ResponseWriter, code int, kind, msg string, retryAfter ti
 		}
 		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	}
-	writeJSON(w, code, ErrorResponse{
+	s.writeJSON(w, code, ErrorResponse{
 		Error: msg, Kind: kind, RetryAfterMS: retryAfter.Milliseconds(),
 	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	s.writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -827,7 +1003,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !rz.Ready {
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, rz)
+	s.writeJSON(w, code, rz)
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
@@ -866,7 +1042,7 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		ws.mu.RUnlock()
 		out = append(out, info)
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // admit enters the bounded admission queue: a free slot is taken
@@ -912,14 +1088,49 @@ func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, 
 // (FaultRate > 0 or AllowRequestFaults); otherwise a client could
 // inject faults at will and trip the shared breaker for everyone.
 func (s *Server) requestInjector(req DiscoverRequest) *faultinject.Injector {
-	rate := s.cfg.FaultRate
-	if req.FaultRate > 0 && (s.faults != nil || s.cfg.AllowRequestFaults) {
-		rate = req.FaultRate
-	}
+	rate := s.requestFaultRate(req)
 	if rate <= 0 {
 		return nil
 	}
 	return faultinject.NewUniform(s.cfg.FaultSeed, rate).Fork(req.FaultSeed)
+}
+
+// requestFaultRate resolves the fault rate a request's injector will
+// run at (0 = disarmed). Split out of requestInjector because the
+// outcome-cache key needs the same number: two requests with the same
+// seed but different effective rates see different fault schedules and
+// must never share a cache entry.
+func (s *Server) requestFaultRate(req DiscoverRequest) float64 {
+	rate := s.cfg.FaultRate
+	if req.FaultRate > 0 && (s.faults != nil || s.cfg.AllowRequestFaults) {
+		rate = req.FaultRate
+	}
+	return rate
+}
+
+// outcomeKey assembles the full deterministic identity of one discover
+// request: artifact signature (SQL shape ⊕ EPPs ⊕ res ⊕ scale),
+// workload and strategy names, grid point, clamped worker count, fault
+// substream parameters (zero when disarmed), the artifact's λ, and the
+// workload's refinement epoch. Equal keys ⇒ deep-equal outcomes ⇒
+// byte-identical responses — the invariant the outcome cache rests on.
+func (s *Server) outcomeKey(ws *workloadState, strategy string, req DiscoverRequest, workers int, armed bool) core.OutcomeKey {
+	key := core.OutcomeKey{
+		SigHash:     ws.sigKey,
+		Workload:    ws.name,
+		Strategy:    strategy,
+		QA:          int(req.QA),
+		ExecWorkers: workers,
+		// The server always compiles with CompileOptions{} → DefaultLambda;
+		// keying it explicitly keeps entries honest if that ever changes.
+		Lambda: core.DefaultLambda,
+		Epoch:  ws.epoch(),
+	}
+	if armed {
+		key.FaultSeed = req.FaultSeed
+		key.FaultRate = s.requestFaultRate(req)
+	}
+	return key
 }
 
 func parseAlgorithm(s string) (core.Algorithm, error) {
@@ -974,25 +1185,25 @@ func resolveStrategy(algField, stratField string) (string, error) {
 func (s *Server) lookup(w http.ResponseWriter, name string) (*workloadState, *core.Compiled, bool) {
 	ws, ok := s.getWorkload(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, KindNotFound, fmt.Sprintf("unknown workload %q", name), 0)
+		s.writeError(w, http.StatusNotFound, KindNotFound, fmt.Sprintf("unknown workload %q", name), 0)
 		return nil, nil, false
 	}
 	if ws.onDemand {
 		if c, ok := s.cache.Get(ws.sigKey); ok {
 			return ws, c, true
 		}
-		writeError(w, http.StatusServiceUnavailable, KindBuilding,
+		s.writeError(w, http.StatusServiceUnavailable, KindBuilding,
 			fmt.Sprintf("on-demand workload %s is not resident; issue a discover first", name), time.Second)
 		return nil, nil, false
 	}
 	c, err := ws.artifact()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, KindBuildFailed,
+		s.writeError(w, http.StatusInternalServerError, KindBuildFailed,
 			fmt.Sprintf("workload %s failed to build: %v", name, err), 0)
 		return nil, nil, false
 	}
 	if c == nil {
-		writeError(w, http.StatusServiceUnavailable, KindBuilding,
+		s.writeError(w, http.StatusServiceUnavailable, KindBuilding,
 			fmt.Sprintf("workload %s still compiling", name), time.Second)
 		return nil, nil, false
 	}
@@ -1004,17 +1215,54 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	defer s.inflight.Done()
 	defer s.metrics.track()()
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, KindDraining, "server draining", time.Second)
+		s.writeError(w, http.StatusServiceUnavailable, KindDraining, "server draining", time.Second)
 		return
 	}
+	rb, err := readRequestBody(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, KindBadRequest, "invalid JSON body: "+err.Error(), 0)
+		return
+	}
+	body := rb.buf.Bytes()
+
+	// Request-identity fast path: byte-identical repeats of an unarmed
+	// request resolve to their learned outcome key without JSON
+	// decoding. The epoch is re-stamped from the live workload state,
+	// so a refinement that moved the surface turns this into a miss.
+	if s.outcomes != nil && r.Header.Get(failoverHeader) == "" {
+		if e := s.front.get(body); e != nil {
+			key := e.key
+			key.Epoch = e.ws.epoch()
+			if c, hit := s.outcomes.Get(key); hit {
+				s.metrics.countRequest(e.strategy)
+				s.writeBytes(w, http.StatusOK, c.Body)
+				releaseReqBuf(rb)
+				return
+			}
+		}
+	}
+
 	var req DiscoverRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, KindBadRequest, "invalid JSON body: "+err.Error(), 0)
+	err = json.Unmarshal(body, &req)
+	if err != nil {
+		releaseReqBuf(rb)
+		s.writeError(w, http.StatusBadRequest, KindBadRequest, "invalid JSON body: "+err.Error(), 0)
 		return
 	}
+	// The identity miss path may learn this body at the end of the
+	// request, long after the pooled buffer is recycled — copy it now,
+	// but only when the identity is learnable at all: armed requests
+	// must re-roll their chaos sites on every arrival and are never
+	// admitted to the front table.
+	var learnBody []byte
+	if s.outcomes != nil && s.front.n.Load() < frontCap &&
+		r.Header.Get(failoverHeader) == "" && s.requestFaultRate(req) <= 0 {
+		learnBody = append([]byte(nil), body...)
+	}
+	releaseReqBuf(rb)
 	name, err := resolveStrategy(req.Algorithm, req.Strategy)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, KindBadRequest, err.Error(), 0)
+		s.writeError(w, http.StatusBadRequest, KindBadRequest, err.Error(), 0)
 		return
 	}
 	ws, ok := s.resolveWorkload(w, &req)
@@ -1023,9 +1271,56 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	}
 	in := s.requestInjector(req)
 
+	if req.ExecWorkers < 0 {
+		s.writeError(w, http.StatusBadRequest, KindBadRequest,
+			fmt.Sprintf("exec_workers %d must be non-negative", req.ExecWorkers), 0)
+		return
+	}
+	workers := req.ExecWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > s.cfg.MaxExecWorkers {
+		workers = s.cfg.MaxExecWorkers
+	}
+
+	// Deterministic outcome cache: consult before routing, the breaker,
+	// admission, and dispatch — a hit writes the exact bytes of the
+	// execution this request would have repeated, zero-copy. Failover
+	// retries are excluded: their responses carry degradation stamps
+	// that depend on which replicas happened to be down.
+	var key core.OutcomeKey
+	cacheable := s.outcomes != nil && r.Header.Get(failoverHeader) == ""
+	if cacheable {
+		key = s.outcomeKey(ws, name, req, workers, in != nil)
+		if in.Trip(faultinject.SiteOutcomeEvict) {
+			if s.outcomes.Evict(key) {
+				s.metrics.outcomeChaosEvicts.Add(1)
+			}
+		}
+		if e, hit := s.outcomes.Get(key); hit {
+			s.metrics.countRequest(name)
+			s.writeBytes(w, http.StatusOK, e.Body)
+			return
+		}
+	}
+
 	// Shard-out routing: proxy to the signature's owner replica unless
-	// we are it (or this request was already forwarded to us).
-	handled, hops := s.routeDiscover(w, r, req, ws.sigKey, in)
+	// we are it (or this request was already forwarded to us). A
+	// cleanly forwarded 200 is cacheable here too, but only for eager,
+	// unarmed requests: a lazy owner refines its surface independently
+	// of our epoch counter, and an armed owner's schedule depends on
+	// its own chaos configuration — either could diverge from the key.
+	var cacheForwarded func([]byte)
+	if cacheable && !ws.isLazy() && in == nil {
+		kf := key
+		cacheForwarded = func(respBody []byte) {
+			if _, admitted := s.outcomes.Put(kf, &core.CachedOutcome{Body: respBody}); admitted && learnBody != nil {
+				s.front.put(&frontEntry{body: learnBody, ws: ws, strategy: name, key: kf})
+			}
+		}
+	}
+	handled, hops := s.routeDiscover(w, r, req, ws.sigKey, in, cacheForwarded)
 	if handled {
 		return
 	}
@@ -1037,27 +1332,15 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if req.QA < 0 || int(req.QA) >= c.Source.Geometry().NumPoints() {
-			writeError(w, http.StatusBadRequest, KindBadRequest,
+			s.writeError(w, http.StatusBadRequest, KindBadRequest,
 				fmt.Sprintf("qa %d outside grid [0, %d)", req.QA, c.Source.Geometry().NumPoints()), 0)
 			return
 		}
 	}
-	if req.ExecWorkers < 0 {
-		writeError(w, http.StatusBadRequest, KindBadRequest,
-			fmt.Sprintf("exec_workers %d must be non-negative", req.ExecWorkers), 0)
-		return
-	}
-	workers := req.ExecWorkers
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > s.cfg.MaxExecWorkers {
-		workers = s.cfg.MaxExecWorkers
-	}
 	s.metrics.countRequest(name)
 
 	if allowed, wait := ws.breaker.Allow(); !allowed {
-		writeError(w, http.StatusServiceUnavailable, KindBreakerOpen,
+		s.writeError(w, http.StatusServiceUnavailable, KindBreakerOpen,
 			fmt.Sprintf("workload %s circuit open", req.Workload), wait)
 		return
 	}
@@ -1071,13 +1354,13 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	release, shed, aerr := s.admit(ctx)
 	if shed {
 		ws.breaker.Cancel()
-		writeError(w, http.StatusTooManyRequests, KindShed,
+		s.writeError(w, http.StatusTooManyRequests, KindShed,
 			"admission queue full", time.Second)
 		return
 	}
 	if aerr != nil { // deadline expired while queued
 		ws.breaker.Cancel()
-		writeError(w, http.StatusGatewayTimeout, KindDeadline,
+		s.writeError(w, http.StatusGatewayTimeout, KindDeadline,
 			"deadline expired waiting for an execution slot: "+aerr.Error(), 0)
 		return
 	}
@@ -1085,7 +1368,7 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 
 	if ferr := in.Check(faultinject.SiteServeRun); ferr != nil {
 		ws.breaker.Report(false)
-		writeError(w, http.StatusInternalServerError, KindEngineFault,
+		s.writeError(w, http.StatusInternalServerError, KindEngineFault,
 			"engine unavailable: "+ferr.Error(), 0)
 		return
 	}
@@ -1098,7 +1381,7 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			if ctx.Err() != nil {
 				ws.breaker.Cancel()
-				writeError(w, http.StatusGatewayTimeout, KindDeadline,
+				s.writeError(w, http.StatusGatewayTimeout, KindDeadline,
 					"deadline expired compiling artifact: "+err.Error(), 0)
 				return
 			}
@@ -1107,13 +1390,13 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 			if faultinject.IsTransient(err) || errors.As(err, new(*faultinject.Fault)) {
 				kind = KindEngineFault
 			}
-			writeError(w, http.StatusInternalServerError, kind,
+			s.writeError(w, http.StatusInternalServerError, kind,
 				fmt.Sprintf("compiling %s: %v", ws.name, err), 0)
 			return
 		}
 		if req.QA < 0 || int(req.QA) >= c.Source.Geometry().NumPoints() {
 			ws.breaker.Cancel()
-			writeError(w, http.StatusBadRequest, KindBadRequest,
+			s.writeError(w, http.StatusBadRequest, KindBadRequest,
 				fmt.Sprintf("qa %d outside grid [0, %d)", req.QA, c.Source.Geometry().NumPoints()), 0)
 			return
 		}
@@ -1151,16 +1434,41 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		// trip nor reset the breaker.
 		ws.breaker.Cancel()
 		resp.Aborted = aerr.Err.Error()
-		writeJSON(w, http.StatusGatewayTimeout, resp)
+		s.writeJSON(w, http.StatusGatewayTimeout, resp)
 		return
 	}
 	if derr != nil {
 		ws.breaker.Report(false)
-		writeError(w, http.StatusInternalServerError, KindEngineFault, derr.Error(), 0)
+		s.writeError(w, http.StatusInternalServerError, KindEngineFault, derr.Error(), 0)
 		return
 	}
 	ws.breaker.Report(true)
-	writeJSON(w, http.StatusOK, resp)
+	jb, encOK := s.encodeBody(resp)
+	if !encOK {
+		s.writeBytes(w, http.StatusInternalServerError, []byte(encodeFailBody))
+		return
+	}
+	// Cache the exact bytes being served. Skipped for failover serves
+	// (stamped responses) and whenever the workload's epoch moved past
+	// the key's — including by this very discovery's own refinements:
+	// the outcome describes the pre-refinement surface, and a later
+	// identical request must re-execute on the new one. An entry keyed
+	// at a superseded epoch would be unreachable anyway; the recheck
+	// just keeps it out of the budget.
+	if cacheable && !failover && out != nil && out.Completed && ws.epoch() == key.Epoch {
+		respBody := make([]byte, jb.buf.Len())
+		copy(respBody, jb.buf.Bytes())
+		_, admitted := s.outcomes.Put(key, &core.CachedOutcome{Outcome: out, Body: respBody})
+		// Learn the request identity too — only for admitted entries
+		// (an identity nobody repeats would squat in the front table)
+		// and only unarmed: armed requests must roll their chaos sites
+		// on every arrival.
+		if admitted && learnBody != nil && in == nil {
+			s.front.put(&frontEntry{body: learnBody, ws: ws, strategy: name, key: key})
+		}
+	}
+	s.writeBytes(w, http.StatusOK, jb.buf.Bytes())
+	releaseJSONBuf(jb)
 }
 
 // discover runs one deadline-bounded discovery of the named strategy,
@@ -1168,7 +1476,8 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 // chaos is armed, the fault-injecting engine plus the resilient retry
 // driver (capped exponential backoff with deterministic jitter).
 func (s *Server) discover(ctx context.Context, c *core.Compiled, name string, qa int32, in *faultinject.Injector, workers int) (*core.Outcome, error) {
-	r := c.NewRun().WithFaults(in).WithContext(ctx).WithExecWorkers(workers)
+	r := c.AcquireRun().WithFaults(in).WithContext(ctx).WithExecWorkers(workers)
+	defer core.ReleaseRun(r)
 	if s.cfg.ExecLatency <= 0 {
 		return r.DiscoverStrategy(name, qa)
 	}
@@ -1187,26 +1496,26 @@ func (s *Server) handleMSO(w http.ResponseWriter, r *http.Request) {
 	defer s.inflight.Done()
 	defer s.metrics.track()()
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, KindDraining, "server draining", time.Second)
+		s.writeError(w, http.StatusServiceUnavailable, KindDraining, "server draining", time.Second)
 		return
 	}
 	var req MSORequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, KindBadRequest, "invalid JSON body: "+err.Error(), 0)
+	if err := decodeRequest(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, KindBadRequest, "invalid JSON body: "+err.Error(), 0)
 		return
 	}
 	alg, err := parseAlgorithm(req.Algorithm)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, KindBadRequest, err.Error(), 0)
+		s.writeError(w, http.StatusBadRequest, KindBadRequest, err.Error(), 0)
 		return
 	}
 	if req.Stride < 0 {
-		writeError(w, http.StatusBadRequest, KindBadRequest,
+		s.writeError(w, http.StatusBadRequest, KindBadRequest,
 			fmt.Sprintf("stride %d must be non-negative", req.Stride), 0)
 		return
 	}
 	if req.Workers < 0 {
-		writeError(w, http.StatusBadRequest, KindBadRequest,
+		s.writeError(w, http.StatusBadRequest, KindBadRequest,
 			fmt.Sprintf("workers %d must be non-negative", req.Workers), 0)
 		return
 	}
@@ -1216,7 +1525,7 @@ func (s *Server) handleMSO(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.countRequest(string(alg))
 	if allowed, wait := ws.breaker.Allow(); !allowed {
-		writeError(w, http.StatusServiceUnavailable, KindBreakerOpen,
+		s.writeError(w, http.StatusServiceUnavailable, KindBreakerOpen,
 			fmt.Sprintf("workload %s circuit open", req.Workload), wait)
 		return
 	}
@@ -1226,12 +1535,12 @@ func (s *Server) handleMSO(w http.ResponseWriter, r *http.Request) {
 	release, shed, aerr := s.admit(ctx)
 	if shed {
 		ws.breaker.Cancel()
-		writeError(w, http.StatusTooManyRequests, KindShed, "admission queue full", time.Second)
+		s.writeError(w, http.StatusTooManyRequests, KindShed, "admission queue full", time.Second)
 		return
 	}
 	if aerr != nil {
 		ws.breaker.Cancel()
-		writeError(w, http.StatusGatewayTimeout, KindDeadline,
+		s.writeError(w, http.StatusGatewayTimeout, KindDeadline,
 			"deadline expired waiting for an execution slot: "+aerr.Error(), 0)
 		return
 	}
@@ -1242,18 +1551,18 @@ func (s *Server) handleMSO(w http.ResponseWriter, r *http.Request) {
 	}, mso.Options{Stride: req.Stride, Workers: req.Workers})
 	if aerr := discovery.AbortCause(merr); aerr != nil {
 		ws.breaker.Cancel()
-		writeError(w, http.StatusGatewayTimeout, KindDeadline,
+		s.writeError(w, http.StatusGatewayTimeout, KindDeadline,
 			"deadline expired mid-sweep: "+aerr.Err.Error(), 0)
 		return
 	}
 	if merr != nil {
 		ws.breaker.Report(false)
-		writeError(w, http.StatusInternalServerError, KindEngineFault, merr.Error(), 0)
+		s.writeError(w, http.StatusInternalServerError, KindEngineFault, merr.Error(), 0)
 		return
 	}
 	ws.breaker.Report(true)
 	g, _ := c.Guarantee(alg)
-	writeJSON(w, http.StatusOK, MSOResponse{
+	s.writeJSON(w, http.StatusOK, MSOResponse{
 		Workload: req.Workload, Algorithm: string(alg),
 		MSO: res.MSO, ASO: res.ASO, ArgMax: res.ArgMax,
 		Points: len(res.Points), Guarantee: g,

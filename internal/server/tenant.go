@@ -114,13 +114,13 @@ func (s *Server) resolveWorkload(w http.ResponseWriter, req *DiscoverRequest) (*
 	if req.SQL != "" {
 		sig, err := query.Sign(req.SQL)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, KindBadRequest, "unsignable sql: "+err.Error(), 0)
+			s.writeError(w, http.StatusBadRequest, KindBadRequest, "unsignable sql: "+err.Error(), 0)
 			return nil, false
 		}
 		cands := s.sigIdx[sig.Hash]
 		switch {
 		case len(cands) == 0:
-			writeError(w, http.StatusNotFound, KindNotFound,
+			s.writeError(w, http.StatusNotFound, KindNotFound,
 				fmt.Sprintf("no workload matches query signature %s", sig), 0)
 			return nil, false
 		case name != "":
@@ -132,7 +132,7 @@ func (s *Server) resolveWorkload(w http.ResponseWriter, req *DiscoverRequest) (*
 				}
 			}
 			if !found {
-				writeError(w, http.StatusBadRequest, KindBadRequest,
+				s.writeError(w, http.StatusBadRequest, KindBadRequest,
 					fmt.Sprintf("sql signature %s does not match workload %q (candidates: %s)",
 						sig, name, strings.Join(cands, ", ")), 0)
 				return nil, false
@@ -140,7 +140,7 @@ func (s *Server) resolveWorkload(w http.ResponseWriter, req *DiscoverRequest) (*
 		case len(cands) == 1:
 			name = cands[0]
 		default:
-			writeError(w, http.StatusBadRequest, KindBadRequest,
+			s.writeError(w, http.StatusBadRequest, KindBadRequest,
 				fmt.Sprintf("query signature %s is ambiguous (candidates: %s); set workload to disambiguate",
 					sig, strings.Join(cands, ", ")), 0)
 			return nil, false
@@ -148,7 +148,7 @@ func (s *Server) resolveWorkload(w http.ResponseWriter, req *DiscoverRequest) (*
 		req.Workload = name
 	}
 	if name == "" {
-		writeError(w, http.StatusBadRequest, KindBadRequest, "workload or sql required", 0)
+		s.writeError(w, http.StatusBadRequest, KindBadRequest, "workload or sql required", 0)
 		return nil, false
 	}
 	if ws, ok := s.getWorkload(name); ok {
@@ -156,12 +156,12 @@ func (s *Server) resolveWorkload(w http.ResponseWriter, req *DiscoverRequest) (*
 	}
 	spec, err := workload.ByName(name)
 	if err != nil {
-		writeError(w, http.StatusNotFound, KindNotFound, fmt.Sprintf("unknown workload %q", name), 0)
+		s.writeError(w, http.StatusNotFound, KindNotFound, fmt.Sprintf("unknown workload %q", name), 0)
 		return nil, false
 	}
 	sig, err := s.signatureFor(spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, KindBadRequest,
+		s.writeError(w, http.StatusBadRequest, KindBadRequest,
 			fmt.Sprintf("workload %s: %v", name, err), 0)
 		return nil, false
 	}
@@ -329,3 +329,12 @@ func (s *Server) SignatureKey(name string) (uint64, error) {
 // CacheStats exposes the artifact cache counters (tests and the
 // /metrics endpoint read the same numbers).
 func (s *Server) CacheStats() core.CacheStats { return s.cache.Stats() }
+
+// OutcomeCacheStats exposes the deterministic outcome cache counters;
+// ok is false when the cache is disabled (OutcomeCacheBytes < 0).
+func (s *Server) OutcomeCacheStats() (core.CacheStats, bool) {
+	if s.outcomes == nil {
+		return core.CacheStats{}, false
+	}
+	return s.outcomes.Stats(), true
+}

@@ -48,8 +48,11 @@ func makeTenant(t *testing.T, s *Server, name string) *workloadState {
 func TestOnDemandTenantCompilesOnceAndCaches(t *testing.T) {
 	s := newTestServer(t, tenantConfig(t))
 	for i := 0; i < 2; i++ {
+		// Distinct grid points: identical requests would be absorbed by
+		// the outcome cache before ever consulting the artifact cache,
+		// which is the layer under test here.
 		rec, body := postJSON(t, s.Handler(), "/discover",
-			DiscoverRequest{Workload: "2D_Q91", Algorithm: "sb", QA: 3})
+			DiscoverRequest{Workload: "2D_Q91", Algorithm: "sb", QA: int32(3 + i)})
 		if rec.Code != http.StatusOK {
 			t.Fatalf("request %d: status %d: %s", i, rec.Code, body)
 		}

@@ -188,6 +188,10 @@ func runFailoverScenario(t *testing.T, wave int) (wave1, wave2 []failoverOutcome
 		cfg.Peers = []string{urlA, urlB}
 		cfg.HealthInterval = 200 * time.Millisecond
 		cfg.ForwardTimeout = 10 * time.Second
+		// Ring routing and hedged failover are the subject here; with
+		// the outcome cache on, wave 2 would be absorbed by wave 1's
+		// cached forwarded responses and never exercise failover.
+		cfg.OutcomeCacheBytes = -1
 		return cfg
 	}
 	// Launch the whole fleet before awaiting readiness: each replica's
